@@ -1,0 +1,91 @@
+"""Extension bench: operation importance weighting (the paper's future work).
+
+The paper's conclusion asks "whether it would be beneficial to weight, or
+filter, micro-behavior operations according to their importance". This
+bench runs both ideas:
+
+* **weight** — EMBSR + a learned importance gate per operation
+  (``repro.core.extensions.WeightedOpEMBSR``);
+* **filter** — EMBSR trained after dropping the low-signal "similar items"
+  browsing operation from every session.
+
+There is no paper table to match; the bench reports our measurements and
+the learned importance ranking (which should place Cart/Order style
+operations above browsing ones on JD-like data — the supplemental
+material's intuition).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.core import EMBSRConfig, build_embsr_weighted_ops, filter_operations
+from repro.data import JD_OPERATIONS
+from repro.eval import ExperimentRunner
+from repro.eval.trainer import NeuralRecommender
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+METRICS = ["H@10", "H@20", "M@10", "M@20"]
+
+
+def test_ext_operation_weighting(runners, datasets, report, benchmark):
+    dataset_name = "Appliances"
+    runner = runners[dataset_name]
+    dataset, gen_cfg = datasets[dataset_name]
+
+    measured = {"EMBSR": runner.run("EMBSR", verbose=True).metrics}
+
+    # Weighted: EMBSR + learned per-operation importance.
+    def build_weighted(ds):
+        return build_embsr_weighted_ops(
+            EMBSRConfig(
+                num_items=ds.num_items,
+                num_ops=ds.num_operations,
+                dim=runner.config.dim,
+                dropout=runner.config.dropout,
+                seed=runner.config.seed,
+            )
+        )
+
+    weighted = NeuralRecommender("EMBSR-W", build_weighted, runner.config.train_config())
+    weighted.fit(dataset)
+    scores, targets = runner.score_on_test(weighted)
+    from repro.eval.metrics import evaluate_scores
+
+    measured["EMBSR-W"] = evaluate_scores(scores, targets)
+
+    # Filtered: drop the browsing operation everywhere and retrain EMBSR.
+    drop = {JD_OPERATIONS.id_of("Detail_similar")}
+    filtered = replace(
+        dataset,
+        train=filter_operations(dataset.train, drop),
+        validation=filter_operations(dataset.validation, drop),
+        test=filter_operations(dataset.test, drop),
+    )
+    filtered_runner = ExperimentRunner(filtered, runner.config)
+    measured["EMBSR-filtered"] = filtered_runner.run("EMBSR", verbose=True).metrics
+
+    report("Ext op-weighting", dataset_name, measured, {}, METRICS)
+
+    ops_by_importance = sorted(
+        zip(
+            ["<pad>"] + list(gen_cfg.operations),
+            weighted.model.op_importance.values(),
+        ),
+        key=lambda t: -t[1],
+    )
+    print("\nlearned operation importance (descending):")
+    for name, value in ops_by_importance:
+        print(f"  {name:24s} {value:.3f}")
+
+    benchmark.pedantic(
+        runner.score_on_test, args=(weighted,), rounds=1, iterations=1
+    )
+
+    if FAST:
+        return
+    # The extension must at least not break the model.
+    assert measured["EMBSR-W"]["M@20"] >= measured["EMBSR"]["M@20"] * 0.9

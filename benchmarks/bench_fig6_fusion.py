@@ -1,0 +1,64 @@
+"""Fig. 6: utility of the fusion gating mechanism.
+
+Sweeps a fixed fusion weight beta in {0, 0.2, 0.4, 0.6, 0.8, 1} and
+compares against the learned gate.
+
+Shape criteria (paper Sec. V-F): beta = 0 (recent interest only) is the
+worst; the learned gate is at least competitive with the best fixed beta.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+BETAS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+METRICS = ["H@10", "H@20", "M@10", "M@20"]
+
+# Fig. 6 line-plot values (approximate, JD-Appliances H@20 / M@20 trend).
+PAPER_FIG6 = {
+    "Appliances": {
+        "beta=0.0": {"H@20": 57.5, "M@20": 23.4},
+        "beta=0.2": {"H@20": 60.2, "M@20": 25.0},
+        "beta=0.4": {"H@20": 60.9, "M@20": 25.5},
+        "beta=0.6": {"H@20": 61.1, "M@20": 25.7},
+        "beta=0.8": {"H@20": 61.2, "M@20": 25.8},
+        "beta=1.0": {"H@20": 60.8, "M@20": 25.6},
+        "gate": {"H@20": 61.64, "M@20": 26.06},
+    },
+}
+
+
+@pytest.mark.parametrize("dataset_name", ["Appliances"])
+def test_fig6_fusion_gate(runners, report, benchmark, dataset_name):
+    runner = runners[dataset_name]
+    names = [f"EMBSR-beta={beta}" for beta in BETAS]
+    for name in names:
+        runner.run(name, verbose=True)
+    runner.run("EMBSR", verbose=True)  # the learned gate (cached if present)
+
+    measured = {
+        f"beta={beta}": runner.results[f"EMBSR-beta={beta}"].metrics for beta in BETAS
+    }
+    measured["gate"] = runner.results["EMBSR"].metrics
+    report("Fig 6", dataset_name, measured, PAPER_FIG6.get(dataset_name, {}), ["H@20", "M@20"])
+
+    benchmark.pedantic(
+        runner.score_on_test,
+        args=(runner.results["EMBSR-beta=0.4"].recommender,),
+        rounds=1,
+        iterations=1,
+    )
+
+    if FAST:
+        return
+
+    # beta = 0 (recent interest only) is the worst configuration.
+    for metric in ("H@20", "M@20"):
+        others = [measured[f"beta={b}"][metric] for b in BETAS[1:]]
+        assert measured["beta=0.0"][metric] <= max(others), metric
+    # The learned gate is competitive with the best fixed beta.
+    best_fixed = max(measured[f"beta={b}"]["M@20"] for b in BETAS)
+    assert measured["gate"]["M@20"] >= best_fixed * 0.95

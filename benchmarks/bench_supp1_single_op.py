@@ -1,0 +1,77 @@
+"""Supplemental Table I: macro baselines on single-operation item sequences.
+
+The paper re-runs the macro-behavior baselines on sequences restricted to
+one "click-like" operation type (click-related events on JD, click-outs on
+trivago) while keeping each session's ground truth fixed, and shows EMBSR
+(which uses *all* operations) still wins.
+
+We build the same single-operation view with
+``repro.data.preprocess.single_operation_view`` and train BERT4Rec and
+SGNN-HN on it; EMBSR uses the full micro-behavior data.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.data import JD_OPERATIONS, TRIVAGO_OPERATIONS, single_operation_view
+from repro.eval import ExperimentConfig, ExperimentRunner
+
+from paper_numbers import PAPER_SUPP1
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+METRICS = ["H@5", "H@10", "H@20", "M@5", "M@10", "M@20"]
+
+# "Click-like" operations per dataset family (Supp. Sec. I-A).
+_CLICK_OPS = {
+    "Appliances": {JD_OPERATIONS.id_of(n) for n in (
+        "Home2Product", "SearchList2Product", "ShopList2Product",
+        "SaleList2Product", "CartList2Product",
+    )},
+    "Computers": {JD_OPERATIONS.id_of(n) for n in (
+        "Home2Product", "SearchList2Product", "ShopList2Product",
+        "SaleList2Product", "CartList2Product",
+    )},
+    "Trivago": {TRIVAGO_OPERATIONS.id_of("clickout item")},
+}
+
+
+@pytest.mark.parametrize("dataset_name", ["Appliances", "Computers", "Trivago"])
+def test_supp1_single_operation_view(runners, datasets, report, benchmark, dataset_name):
+    runner = runners[dataset_name]
+    dataset, _cfg = datasets[dataset_name]
+
+    # Build the single-operation dataset view for the macro baselines.
+    keep = _CLICK_OPS[dataset_name]
+    view = replace(
+        dataset,
+        train=single_operation_view(dataset.train, dataset.operations, keep),
+        validation=single_operation_view(dataset.validation, dataset.operations, keep),
+        test=single_operation_view(dataset.test, dataset.operations, keep),
+    )
+    view_runner = ExperimentRunner(view, runner.config)
+
+    measured = {}
+    for name in ("BERT4Rec", "SGNN-HN"):
+        measured[name] = view_runner.run(name, verbose=True).metrics
+    measured["EMBSR"] = runner.run("EMBSR", verbose=True).metrics
+
+    report("Supp Table I", dataset_name, measured, PAPER_SUPP1[dataset_name], METRICS)
+
+    benchmark.pedantic(
+        view_runner.score_on_test,
+        args=(view_runner.results["SGNN-HN"].recommender,),
+        rounds=1,
+        iterations=1,
+    )
+
+    if FAST:
+        return
+
+    # EMBSR with all operations beats macro baselines limited to one type.
+    for metric in ("H@20", "M@20"):
+        best_macro = max(measured["BERT4Rec"][metric], measured["SGNN-HN"][metric])
+        assert measured["EMBSR"][metric] >= best_macro * 0.97, metric

@@ -1,0 +1,48 @@
+"""Supplemental Table II: isolating the dyadic idea on SGNN-HN.
+
+The paper grafts the dyadic relational encoding onto the strongest macro
+baseline (SGNN-HN) — that model is exactly our ``SGNN-Dyadic`` variant
+(star GNN without the micro-op GRU + operation-aware attention) — and shows
+it beats vanilla SGNN-HN, with the full EMBSR still ahead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from paper_numbers import PAPER_SUPP2
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+METRICS = ["H@5", "H@10", "H@20", "M@5", "M@10", "M@20"]
+_NAME_MAP = {"SGNN-HN": "SGNN-HN", "EMBSR-Dyadic": "SGNN-Dyadic", "EMBSR": "EMBSR"}
+
+
+@pytest.mark.parametrize("dataset_name", ["Appliances", "Computers"])
+def test_supp2_dyadic_on_sgnn(runners, report, benchmark, dataset_name):
+    runner = runners[dataset_name]
+    measured = {}
+    for paper_name, our_name in _NAME_MAP.items():
+        measured[paper_name] = runner.run(our_name, verbose=True).metrics
+
+    report("Supp Table II", dataset_name, measured, PAPER_SUPP2[dataset_name], METRICS)
+
+    benchmark.pedantic(
+        runner.score_on_test,
+        args=(runner.results["SGNN-Dyadic"].recommender,),
+        rounds=1,
+        iterations=1,
+    )
+
+    if FAST:
+        return
+
+    # The dyadic graft improves on vanilla SGNN-HN. At laptop scale the
+    # dominant, stable gain shows on hit rate (the graft recalls targets
+    # SGNN-HN misses entirely); MRR moves within the seed-noise band, so it
+    # gets a parity assertion (same situation as Fig. 5 — see
+    # EXPERIMENTS.md "Known limit").
+    assert measured["EMBSR-Dyadic"]["H@20"] > measured["SGNN-HN"]["H@20"]
+    assert measured["EMBSR-Dyadic"]["H@10"] > measured["SGNN-HN"]["H@10"]
+    assert measured["EMBSR-Dyadic"]["M@20"] >= measured["SGNN-HN"]["M@20"] * 0.94

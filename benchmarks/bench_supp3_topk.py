@@ -1,0 +1,52 @@
+"""Supplemental Table III: top-{1,3,5} ranked results.
+
+Reuses the Table III fits and re-evaluates at K in {1, 3, 5}. Verifies the
+paper's structural identity H@1 == M@1 and the ordering
+EMBSR > SGNN-HN / MKM-SR at small K on the JD-like datasets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.metrics import evaluate_scores
+
+from paper_numbers import PAPER_SUPP3
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+SYSTEMS = ["SGNN-HN", "MKM-SR", "EMBSR"]
+METRICS = ["H@1", "H@3", "H@5", "M@3", "M@5"]
+
+
+@pytest.mark.parametrize("dataset_name", ["Appliances", "Computers", "Trivago"])
+def test_supp3_top_ranked(runners, report, benchmark, dataset_name):
+    runner = runners[dataset_name]
+    measured = {}
+    for name in SYSTEMS:
+        result = runner.run(name, verbose=True)
+        metrics = benchmark.pedantic(
+            evaluate_scores,
+            args=(result.scores, result.target_classes),
+            kwargs={"ks": (1, 3, 5)},
+            rounds=1,
+            iterations=1,
+        ) if name == "EMBSR" else evaluate_scores(
+            result.scores, result.target_classes, ks=(1, 3, 5)
+        )
+        measured[name] = metrics
+
+    report("Supp Table III", dataset_name, measured, PAPER_SUPP3[dataset_name], METRICS)
+
+    # Structural identity the paper points out: H@1 == M@1.
+    for name in SYSTEMS:
+        assert measured[name]["H@1"] == pytest.approx(measured[name]["M@1"])
+
+    if FAST or dataset_name == "Trivago":
+        # Paper: on trivago EMBSR is *not* best at K = 1 (Imp. = -2.66%).
+        return
+
+    assert measured["EMBSR"]["M@5"] >= max(
+        measured["SGNN-HN"]["M@5"], measured["MKM-SR"]["M@5"]
+    ) * 0.96

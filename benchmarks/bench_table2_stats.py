@@ -1,0 +1,44 @@
+"""Table II: dataset statistics.
+
+Regenerates the paper's dataset-statistics table for the three synthetic
+stand-ins and checks the structural properties the paper relies on
+(split ratios, operation counts, repeat-vs-exploration regimes).
+"""
+
+from __future__ import annotations
+
+from repro.data import compute_stats
+
+from paper_numbers import PAPER_TABLE2
+
+_PAPER_KEY = {"Appliances": "JD-Appliances", "Computers": "JD-Computers", "Trivago": "Trivago"}
+
+
+def test_table2_statistics(datasets, report, benchmark):
+    measured = {}
+    for name, (dataset, _cfg) in datasets.items():
+        stats = benchmark.pedantic(
+            compute_stats, args=(dataset,), rounds=1, iterations=1
+        ) if name == "Appliances" else compute_stats(dataset)
+        row = stats.as_row()
+        measured[name] = {k: v for k, v in row.items() if k != "dataset"}
+
+    paper = {k: PAPER_TABLE2[v] for k, v in _PAPER_KEY.items()}
+    report(
+        "Table II",
+        "all",
+        measured,
+        paper,
+        ["# train", "# validation", "# test", "# items", "# micro-behavior"],
+    )
+
+    for name, (dataset, cfg) in datasets.items():
+        stats = compute_stats(dataset)
+        total = stats.num_train + stats.num_validation + stats.num_test
+        # 70/10/20 split (Sec. V-A1).
+        assert abs(stats.num_train / total - 0.7) < 0.05
+        assert abs(stats.num_test / total - 0.2) < 0.05
+        # Operation vocabulary sizes: 10 for JD-like, 6 for trivago-like.
+        assert stats.num_operations == (6 if name == "Trivago" else 10)
+        # Micro-behaviors outnumber macro steps (merging actually occurred).
+        assert stats.avg_ops_per_item > 1.0

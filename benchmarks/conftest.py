@@ -1,0 +1,105 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets are generated once per pytest session; trained systems are cached
+inside each dataset's :class:`ExperimentRunner`, so a model fitted for the
+Table III bench is reused by the ablation / figure benches. Training is
+deliberately *outside* the timed region — ``benchmark`` measures test-set
+scoring, while the recommendation-quality tables are printed and written to
+``benchmarks/results/*.json`` for EXPERIMENTS.md.
+
+Set ``REPRO_BENCH_FAST=1`` for a quick smoke-scale run (minutes instead of
+tens of minutes; shape criteria are not expected to hold at that scale).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.data import (
+    generate_dataset,
+    jd_appliances_config,
+    jd_computers_config,
+    prepare_dataset,
+    trivago_config,
+)
+from repro.eval import ExperimentConfig, ExperimentRunner
+from repro.utils import render_table
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+SCALE = {
+    "sessions": {"Appliances": 700, "Computers": 700, "Trivago": 600} if FAST
+    else {"Appliances": 5000, "Computers": 5000, "Trivago": 4000},
+    "epochs": 3 if FAST else 14,
+    "patience": 2 if FAST else 5,
+    "dim": 16 if FAST else 32,
+    "lr": 0.005,
+    "seed": 0,
+}
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_GENERATORS = {
+    "Appliances": (jd_appliances_config, 3),
+    "Computers": (jd_computers_config, 3),
+    "Trivago": (trivago_config, 2),
+}
+
+
+def _build_dataset(name: str):
+    config_fn, min_support = _GENERATORS[name]
+    cfg = config_fn()
+    sessions = generate_dataset(cfg, SCALE["sessions"][name], seed=SCALE["seed"])
+    return prepare_dataset(
+        sessions, cfg.operations, name=name, min_support=min_support,
+        seed=SCALE["seed"],
+    ), cfg
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All three prepared datasets plus their generator configs."""
+    return {name: _build_dataset(name) for name in _GENERATORS}
+
+
+@pytest.fixture(scope="session")
+def runners(datasets):
+    """One cached ExperimentRunner per dataset."""
+    out = {}
+    for name, (dataset, _cfg) in datasets.items():
+        out[name] = ExperimentRunner(
+            dataset,
+            ExperimentConfig(
+                dim=SCALE["dim"],
+                epochs=SCALE["epochs"],
+                lr=SCALE["lr"],
+                patience=SCALE["patience"],
+                seed=SCALE["seed"],
+            ),
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a measured-vs-paper table and persist it as JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(experiment: str, dataset: str, measured: dict, paper: dict, metrics: list[str]):
+        headers = ["model"] + [f"{m} (ours)" for m in metrics] + [f"{m} (paper)" for m in metrics]
+        rows = []
+        for model in measured:
+            row = [model]
+            row += [measured[model].get(m, float("nan")) for m in metrics]
+            row += [paper.get(model, {}).get(m, float("nan")) for m in metrics]
+            rows.append(row)
+        print(f"\n=== {experiment} — {dataset} (ours vs. paper) ===")
+        print(render_table(headers, rows))
+        path = RESULTS_DIR / f"{experiment.lower().replace(' ', '_')}_{dataset.lower()}.json"
+        path.write_text(json.dumps({"measured": measured, "paper": paper}, indent=2))
+
+    return _report

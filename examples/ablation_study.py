@@ -1,0 +1,42 @@
+"""Ablation study: which micro-behavior pattern matters? (Table IV)
+
+Trains the full EMBSR against its three ablations:
+
+* EMBSR-NS — sequential patterns only (no operation-aware attention)
+* EMBSR-NG — dyadic relational patterns only (no GNN layer)
+* EMBSR-NF — both patterns, but concat+MLP instead of the fusion gate
+
+Run:  python examples/ablation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.eval import ExperimentConfig, ExperimentRunner
+from repro.utils import render_table
+
+
+def main() -> None:
+    gen_config = jd_appliances_config()
+    sessions = generate_dataset(gen_config, num_sessions=3500, seed=13)
+    dataset = prepare_dataset(
+        sessions, gen_config.operations, name="jd-appliances", min_support=3
+    )
+
+    runner = ExperimentRunner(dataset, ExperimentConfig(dim=32, epochs=12, lr=0.005, seed=4))
+    names = ["EMBSR-NS", "EMBSR-NG", "EMBSR-NF", "EMBSR"]
+    for name in names:
+        runner.run(name, verbose=True)
+
+    metrics = ("H@10", "H@20", "M@10", "M@20")
+    rows = [[name] + [runner.results[name].metrics[m] for m in metrics] for name in names]
+    print()
+    print(render_table(["variant"] + list(metrics), rows))
+    print(
+        "\nExpected shape (paper Table IV): the full model leads overall; "
+        "single-pattern variants (NS, NG) trail it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""EMBSR reproduction: Micro-Behavior Encoding for Session-based Recommendation.
+
+Reproduces Yuan et al., ICDE 2022 — the EMBSR model, its eleven baselines,
+the datasets' preprocessing pipeline, and the full evaluation harness — on a
+from-scratch NumPy autograd stack (no PyTorch required).
+
+Subpackages
+-----------
+``repro.autograd``
+    Reverse-mode automatic differentiation over NumPy arrays.
+``repro.nn``
+    Neural-network module library (Linear, Embedding, GRU, ...).
+``repro.data``
+    Micro-behavior session schema, synthetic dataset generators,
+    preprocessing, and batching.
+``repro.graphs``
+    Session-to-multigraph conversion with star nodes; batched graph arrays.
+``repro.core``
+    The EMBSR model and its ablation variants.
+``repro.baselines``
+    S-POP, SKNN, NARM, STAMP, SR-GNN, GC-SAN, BERT4Rec, SGNN-HN, RIB, HUP,
+    MKM-SR.
+``repro.eval``
+    HR@K / MRR@K metrics, trainer, evaluator, experiment runner,
+    significance testing.
+"""
+
+__version__ = "1.0.0"

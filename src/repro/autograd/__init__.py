@@ -1,0 +1,32 @@
+"""Reverse-mode autodiff engine over NumPy (PyTorch substitute).
+
+Public surface:
+
+- :class:`Tensor` — array with gradient tracking
+- :func:`no_grad` — disable graph construction
+- :func:`concat`, :func:`stack`, :func:`where`, :func:`maximum` — multi-input ops
+- :func:`check_gradients` — finite-difference verification
+"""
+
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import (
+    Tensor,
+    concat,
+    is_grad_enabled,
+    maximum,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,633 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the computational substrate for every neural model in the
+repository (the paper's reference implementation uses PyTorch; this engine
+replaces it — see DESIGN.md, section 2).
+
+The design follows the classic tape-free approach: each :class:`Tensor`
+records its parents and a closure that accumulates gradients into them.
+Calling :meth:`Tensor.backward` runs a topological sort and replays the
+closures in reverse order.
+
+Only the operations the models need are implemented, but each supports full
+NumPy broadcasting, and every backward rule is verified against central
+finite differences in ``tests/autograd``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (like torch.no_grad)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded for differentiation."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A NumPy array with an attached gradient and differentiation graph.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data: np.ndarray = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[["Tensor"], None] | None,
+    ) -> "Tensor":
+        """Create a result tensor, wiring the graph only when grads are on."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.shape:
+                raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.shape}")
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+                # Free intermediate graph state once consumed; keeps memory
+                # bounded across long training loops.
+                node._backward = None
+                node._parents = ()
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other.data
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out = Tensor._make(-self.data, (self,), backward)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data - other.data
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-out.grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other.data
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other.data
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            if other.requires_grad:
+                grad = -out.grad * self.data / (other.data**2)
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(np.log(self.data), (self,), backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * 0.5 / out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out_data**2))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, None))),
+            np.exp(np.clip(self.data, None, 500))
+            / (1.0 + np.exp(np.clip(self.data, None, 500))),
+        )
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out = Tensor._make(self.data * mask, (self,), backward)
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * sign)
+
+        out = Tensor._make(np.abs(self.data), (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = np.matmul(self.data, other.data)
+
+        def backward() -> None:
+            grad = out.grad
+            a, b = self.data, other.data
+            if self.requires_grad:
+                if b.ndim == 1:
+                    # (..., n) @ (n,) -> (...,): grad_a = grad[..., None] * b
+                    grad_a = grad[..., None] * b
+                elif a.ndim == 1:
+                    # (n,) @ (n, m) -> (m,): grad_a = grad @ b.T
+                    grad_a = np.matmul(grad, np.swapaxes(b, -1, -2))
+                    grad_a = _unbroadcast(grad_a, a.shape)
+                else:
+                    grad_a = np.matmul(grad, np.swapaxes(b, -1, -2))
+                    grad_a = _unbroadcast(grad_a, a.shape)
+                self._accumulate(grad_a)
+            if other.requires_grad:
+                if b.ndim == 1:
+                    # grad_b = sum over batch of a^T grad
+                    grad_b = (a * grad[..., None]).reshape(-1, a.shape[-1]).sum(axis=0)
+                elif a.ndim == 1:
+                    grad_b = np.outer(a, grad)
+                else:
+                    grad_b = np.matmul(np.swapaxes(a, -1, -2), grad)
+                    grad_b = _unbroadcast(grad_b, b.shape)
+                other._accumulate(grad_b)
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is None:
+                grad = np.broadcast_to(grad, self.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                grad = np.broadcast_to(grad, self.shape)
+            self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = self.data == expanded
+            # Split gradient evenly among ties, matching finite differences.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(grad * mask / counts)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(original))
+
+        out = Tensor._make(self.data.reshape(shape), (self,), backward)
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out = Tensor._make(self.data.transpose(axes), (self,), backward)
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(np.squeeze(out.grad, axis=axis))
+
+        out = Tensor._make(np.expand_dims(self.data, axis), (self,), backward)
+        return out
+
+    def squeeze(self, axis: int) -> "Tensor":
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(np.expand_dims(out.grad, axis))
+
+        out = Tensor._make(np.squeeze(self.data, axis=axis), (self,), backward)
+        return out
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        original = self.shape
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, original))
+
+        out = Tensor._make(np.broadcast_to(self.data, shape).copy(), (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Indexing (slicing and integer-array gather)
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out = Tensor._make(np.array(out_data, copy=True), (self,), backward)
+        return out
+
+    def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
+        """Gather along ``axis`` (used for embedding lookups when axis=0)."""
+        indices = np.asarray(indices)
+        out_data = np.take(self.data, indices, axis=axis)
+
+        def backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                if axis == 0:
+                    np.add.at(grad, indices, out.grad)
+                else:
+                    moved = np.moveaxis(grad, axis, 0)
+                    np.add.at(moved, indices, np.moveaxis(out.grad, axis, 0))
+                self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Composite helpers
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+    def l2_normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
+        norm = ((self * self).sum(axis=axis, keepdims=True) + eps).sqrt()
+        return self / norm
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward() -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(out.grad[tuple(slicer)])
+
+    out = Tensor._make(out_data, tensors, backward)
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward() -> None:
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(np.take(out.grad, i, axis=axis))
+
+    out = Tensor._make(out_data, tensors, backward)
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection; ``condition`` is a constant boolean array."""
+    condition = np.asarray(condition, dtype=bool)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward() -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * condition, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * ~condition, b.shape))
+
+    out = Tensor._make(out_data, (a, b), backward)
+    return out
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable elementwise maximum (gradient split evenly on ties)."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    a_wins = a.data > b.data
+    tie = a.data == b.data
+
+    b_wins = ~a_wins & ~tie
+
+    def backward() -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * (a_wins + 0.5 * tie), a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * (b_wins + 0.5 * tie), b.shape))
+
+    out = Tensor._make(out_data, (a, b), backward)
+    return out

@@ -1,0 +1,36 @@
+"""All eleven baselines from the paper's Table III.
+
+Macro-behavior models (item sequence only): S-POP, SKNN, NARM, STAMP,
+SR-GNN, GC-SAN, BERT4Rec, SGNN-HN. Micro-behavior models (items +
+operations): RIB, HUP, MKM-SR.
+"""
+
+from .bert4rec import BERT4Rec
+from .common import SessionGGNN, SoftAttentionReadout, last_position_rep
+from .gcsan import GCSAN
+from .hup import HUP
+from .mkm_sr import MKMSR
+from .narm import NARM
+from .rib import RIB
+from .sgnn_hn import SGNNHN
+from .sknn import SKNN
+from .spop import SPop
+from .srgnn import SRGNN
+from .stamp import STAMP
+
+__all__ = [
+    "SPop",
+    "SKNN",
+    "NARM",
+    "STAMP",
+    "SRGNN",
+    "GCSAN",
+    "BERT4Rec",
+    "SGNNHN",
+    "RIB",
+    "HUP",
+    "MKMSR",
+    "SessionGGNN",
+    "SoftAttentionReadout",
+    "last_position_rep",
+]

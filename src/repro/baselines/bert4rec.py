@@ -1,0 +1,63 @@
+"""BERT4Rec (Sun et al., 2019), next-item inference form.
+
+A bidirectional transformer over item + position embeddings. For the SR
+task we append a [MASK] token after the session and predict the item at
+that position — the same inference procedure the original uses, trained
+here directly on the next-item objective (the paper's evaluation protocol
+also trains all baselines on last-item prediction for fairness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concat
+from ..data.dataset import SessionBatch
+from ..nn import Dropout, Embedding, LayerNorm, Module, ModuleList, TransformerBlock
+
+__all__ = ["BERT4Rec"]
+
+
+class BERT4Rec(Module):
+    """Macro-behavior baseline: bidirectional self-attention."""
+
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 32,
+        num_blocks: int = 2,
+        num_heads: int = 2,
+        max_len: int = 64,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        # Item table has an extra row at the end for the [MASK] token.
+        self.item_embedding = Embedding(num_items + 2, dim, rng=rng, padding_idx=0)
+        self.positions = Embedding(max_len, dim, rng=rng)
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, num_heads, dropout, rng=rng) for _ in range(num_blocks)]
+        )
+        self.norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.mask_id = num_items + 1
+        self.num_items = num_items
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        B, n = batch.items.shape
+        lengths = batch.macro_lengths()
+        # Insert the [MASK] token right after each session's last item.
+        items = np.concatenate([batch.items, np.zeros((B, 1), dtype=np.int64)], axis=1)
+        mask = np.concatenate([batch.item_mask, np.zeros((B, 1))], axis=1)
+        items[np.arange(B), lengths] = self.mask_id
+        mask[np.arange(B), lengths] = 1.0
+
+        x = self.item_embedding(items) + self.positions(
+            np.broadcast_to(np.arange(n + 1), (B, n + 1))
+        )
+        x = self.dropout(self.norm(x))
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        session = x[np.arange(B), lengths, :]  # output at the [MASK] slot
+        return session @ self.item_embedding.weight[1 : self.num_items + 1].T

@@ -1,0 +1,56 @@
+"""GC-SAN (Xu et al., 2019): graph-contextualized self-attention.
+
+A GGNN produces local node states; stacked self-attention blocks capture
+global dependencies; the session embedding interpolates the last position's
+attention output with its GGNN state (weight ``omega``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.dataset import SessionBatch
+from ..graphs import BatchGraph
+from ..nn import Dropout, Embedding, Module, ModuleList, TransformerBlock
+from .common import SessionGGNN, last_position_rep
+
+__all__ = ["GCSAN"]
+
+
+class GCSAN(Module):
+    """Macro-behavior baseline: GGNN + self-attention stack."""
+
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 32,
+        num_blocks: int = 1,
+        num_heads: int = 2,
+        omega: float = 0.5,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.item_embedding = Embedding(num_items + 1, dim, rng=rng, padding_idx=0)
+        self.ggnn = SessionGGNN(dim, rng=rng)
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, num_heads, dropout, rng=rng) for _ in range(num_blocks)]
+        )
+        self.omega = omega
+        self.dropout = Dropout(dropout, rng=rng)
+        self.num_items = num_items
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        graph = graph or BatchGraph.from_batch(batch)
+        nodes = self.dropout(self.item_embedding(graph.node_items))
+        h = self.ggnn(nodes, graph)
+        seq = Tensor(graph.gather) @ h
+        attended = seq
+        for block in self.blocks:
+            attended = block(attended, mask=batch.item_mask)
+        e_last = last_position_rep(attended, batch.item_mask)
+        h_last = last_position_rep(seq, batch.item_mask)
+        session = e_last * self.omega + h_last * (1.0 - self.omega)
+        return session @ self.item_embedding.weight[1:].T

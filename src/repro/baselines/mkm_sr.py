@@ -1,0 +1,53 @@
+"""MKM-SR (Meng et al., 2020), knowledge-free variant.
+
+Items go through a gated GNN over the session graph; the flat operation
+sequence goes through a GRU; the session representation concatenates the
+GNN soft-attention readout with the operation-GRU state. This is exactly
+the variant the paper compares against (the knowledge-graph auxiliary task
+is dropped there too, Sec. V-A2).
+
+The model's documented limitation — ops and items are encoded *separately*
+and only fused at the end — is what EMBSR's multigraph propagation fixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concat
+from ..data.dataset import SessionBatch
+from ..graphs import BatchGraph
+from ..nn import GRU, Dropout, Embedding, Linear, Module
+from .common import SessionGGNN, SoftAttentionReadout, last_position_rep
+
+__all__ = ["MKMSR"]
+
+
+class MKMSR(Module):
+    """Micro-behavior baseline: GGNN for items + GRU for operations."""
+
+    def __init__(self, num_items: int, num_ops: int, dim: int = 32, dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.item_embedding = Embedding(num_items + 1, dim, rng=rng, padding_idx=0)
+        self.op_embedding = Embedding(num_ops + 1, dim, rng=rng, padding_idx=0)
+        self.ggnn = SessionGGNN(dim, rng=rng)
+        self.op_gru = GRU(dim, dim, rng=rng)
+        self.readout = SoftAttentionReadout(dim, concat_last=True, rng=rng)
+        self.combine = Linear(2 * dim, dim, bias=False, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.num_items = num_items
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        graph = graph or BatchGraph.from_batch(batch)
+        nodes = self.dropout(self.item_embedding(graph.node_items))
+        h = self.ggnn(nodes, graph)
+        seq = Tensor(graph.gather) @ h
+        last = last_position_rep(seq, batch.item_mask)
+        item_rep = self.readout(seq, last, batch.item_mask)
+
+        ops = self.dropout(self.op_embedding(batch.micro_ops))
+        _, op_rep = self.op_gru(ops, mask=batch.micro_mask)
+
+        session = self.combine(concat([item_rep, op_rep], axis=1))
+        return session @ self.item_embedding.weight[1:].T

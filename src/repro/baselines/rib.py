@@ -1,0 +1,43 @@
+"""RIB (Zhou et al., 2018): the first micro-behavior SR model.
+
+Embeds each micro-behavior as item-embedding + operation-embedding, runs a
+GRU over the flat micro sequence, and pools the hidden states with a simple
+attention layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.dataset import SessionBatch
+from ..nn import GRU, Dropout, Embedding, Linear, Module
+from ..nn.init import scaled_uniform
+from ..nn.module import Parameter
+
+__all__ = ["RIB"]
+
+
+class RIB(Module):
+    """Micro-behavior baseline: GRU + attention over (item, op) tuples."""
+
+    def __init__(self, num_items: int, num_ops: int, dim: int = 32, dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.item_embedding = Embedding(num_items + 1, dim, rng=rng, padding_idx=0)
+        self.op_embedding = Embedding(num_ops + 1, dim, rng=rng, padding_idx=0)
+        self.gru = GRU(dim, dim, rng=rng)
+        self.att = Linear(dim, dim, rng=rng)
+        self.q = Parameter(scaled_uniform(rng, (dim,), dim))
+        self.dropout = Dropout(dropout, rng=rng)
+        self.num_items = num_items
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        x = self.item_embedding(batch.micro_items) + self.op_embedding(batch.micro_ops)
+        x = self.dropout(x)
+        outputs, _ = self.gru(x, mask=batch.micro_mask)
+        energy = self.att(outputs).tanh() @ self.q  # [B, t]
+        bias = Tensor(np.where(batch.micro_mask > 0, 0.0, -1e9))
+        alpha = (energy + bias).softmax(axis=1)
+        session = (alpha.unsqueeze(2) * outputs).sum(axis=1)
+        return session @ self.item_embedding.weight[1:].T

@@ -1,0 +1,69 @@
+"""SGNN-HN (Pan et al., 2020): star graph neural network + highway network.
+
+The strongest macro-behavior baseline in the paper. Reuses EMBSR's
+:class:`StarMultigraphGNN` with the micro-operation input zeroed (which
+recovers plain SGNN propagation), a soft-attention readout with the star
+state, and NISER-style normalized scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concat
+from ..core.fusion import ScorePredictor
+from ..core.gnn import StarMultigraphGNN
+from ..data.dataset import SessionBatch
+from ..graphs import BatchGraph
+from ..nn import Dropout, Embedding, Linear, Module
+from ..nn.init import scaled_uniform
+from ..nn.module import Parameter
+from .common import last_position_rep
+
+__all__ = ["SGNNHN"]
+
+
+class SGNNHN(Module):
+    """Macro-behavior baseline: star GNN with highway networks."""
+
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 32,
+        num_layers: int = 1,
+        w_k: float = 12.0,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.item_embedding = Embedding(num_items + 1, dim, rng=rng, padding_idx=0)
+        self.gnn = StarMultigraphGNN(dim, num_layers=num_layers, rng=rng)
+        self.w1 = Linear(dim, dim, rng=rng)
+        self.w2 = Linear(dim, dim, bias=False, rng=rng)
+        self.w3 = Linear(dim, dim, bias=False, rng=rng)
+        self.q = Parameter(scaled_uniform(rng, (dim,), dim))
+        self.w4 = Linear(2 * dim, dim, bias=False, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.predictor = ScorePredictor(w_k=w_k)
+        self.dim = dim
+        self.num_items = num_items
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        graph = graph or BatchGraph.from_batch(batch)
+        nodes0 = self.dropout(self.item_embedding(graph.node_items))
+        mask = Tensor(graph.node_mask[..., None])
+        counts = Tensor(np.maximum(graph.node_mask.sum(axis=1, keepdims=True), 1.0))
+        star0 = (nodes0 * mask).sum(axis=1) / counts
+        zeros = Tensor(np.zeros((batch.batch_size, batch.max_macro_len, self.dim)))
+        h_f, star = self.gnn(nodes0, star0, zeros, graph)
+
+        seq = Tensor(graph.gather) @ h_f
+        last = last_position_rep(seq, batch.item_mask)
+        energy = (
+            self.w1(last).unsqueeze(1) + self.w2(seq) + self.w3(star).unsqueeze(1)
+        ).sigmoid() @ self.q
+        alpha = energy * Tensor(batch.item_mask)
+        pooled = (alpha.unsqueeze(2) * seq).sum(axis=1)
+        session = self.w4(concat([pooled, last], axis=1))
+        return self.predictor(session, self.item_embedding.weight)

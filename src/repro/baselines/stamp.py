@@ -1,0 +1,56 @@
+"""STAMP: Short-Term Attention/Memory Priority model (Liu et al., 2018).
+
+Attention over item embeddings conditioned on both the last click and the
+session mean; two MLP "cells" produce the general-interest and
+current-interest vectors whose element-wise product scores candidates via
+a trilinear composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.dataset import SessionBatch
+from ..nn import Dropout, Embedding, Linear, Module
+from ..nn.init import scaled_uniform
+from ..nn.module import Parameter
+from .common import last_position_rep
+
+__all__ = ["STAMP"]
+
+
+class STAMP(Module):
+    """Macro-behavior baseline: attention with last-click priority."""
+
+    def __init__(self, num_items: int, dim: int = 32, dropout: float = 0.1, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.item_embedding = Embedding(num_items + 1, dim, rng=rng, padding_idx=0)
+        self.w1 = Linear(dim, dim, bias=False, rng=rng)
+        self.w2 = Linear(dim, dim, bias=False, rng=rng)
+        self.w3 = Linear(dim, dim, bias=False, rng=rng)
+        self.b_a = Parameter(np.zeros(dim))
+        self.w0 = Parameter(scaled_uniform(rng, (dim,), dim))
+        self.mlp_s = Linear(dim, dim, rng=rng)
+        self.mlp_t = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.num_items = num_items
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        x = self.dropout(self.item_embedding(batch.items))  # [B, n, d]
+        mask = Tensor(batch.item_mask[..., None])
+        counts = Tensor(np.maximum(batch.item_mask.sum(axis=1, keepdims=True), 1.0))
+        m_s = (x * mask).sum(axis=1) / counts  # session mean memory
+        x_t = last_position_rep(x, batch.item_mask)  # last click
+
+        energy = (
+            self.w1(x) + self.w2(x_t).unsqueeze(1) + self.w3(m_s).unsqueeze(1) + self.b_a
+        ).sigmoid() @ self.w0  # [B, n]
+        alpha = energy * Tensor(batch.item_mask)
+        m_a = (alpha.unsqueeze(2) * x).sum(axis=1)
+
+        h_s = self.mlp_s(m_a).tanh()
+        h_t = self.mlp_t(x_t).tanh()
+        session = h_s * h_t  # trilinear composition
+        return session @ self.item_embedding.weight[1:].T

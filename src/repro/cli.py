@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Usage (after ``python setup.py develop``):
+
+.. code-block:: bash
+
+    python -m repro.cli generate --config jd-appliances --sessions 2000 --out sessions.jsonl
+    python -m repro.cli prepare  --config jd-appliances --input sessions.jsonl --out dataset.json
+    python -m repro.cli train    --dataset dataset.json --model EMBSR --epochs 8 --checkpoint embsr.npz
+    python -m repro.cli evaluate --dataset dataset.json --model EMBSR --checkpoint embsr.npz
+    python -m repro.cli compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR
+
+The ``compare`` command reproduces a slice of the paper's Table III for any
+subset of the twelve systems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .data import (
+    generate_dataset,
+    jd_appliances_config,
+    jd_computers_config,
+    load_prepared_dataset,
+    load_sessions_jsonl,
+    prepare_dataset,
+    save_prepared_dataset,
+    save_sessions_jsonl,
+    trivago_config,
+)
+from .eval import ExperimentConfig, ExperimentRunner, improvement_table
+from .utils import render_table
+
+__all__ = ["main"]
+
+_CONFIGS = {
+    "jd-appliances": (jd_appliances_config, 3),
+    "jd-computers": (jd_computers_config, 3),
+    "trivago": (trivago_config, 2),
+}
+
+_METRICS = ("H@5", "H@10", "H@20", "M@5", "M@10", "M@20")
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate synthetic micro-behavior sessions")
+    p.add_argument("--config", choices=sorted(_CONFIGS), required=True)
+    p.add_argument("--sessions", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output JSONL path")
+
+
+def _add_prepare(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("prepare", help="preprocess raw sessions into train/val/test")
+    p.add_argument("--config", choices=sorted(_CONFIGS), required=True)
+    p.add_argument("--input", required=True, help="sessions JSONL path")
+    p.add_argument("--out", required=True, help="prepared dataset JSON path")
+    p.add_argument("--min-support", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_train(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("train", help="train one system and save a checkpoint")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", default="EMBSR")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--lr", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None, help="save parameters here (.npz)")
+
+
+def _add_evaluate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("evaluate", help="evaluate a trained checkpoint")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", default="EMBSR")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", required=True)
+
+
+def _add_compare(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("compare", help="train several systems, print a Table-III slice")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--models", nargs="+", default=["SGNN-HN", "MKM-SR", "EMBSR"])
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--lr", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_prepare(sub)
+    _add_train(sub)
+    _add_evaluate(sub)
+    _add_compare(sub)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    config_fn, _ = _CONFIGS[args.config]
+    sessions = generate_dataset(config_fn(), args.sessions, seed=args.seed)
+    save_sessions_jsonl(sessions, args.out)
+    print(f"wrote {len(sessions)} sessions to {args.out}")
+    return 0
+
+
+def _cmd_prepare(args) -> int:
+    config_fn, default_support = _CONFIGS[args.config]
+    cfg = config_fn()
+    sessions = load_sessions_jsonl(args.input)
+    dataset = prepare_dataset(
+        sessions,
+        cfg.operations,
+        name=args.config,
+        min_support=args.min_support or default_support,
+        seed=args.seed,
+    )
+    save_prepared_dataset(dataset, args.out)
+    print(
+        f"prepared {dataset.name}: {len(dataset.train)} train / "
+        f"{len(dataset.validation)} val / {len(dataset.test)} test, "
+        f"{dataset.num_items} items -> {args.out}"
+    )
+    return 0
+
+
+def _runner(args, epochs: int | None = None) -> ExperimentRunner:
+    dataset = load_prepared_dataset(args.dataset)
+    config = ExperimentConfig(
+        dim=args.dim,
+        epochs=epochs if epochs is not None else getattr(args, "epochs", 10),
+        lr=getattr(args, "lr", 0.005),
+        seed=args.seed,
+    )
+    return ExperimentRunner(dataset, config)
+
+
+def _cmd_train(args) -> int:
+    from .eval.trainer import NeuralRecommender
+    from .nn import save_checkpoint
+
+    runner = _runner(args)
+    result = runner.run(args.model, verbose=True)
+    pretty = ", ".join(f"{k}={v:.2f}" for k, v in result.metrics.items())
+    print(f"{args.model} test metrics: {pretty}")
+    if args.checkpoint:
+        recommender = result.recommender
+        if not isinstance(recommender, NeuralRecommender):
+            print(f"{args.model} has no parameters to checkpoint", file=sys.stderr)
+            return 1
+        save_checkpoint(recommender.model, args.checkpoint)
+        print(f"checkpoint saved to {args.checkpoint}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .eval.metrics import evaluate_scores
+    from .eval.trainer import NeuralRecommender
+    from .nn import load_checkpoint
+
+    runner = _runner(args, epochs=0)
+    recommender = runner.build(args.model)
+    if not isinstance(recommender, NeuralRecommender):
+        print(f"{args.model} is not a neural model", file=sys.stderr)
+        return 1
+    # Build the architecture without training, then load the checkpoint.
+    from .eval.trainer import Trainer
+
+    model = recommender._factory(runner.dataset)
+    load_checkpoint(model, args.checkpoint)
+    trainer = Trainer(model, recommender.train_config)
+    scores, targets = trainer.predict(runner.dataset.test)
+    metrics = evaluate_scores(scores, targets)
+    print(render_table(["metric", "value (%)"], sorted(metrics.items())))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runner = _runner(args)
+    for name in args.models:
+        runner.run(name, verbose=True)
+    measured = {name: runner.results[name].metrics for name in args.models}
+    rows = [[name] + [measured[name][m] for m in _METRICS] for name in args.models]
+    print(render_table(["model"] + list(_METRICS), rows))
+    if "EMBSR" in measured and len(measured) > 1:
+        imp = improvement_table(measured, "EMBSR")
+        print("\nEMBSR improvement over best competitor (%):")
+        print(render_table(["metric", "Imp."], sorted(imp.items())))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "prepare": _cmd_prepare,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv`` (or sys.argv) and dispatch a subcommand."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

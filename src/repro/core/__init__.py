@@ -1,0 +1,54 @@
+"""EMBSR core: the paper's primary contribution and its ablation variants."""
+
+from .attention import OperationAwareSelfAttention, relation_ids
+from .embsr import EMBSR, EMBSRConfig
+from .extensions import (
+    OperationImportance,
+    WeightedOpEMBSR,
+    build_embsr_weighted_ops,
+    filter_operations,
+)
+from .fusion import ConcatMLP, FixedBeta, FusionGate, ScorePredictor
+from .gnn import StarMultigraphGNN
+from .op_encoder import MicroOpEncoder
+from .variants import (
+    VARIANT_BUILDERS,
+    build_embsr,
+    build_embsr_nf,
+    build_embsr_ng,
+    build_embsr_ns,
+    build_fixed_beta,
+    build_rnn_self,
+    build_sgnn_abs_self,
+    build_sgnn_dyadic,
+    build_sgnn_self,
+    build_sgnn_seq_self,
+)
+
+__all__ = [
+    "EMBSR",
+    "EMBSRConfig",
+    "MicroOpEncoder",
+    "StarMultigraphGNN",
+    "OperationAwareSelfAttention",
+    "relation_ids",
+    "FusionGate",
+    "FixedBeta",
+    "ConcatMLP",
+    "ScorePredictor",
+    "VARIANT_BUILDERS",
+    "build_embsr",
+    "build_embsr_ns",
+    "build_embsr_ng",
+    "build_embsr_nf",
+    "build_sgnn_self",
+    "build_sgnn_seq_self",
+    "build_rnn_self",
+    "build_sgnn_abs_self",
+    "build_sgnn_dyadic",
+    "build_fixed_beta",
+    "OperationImportance",
+    "WeightedOpEMBSR",
+    "build_embsr_weighted_ops",
+    "filter_operations",
+]

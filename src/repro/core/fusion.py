@@ -1,0 +1,86 @@
+"""Session representation fusion and prediction (paper Sec. IV-D).
+
+``FusionGate`` implements Eq. 18 — a learned gate between the global
+preference ``z_s`` and the recent interest ``x_t``. ``FixedBeta`` replaces
+the gate with a constant β (the Fig. 6 sweep), and ``ConcatMLP`` is the
+EMBSR-NF ablation. ``ScorePredictor`` implements the L2-normalized scaled
+dot-product scoring of Eq. 19 (NISER-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concat
+from ..nn import Linear, Module
+
+__all__ = ["FusionGate", "FixedBeta", "ConcatMLP", "ScorePredictor"]
+
+
+class FusionGate(Module):
+    """Eq. 18: ``m = beta * z_s + (1 - beta) * x_t`` with a learned gate."""
+
+    def __init__(self, dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.gate = Linear(2 * dim, dim, rng=rng)
+
+    def forward(self, z_s: Tensor, x_t: Tensor) -> Tensor:
+        beta = self.gate(concat([z_s, x_t], axis=1)).sigmoid()
+        return beta * z_s + (1.0 - beta) * x_t
+
+
+class FixedBeta(Module):
+    """Fig. 6 ablation: constant fusion weight ``beta``."""
+
+    def __init__(self, beta: float):
+        super().__init__()
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self.beta = beta
+
+    def forward(self, z_s: Tensor, x_t: Tensor) -> Tensor:
+        return z_s * self.beta + x_t * (1.0 - self.beta)
+
+
+class ConcatMLP(Module):
+    """EMBSR-NF ablation: concatenate and project with an MLP."""
+
+    def __init__(self, dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.fc1 = Linear(2 * dim, dim, rng=rng)
+        self.fc2 = Linear(dim, dim, rng=rng)
+
+    def forward(self, z_s: Tensor, x_t: Tensor) -> Tensor:
+        return self.fc2(self.fc1(concat([z_s, x_t], axis=1)).relu())
+
+
+class ScorePredictor(Module):
+    """Eq. 19: scores over all items via weighted-normalized dot products.
+
+    ``y_i ∝ w_k * L2Norm(m) . L2Norm(v_i)`` — the softmax itself lives in
+    the cross-entropy loss. The normalization (NISER / SGNN-HN style) makes
+    training insensitive to embedding-norm drift and popularity bias.
+    """
+
+    def __init__(self, w_k: float = 12.0):
+        super().__init__()
+        self.w_k = w_k
+
+    def forward(self, m: Tensor, item_embeddings: Tensor) -> Tensor:
+        """Score every real item.
+
+        Parameters
+        ----------
+        m:
+            [B, d] session representations.
+        item_embeddings:
+            [num_ids, d] full table ``M^V`` (row 0 = padding, excluded).
+
+        Returns
+        -------
+        Tensor
+            [B, num_items] logits, class ``i`` scoring item id ``i + 1``.
+        """
+        m_hat = m.l2_normalize(axis=-1) * self.w_k
+        v_hat = item_embeddings[1:].l2_normalize(axis=-1)
+        return m_hat @ v_hat.T

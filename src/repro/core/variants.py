@@ -1,0 +1,172 @@
+"""Factory functions for every EMBSR variant the paper evaluates.
+
+================  ==============================================  ==========
+Variant           Description                                      Paper ref
+================  ==============================================  ==========
+EMBSR             full model                                       Sec. IV
+EMBSR-NS          no operation-aware self-attention                Table IV
+EMBSR-NG          no GNN layer (incl. the micro-op GRU)            Table IV
+EMBSR-NF          concat+MLP instead of the fusion gate            Table IV
+SGNN-Self         star GNN + plain self-attention, no micro info   Fig. 4
+SGNN-Seq-Self     + sequential micro-op GRU in the GNN             Fig. 4
+RNN-Self          RNN over item+op embeddings + plain attention    Fig. 4
+SGNN-Abs-Self     absolute op embeddings in plain attention        Fig. 5
+SGNN-Dyadic       dyadic attention without the micro-op GRU        Fig. 5
+FixedBeta(b)      constant fusion weight                           Fig. 6
+================  ==============================================  ==========
+"""
+
+from __future__ import annotations
+
+from .embsr import EMBSR, EMBSRConfig
+
+__all__ = [
+    "build_embsr",
+    "build_embsr_ns",
+    "build_embsr_ng",
+    "build_embsr_nf",
+    "build_sgnn_self",
+    "build_sgnn_seq_self",
+    "build_rnn_self",
+    "build_sgnn_abs_self",
+    "build_sgnn_dyadic",
+    "build_fixed_beta",
+    "VARIANT_BUILDERS",
+]
+
+
+def build_embsr(config: EMBSRConfig) -> EMBSR:
+    """Full EMBSR (both micro-behavior patterns + fusion gate)."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=True,
+            attention="dyadic",
+            attention_level="micro",
+            fusion="gate",
+        )
+    )
+
+
+def build_embsr_ns(config: EMBSRConfig) -> EMBSR:
+    """EMBSR-NS: drop the operation-aware self-attention layer."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn", use_op_gru=True, attention="none", fusion="gate"
+        )
+    )
+
+
+def build_embsr_ng(config: EMBSRConfig) -> EMBSR:
+    """EMBSR-NG: drop the entire GNN layer (incl. the micro-op GRU)."""
+    return EMBSR(
+        config.variant(
+            encoder="none",
+            attention="dyadic",
+            attention_level="micro",
+            fusion="gate",
+        )
+    )
+
+
+def build_embsr_nf(config: EMBSRConfig) -> EMBSR:
+    """EMBSR-NF: concatenation + MLP instead of the fusion gate."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=True,
+            attention="dyadic",
+            attention_level="micro",
+            fusion="concat",
+        )
+    )
+
+
+def build_sgnn_self(config: EMBSRConfig) -> EMBSR:
+    """SGNN-Self: macro items only — star GNN + standard self-attention."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=False,
+            attention="plain",
+            attention_level="macro",
+            fusion="gate",
+        )
+    )
+
+
+def build_sgnn_seq_self(config: EMBSRConfig) -> EMBSR:
+    """SGNN-Seq-Self: SGNN-Self + sequential micro-op encoding in the GNN."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=True,
+            attention="plain",
+            attention_level="macro",
+            fusion="gate",
+        )
+    )
+
+
+def build_rnn_self(config: EMBSRConfig) -> EMBSR:
+    """RNN-Self: GRU over concatenated item+op embeddings, plain attention."""
+    return EMBSR(
+        config.variant(
+            encoder="rnn",
+            attention="plain",
+            attention_level="micro",
+            fusion="gate",
+        )
+    )
+
+
+def build_sgnn_abs_self(config: EMBSRConfig) -> EMBSR:
+    """SGNN-Abs-Self: absolute operation embeddings, standard attention."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=False,
+            attention="absolute",
+            attention_level="micro",
+            fusion="gate",
+        )
+    )
+
+
+def build_sgnn_dyadic(config: EMBSRConfig) -> EMBSR:
+    """SGNN-Dyadic: dyadic relational encoding without the micro-op GRU."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=False,
+            attention="dyadic",
+            attention_level="micro",
+            fusion="gate",
+        )
+    )
+
+
+def build_fixed_beta(config: EMBSRConfig, beta: float) -> EMBSR:
+    """EMBSR with a constant fusion weight (Fig. 6 sweep)."""
+    return EMBSR(
+        config.variant(
+            encoder="star_gnn",
+            use_op_gru=True,
+            attention="dyadic",
+            attention_level="micro",
+            fusion=f"fixed:{beta}",
+        )
+    )
+
+
+VARIANT_BUILDERS = {
+    "EMBSR": build_embsr,
+    "EMBSR-NS": build_embsr_ns,
+    "EMBSR-NG": build_embsr_ng,
+    "EMBSR-NF": build_embsr_nf,
+    "SGNN-Self": build_sgnn_self,
+    "SGNN-Seq-Self": build_sgnn_seq_self,
+    "RNN-Self": build_rnn_self,
+    "SGNN-Abs-Self": build_sgnn_abs_self,
+    "SGNN-Dyadic": build_sgnn_dyadic,
+}

@@ -1,0 +1,76 @@
+"""Micro-behavior data substrate: schema, generators, preprocessing, batching."""
+
+from .dataset import DataLoader, SessionBatch, collate
+from .io import (
+    EventLogFormat,
+    load_event_log,
+    load_prepared_dataset,
+    load_sessions_jsonl,
+    load_trivago_log,
+    save_prepared_dataset,
+    save_sessions_jsonl,
+)
+from .preprocess import (
+    ItemVocab,
+    PreparedDataset,
+    augment_prefixes,
+    prepare_dataset,
+    single_operation_view,
+)
+from .schema import (
+    JD_OPERATIONS,
+    TRIVAGO_OPERATIONS,
+    Interaction,
+    MacroSession,
+    OperationVocab,
+    Session,
+    merge_successive,
+)
+from .stats import DatasetStats, compute_stats
+from .validation import ValidationIssue, ValidationReport, validate_dataset
+from .synthetic import (
+    GeneratorConfig,
+    Persona,
+    SyntheticSessionGenerator,
+    generate_dataset,
+    jd_appliances_config,
+    jd_computers_config,
+    trivago_config,
+)
+
+__all__ = [
+    "Interaction",
+    "Session",
+    "MacroSession",
+    "OperationVocab",
+    "JD_OPERATIONS",
+    "TRIVAGO_OPERATIONS",
+    "merge_successive",
+    "Persona",
+    "GeneratorConfig",
+    "SyntheticSessionGenerator",
+    "generate_dataset",
+    "jd_appliances_config",
+    "jd_computers_config",
+    "trivago_config",
+    "ItemVocab",
+    "PreparedDataset",
+    "prepare_dataset",
+    "augment_prefixes",
+    "single_operation_view",
+    "SessionBatch",
+    "collate",
+    "DataLoader",
+    "DatasetStats",
+    "EventLogFormat",
+    "load_event_log",
+    "load_trivago_log",
+    "save_sessions_jsonl",
+    "load_sessions_jsonl",
+    "save_prepared_dataset",
+    "load_prepared_dataset",
+    "compute_stats",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_dataset",
+]

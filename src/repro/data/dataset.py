@@ -1,0 +1,163 @@
+"""Padded batch construction for micro-behavior sessions.
+
+Conventions used everywhere downstream:
+
+* item id 0 is padding; real items are ``1..num_items``;
+* operation ids are shifted by +1 in batches so 0 can be padding there too;
+* every model receives a :class:`SessionBatch` and returns logits over the
+  ``num_items`` real items (class ``i`` scores item ``i+1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .schema import MacroSession
+
+__all__ = ["SessionBatch", "collate", "DataLoader"]
+
+
+@dataclass
+class SessionBatch:
+    """A batch of sessions padded to common macro/micro lengths.
+
+    Attributes
+    ----------
+    items:
+        [B, n] dense item ids of the macro sequence (0 = pad).
+    item_mask:
+        [B, n] float {0,1}; marks valid macro positions.
+    ops:
+        [B, n, k] operation ids per macro step, shifted by +1 (0 = pad).
+    op_mask:
+        [B, n, k] float validity mask for ``ops``.
+    micro_items / micro_ops / micro_mask:
+        [B, t] flattened micro-behavior view (item of each micro step,
+        shifted op id, validity mask).
+    last_op:
+        [B] shifted op id of the final micro-behavior in each session.
+    targets:
+        [B] dense ground-truth item ids (1-based; subtract 1 for the class
+        index over real items).
+    """
+
+    items: np.ndarray
+    item_mask: np.ndarray
+    ops: np.ndarray
+    op_mask: np.ndarray
+    micro_items: np.ndarray
+    micro_ops: np.ndarray
+    micro_mask: np.ndarray
+    last_op: np.ndarray
+    targets: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.items.shape[0]
+
+    @property
+    def max_macro_len(self) -> int:
+        return self.items.shape[1]
+
+    @property
+    def max_micro_len(self) -> int:
+        return self.micro_items.shape[1]
+
+    @property
+    def target_classes(self) -> np.ndarray:
+        """Zero-based class indices for the loss over real items."""
+        return self.targets - 1
+
+    def macro_lengths(self) -> np.ndarray:
+        return self.item_mask.sum(axis=1).astype(np.int64)
+
+    def micro_lengths(self) -> np.ndarray:
+        return self.micro_mask.sum(axis=1).astype(np.int64)
+
+
+def collate(examples: Sequence[MacroSession], max_ops_per_item: int | None = None) -> SessionBatch:
+    """Pad a list of examples into one :class:`SessionBatch`."""
+    if not examples:
+        raise ValueError("cannot collate an empty list of examples")
+    batch = len(examples)
+    n_max = max(len(ex) for ex in examples)
+    k_max = max(len(ops) for ex in examples for ops in ex.op_sequences)
+    if max_ops_per_item is not None:
+        k_max = min(k_max, max_ops_per_item)
+    t_max = max(
+        sum(min(len(ops), k_max) for ops in ex.op_sequences) for ex in examples
+    )
+
+    items = np.zeros((batch, n_max), dtype=np.int64)
+    item_mask = np.zeros((batch, n_max))
+    ops = np.zeros((batch, n_max, k_max), dtype=np.int64)
+    op_mask = np.zeros((batch, n_max, k_max))
+    micro_items = np.zeros((batch, t_max), dtype=np.int64)
+    micro_ops = np.zeros((batch, t_max), dtype=np.int64)
+    micro_mask = np.zeros((batch, t_max))
+    last_op = np.zeros(batch, dtype=np.int64)
+    targets = np.zeros(batch, dtype=np.int64)
+
+    for b, ex in enumerate(examples):
+        if ex.target is None:
+            raise ValueError(f"example {ex.session_id} has no target")
+        targets[b] = ex.target
+        t = 0
+        for i, (item, op_seq) in enumerate(zip(ex.macro_items, ex.op_sequences)):
+            truncated = op_seq[:k_max]
+            items[b, i] = item
+            item_mask[b, i] = 1.0
+            for j, op in enumerate(truncated):
+                ops[b, i, j] = op + 1
+                op_mask[b, i, j] = 1.0
+                micro_items[b, t] = item
+                micro_ops[b, t] = op + 1
+                micro_mask[b, t] = 1.0
+                t += 1
+        last_op[b] = micro_ops[b, t - 1]
+
+    return SessionBatch(
+        items=items,
+        item_mask=item_mask,
+        ops=ops,
+        op_mask=op_mask,
+        micro_items=micro_items,
+        micro_ops=micro_ops,
+        micro_mask=micro_mask,
+        last_op=last_op,
+        targets=targets,
+    )
+
+
+class DataLoader:
+    """Iterates over examples in (optionally shuffled) padded batches."""
+
+    def __init__(
+        self,
+        examples: Sequence[MacroSession],
+        batch_size: int = 64,
+        shuffle: bool = False,
+        seed: int = 0,
+        max_ops_per_item: int | None = 6,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.examples = list(examples)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.max_ops_per_item = max_ops_per_item
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.examples) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[SessionBatch]:
+        order = np.arange(len(self.examples))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = [self.examples[i] for i in order[start : start + self.batch_size]]
+            yield collate(chunk, max_ops_per_item=self.max_ops_per_item)

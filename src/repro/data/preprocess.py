@@ -1,0 +1,198 @@
+"""Dataset preprocessing pipeline (paper Sec. V-A1).
+
+Steps, in the paper's order:
+
+1. filter out items with fewer than ``min_support`` occurrences
+   (50 for the JD datasets, 5 for trivago);
+2. split sessions 70% / 10% / 20% into train / validation / test;
+3. use the last *macro* item of each session as the ground truth;
+4. exclude sessions consisting of only a single (macro) item.
+
+Item ids are remapped to a dense vocabulary where **0 is the padding id**
+and real items occupy ``1..num_items``. Operation ids are likewise shifted
+by one in the batching layer (see ``repro.data.dataset``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import Interaction, MacroSession, OperationVocab, Session, merge_successive
+
+__all__ = [
+    "ItemVocab",
+    "PreparedDataset",
+    "prepare_dataset",
+    "augment_prefixes",
+    "single_operation_view",
+]
+
+
+class ItemVocab:
+    """Dense item-id mapping; id 0 is reserved for padding."""
+
+    PAD = 0
+
+    def __init__(self, raw_ids: list[int]):
+        self._to_dense = {raw: i + 1 for i, raw in enumerate(sorted(set(raw_ids)))}
+        self._to_raw = {v: k for k, v in self._to_dense.items()}
+
+    def __len__(self) -> int:
+        """Number of real items (excluding padding)."""
+        return len(self._to_dense)
+
+    @property
+    def num_ids(self) -> int:
+        """Size of the embedding table (items + padding slot)."""
+        return len(self._to_dense) + 1
+
+    def __contains__(self, raw_id: int) -> bool:
+        return raw_id in self._to_dense
+
+    def encode(self, raw_id: int) -> int:
+        return self._to_dense[raw_id]
+
+    def decode(self, dense_id: int) -> int:
+        return self._to_raw[dense_id]
+
+
+@dataclass
+class PreparedDataset:
+    """A fully preprocessed dataset ready for model training."""
+
+    name: str
+    train: list[MacroSession]
+    validation: list[MacroSession]
+    test: list[MacroSession]
+    vocab: ItemVocab
+    operations: OperationVocab
+
+    @property
+    def num_items(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.operations)
+
+    def splits(self) -> dict[str, list[MacroSession]]:
+        return {"train": self.train, "validation": self.validation, "test": self.test}
+
+
+def _filter_items(sessions: list[Session], min_support: int) -> list[Session]:
+    counts: Counter[int] = Counter()
+    for session in sessions:
+        counts.update(x.item for x in session.interactions)
+    keep = {item for item, n in counts.items() if n >= min_support}
+    filtered = []
+    for session in sessions:
+        kept = [x for x in session.interactions if x.item in keep]
+        if kept:
+            filtered.append(Session(kept, session_id=session.session_id))
+    return filtered
+
+
+def _to_example(session: Session, vocab: ItemVocab, max_macro_len: int) -> MacroSession | None:
+    """Merge, remap ids, split off the last macro item as the target."""
+    macro = merge_successive(session)
+    if len(macro) < 2:
+        return None
+    items = [vocab.encode(v) for v in macro.macro_items]
+    target = items[-1]
+    inputs = items[:-1][-max_macro_len:]
+    ops = macro.op_sequences[:-1][-max_macro_len:]
+    return MacroSession(inputs, [list(o) for o in ops], target=target, session_id=session.session_id)
+
+
+def prepare_dataset(
+    sessions: list[Session],
+    operations: OperationVocab,
+    name: str = "dataset",
+    min_support: int = 5,
+    max_macro_len: int = 20,
+    split: tuple[float, float, float] = (0.7, 0.1, 0.2),
+    seed: int = 0,
+) -> PreparedDataset:
+    """Run the full preprocessing pipeline over raw sessions."""
+    if abs(sum(split) - 1.0) > 1e-9:
+        raise ValueError(f"split fractions must sum to 1, got {split}")
+    filtered = _filter_items(sessions, min_support)
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(filtered))
+    n_train = int(len(filtered) * split[0])
+    n_val = int(len(filtered) * split[1])
+    groups = {
+        "train": [filtered[i] for i in order[:n_train]],
+        "validation": [filtered[i] for i in order[n_train : n_train + n_val]],
+        "test": [filtered[i] for i in order[n_train + n_val :]],
+    }
+
+    # Vocabulary is built from the entire filtered corpus so that every item
+    # has an embedding row (test-only items would otherwise be unscoreable;
+    # the paper's setup has the same closed item set V).
+    vocab = ItemVocab([x.item for s in filtered for x in s.interactions])
+
+    examples: dict[str, list[MacroSession]] = {}
+    for split_name, split_sessions in groups.items():
+        converted = (_to_example(s, vocab, max_macro_len) for s in split_sessions)
+        examples[split_name] = [m for m in converted if m is not None]
+
+    return PreparedDataset(
+        name=name,
+        train=examples["train"],
+        validation=examples["validation"],
+        test=examples["test"],
+        vocab=vocab,
+        operations=operations,
+    )
+
+
+def augment_prefixes(examples: list[MacroSession]) -> list[MacroSession]:
+    """Prefix augmentation (Tan et al., 2016; used by the SR-GNN family).
+
+    For each example with input ``[v1..vn]`` and target ``t``, also emit
+    ``([v1..vk], v_{k+1})`` for every ``k >= 1``.
+    """
+    augmented: list[MacroSession] = []
+    for ex in examples:
+        augmented.append(ex)
+        for k in range(1, len(ex)):
+            augmented.append(
+                MacroSession(
+                    ex.macro_items[:k],
+                    [list(o) for o in ex.op_sequences[:k]],
+                    target=ex.macro_items[k],
+                    session_id=ex.session_id,
+                )
+            )
+    return augmented
+
+
+def single_operation_view(
+    examples: list[MacroSession],
+    operations: OperationVocab,
+    keep_ops: set[int],
+) -> list[MacroSession]:
+    """Restrict each example to macro steps that contain a kept operation.
+
+    This implements the supplemental-material experiment (Supp. Table I):
+    macro-behavior baselines see only "click-like" events, while the ground
+    truth of each sequence is kept identical for a fair comparison. Examples
+    whose filtered input would be empty keep their last macro step so the
+    session remains usable.
+    """
+    view: list[MacroSession] = []
+    for ex in examples:
+        kept_idx = [
+            i for i, ops in enumerate(ex.op_sequences) if any(o in keep_ops for o in ops)
+        ]
+        if not kept_idx:
+            kept_idx = [len(ex) - 1]
+        items = [ex.macro_items[i] for i in kept_idx]
+        op_seqs = [[o for o in ex.op_sequences[i] if o in keep_ops] or list(ex.op_sequences[i]) for i in kept_idx]
+        view.append(MacroSession(items, op_seqs, target=ex.target, session_id=ex.session_id))
+    return view

@@ -1,0 +1,59 @@
+"""Dataset statistics — the Table II analogue.
+
+The paper reports, per dataset: number of train / validation / test
+sessions, number of items, and total micro-behavior count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .preprocess import PreparedDataset
+
+__all__ = ["DatasetStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Row of the Table II analogue for one dataset."""
+
+    name: str
+    num_train: int
+    num_validation: int
+    num_test: int
+    num_items: int
+    num_micro_behaviors: int
+    num_operations: int
+    avg_macro_len: float
+    avg_ops_per_item: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        return {
+            "dataset": self.name,
+            "# train": self.num_train,
+            "# validation": self.num_validation,
+            "# test": self.num_test,
+            "# items": self.num_items,
+            "# micro-behavior": self.num_micro_behaviors,
+            "# operations": self.num_operations,
+            "avg macro len": round(self.avg_macro_len, 2),
+            "avg ops/item": round(self.avg_ops_per_item, 2),
+        }
+
+
+def compute_stats(dataset: PreparedDataset) -> DatasetStats:
+    """Aggregate the Table II statistics over all three splits."""
+    all_examples = dataset.train + dataset.validation + dataset.test
+    micro = sum(ex.num_micro_behaviors for ex in all_examples)
+    macro = sum(len(ex) for ex in all_examples)
+    return DatasetStats(
+        name=dataset.name,
+        num_train=len(dataset.train),
+        num_validation=len(dataset.validation),
+        num_test=len(dataset.test),
+        num_items=dataset.num_items,
+        num_micro_behaviors=micro,
+        num_operations=dataset.num_operations,
+        avg_macro_len=macro / max(len(all_examples), 1),
+        avg_ops_per_item=micro / max(macro, 1),
+    )

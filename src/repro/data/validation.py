@@ -1,0 +1,95 @@
+"""Dataset sanity validation.
+
+When loading *real* event logs (``repro.data.io``), silent data problems —
+targets leaking into inputs, out-of-range ids, empty operation chains —
+surface as mysteriously great or terrible metrics. ``validate_dataset``
+checks every invariant the models rely on and returns a structured report
+instead of failing at some tensor shape three layers deep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .preprocess import PreparedDataset
+from .schema import MacroSession
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_dataset"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated invariant."""
+
+    split: str
+    session_id: int
+    problem: str
+
+
+@dataclass
+class ValidationReport:
+    """All issues found; empty means the dataset is sound."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        if self.ok:
+            return "dataset valid: no issues"
+        lines = [f"{len(self.issues)} issue(s):"]
+        for issue in self.issues[:20]:
+            lines.append(f"  [{issue.split}] session {issue.session_id}: {issue.problem}")
+        if len(self.issues) > 20:
+            lines.append(f"  ... and {len(self.issues) - 20} more")
+        return "\n".join(lines)
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            raise ValueError(self.summary())
+
+
+def _check_example(
+    example: MacroSession, split: str, num_items: int, num_ops: int
+) -> list[ValidationIssue]:
+    issues = []
+
+    def bad(problem: str) -> None:
+        issues.append(ValidationIssue(split, example.session_id, problem))
+
+    if len(example) == 0:
+        bad("empty input sequence")
+        return issues
+    if example.target is None:
+        bad("missing target")
+    elif not 1 <= example.target <= num_items:
+        bad(f"target {example.target} outside 1..{num_items}")
+    elif example.target == example.macro_items[-1]:
+        bad("target equals last input item (information leakage, Sec. II-B)")
+    for i, item in enumerate(example.macro_items):
+        if not 1 <= item <= num_items:
+            bad(f"item {item} at position {i} outside 1..{num_items}")
+    for a, b in zip(example.macro_items, example.macro_items[1:]):
+        if a == b:
+            bad("successive duplicate macro items (merge_successive not applied)")
+            break
+    for i, ops in enumerate(example.op_sequences):
+        if not ops:
+            bad(f"empty operation chain at position {i}")
+        for op in ops:
+            if not 0 <= op < num_ops:
+                bad(f"operation {op} at position {i} outside 0..{num_ops - 1}")
+    return issues
+
+
+def validate_dataset(dataset: PreparedDataset) -> ValidationReport:
+    """Check every example in every split against the model contracts."""
+    report = ValidationReport()
+    for split, examples in dataset.splits().items():
+        for example in examples:
+            report.issues.extend(
+                _check_example(example, split, dataset.num_items, dataset.num_operations)
+            )
+    return report

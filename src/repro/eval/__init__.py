@@ -1,0 +1,47 @@
+"""Evaluation harness: metrics, training, experiments, significance."""
+
+from .analysis import (
+    improvement_table,
+    repeat_vs_explore_breakdown,
+    session_length_breakdown,
+)
+from .case_study import CaseStudyRow, find_interesting_session, run_case_study
+from .experiment import (
+    MODEL_NAMES,
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+)
+from .metrics import evaluate_scores, hit_rate, mrr, ranks_of_targets
+from .recommender import Recommender
+from .reporting import format_results_markdown
+from .significance import SignificanceResult, wilcoxon_reciprocal_ranks
+from .trainer import NeuralRecommender, TrainConfig, Trainer
+from .tuning import GridPoint, GridSearchResult, grid_search
+
+__all__ = [
+    "evaluate_scores",
+    "hit_rate",
+    "mrr",
+    "ranks_of_targets",
+    "Recommender",
+    "TrainConfig",
+    "Trainer",
+    "NeuralRecommender",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "MODEL_NAMES",
+    "SignificanceResult",
+    "wilcoxon_reciprocal_ranks",
+    "CaseStudyRow",
+    "run_case_study",
+    "find_interesting_session",
+    "improvement_table",
+    "session_length_breakdown",
+    "repeat_vs_explore_breakdown",
+    "grid_search",
+    "GridPoint",
+    "GridSearchResult",
+    "format_results_markdown",
+]

@@ -1,0 +1,113 @@
+"""Post-hoc analysis utilities.
+
+Tools an adopter of the library would reach for after training:
+
+* :func:`improvement_table` — the paper's "Imp." column (relative gain of
+  one system over the best competitor, per metric).
+* :func:`session_length_breakdown` — metric values bucketed by macro-item
+  session length (standard SR analysis; shows where graph models win).
+* :func:`repeat_vs_explore_breakdown` — metrics split by whether the ground
+  truth already appeared in the session (the axis separating the JD-like
+  and trivago-like regimes in the paper's Sec. V-B discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import MacroSession
+from .metrics import evaluate_scores, ranks_of_targets
+
+__all__ = [
+    "improvement_table",
+    "session_length_breakdown",
+    "repeat_vs_explore_breakdown",
+]
+
+
+def improvement_table(
+    measured: dict[str, dict[str, float]],
+    system: str,
+    metrics: tuple[str, ...] = ("H@5", "H@10", "H@20", "M@5", "M@10", "M@20"),
+) -> dict[str, float]:
+    """Relative improvement (%) of ``system`` over the best other system.
+
+    Matches the paper's "Imp." column in Table III: positive values mean
+    ``system`` leads; negative values mean the best competitor does.
+    """
+    out: dict[str, float] = {}
+    for metric in metrics:
+        ours = measured[system][metric]
+        best_other = max(
+            row[metric] for name, row in measured.items() if name != system
+        )
+        if best_other == 0:
+            out[metric] = float("inf") if ours > 0 else 0.0
+        else:
+            out[metric] = (ours - best_other) / best_other * 100.0
+    return out
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One row of a breakdown table."""
+
+    label: str
+    count: int
+    metrics: dict[str, float]
+
+
+def _bucketize(
+    scores: np.ndarray,
+    target_classes: np.ndarray,
+    assignment: np.ndarray,
+    labels: dict[int, str],
+    ks: tuple[int, ...],
+) -> list[Bucket]:
+    buckets = []
+    for key in sorted(labels):
+        mask = assignment == key
+        if not mask.any():
+            continue
+        metrics = evaluate_scores(scores[mask], target_classes[mask], ks=ks)
+        buckets.append(Bucket(label=labels[key], count=int(mask.sum()), metrics=metrics))
+    return buckets
+
+
+def session_length_breakdown(
+    examples: list[MacroSession],
+    scores: np.ndarray,
+    target_classes: np.ndarray,
+    edges: tuple[int, ...] = (2, 4, 7),
+    ks: tuple[int, ...] = (10, 20),
+) -> list[Bucket]:
+    """Split metrics by macro-session length (short / medium / long / ...)."""
+    if len(examples) != scores.shape[0]:
+        raise ValueError("examples and scores must align")
+    lengths = np.array([len(ex) for ex in examples])
+    assignment = np.searchsorted(np.asarray(edges), lengths, side="right")
+    labels = {}
+    bounds = (0,) + tuple(edges) + (None,)
+    for i in range(len(bounds) - 1):
+        lo = bounds[i] + 1 if i else 1
+        hi = bounds[i + 1]
+        labels[i] = f"len {lo}-{hi}" if hi is not None else f"len >{bounds[i]}"
+    return _bucketize(scores, target_classes, assignment, labels, ks)
+
+
+def repeat_vs_explore_breakdown(
+    examples: list[MacroSession],
+    scores: np.ndarray,
+    target_classes: np.ndarray,
+    ks: tuple[int, ...] = (10, 20),
+) -> list[Bucket]:
+    """Split metrics by whether the ground truth was already in the session."""
+    if len(examples) != scores.shape[0]:
+        raise ValueError("examples and scores must align")
+    assignment = np.array(
+        [int(ex.target in ex.macro_items) for ex in examples]
+    )
+    labels = {0: "explore (target unseen)", 1: "repeat (target in session)"}
+    return _bucketize(scores, target_classes, assignment, labels, ks)

@@ -1,0 +1,180 @@
+"""Experiment runner: trains/evaluates named models on prepared datasets.
+
+This is the engine behind every benchmark in ``benchmarks/``: it knows how
+to construct all twelve systems of Table III (plus the analysis variants of
+Tables IV and Figs. 4-6), fit them on a dataset, and produce the paper's
+metric rows. Raw score matrices are retained so significance tests can be
+run between any two fitted systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from ..core import EMBSRConfig, VARIANT_BUILDERS, build_fixed_beta
+from ..data.dataset import DataLoader
+from ..data.preprocess import PreparedDataset
+from ..nn import Module
+from .metrics import evaluate_scores
+from .recommender import Recommender
+from .trainer import NeuralRecommender, TrainConfig
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentRunner", "MODEL_NAMES"]
+
+MACRO_BASELINES = ["S-POP", "SKNN", "NARM", "STAMP", "SR-GNN", "GC-SAN", "BERT4Rec", "SGNN-HN"]
+MICRO_BASELINES = ["RIB", "HUP", "MKM-SR"]
+MODEL_NAMES = MACRO_BASELINES + MICRO_BASELINES + ["EMBSR"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Scale and optimization knobs shared by every model in a run."""
+
+    dim: int = 32
+    epochs: int = 12
+    batch_size: int = 64
+    lr: float = 0.005
+    dropout: float = 0.2
+    w_k: float = 12.0
+    patience: int = 5
+    seed: int = 0
+    ks: tuple[int, ...] = (5, 10, 20)
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            patience=self.patience,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Fitted system + its test-set scores and metrics."""
+
+    name: str
+    metrics: dict[str, float]
+    scores: np.ndarray
+    target_classes: np.ndarray
+    recommender: Recommender
+
+
+class ExperimentRunner:
+    """Builds, fits, and evaluates named systems on one dataset."""
+
+    def __init__(self, dataset: PreparedDataset, config: ExperimentConfig | None = None):
+        self.dataset = dataset
+        self.config = config or ExperimentConfig()
+        self.results: dict[str, ExperimentResult] = {}
+
+    # ------------------------------------------------------------------
+    def _embsr_config(self) -> EMBSRConfig:
+        cfg = self.config
+        return EMBSRConfig(
+            num_items=self.dataset.num_items,
+            num_ops=self.dataset.num_operations,
+            dim=cfg.dim,
+            dropout=cfg.dropout,
+            w_k=cfg.w_k,
+            seed=cfg.seed,
+        )
+
+    def build(self, name: str) -> Recommender:
+        """Construct the (unfitted) system registered under ``name``.
+
+        Accepts all Table III names, every variant in
+        ``repro.core.variants.VARIANT_BUILDERS``, and ``EMBSR-beta=<x>``
+        for the Fig. 6 fixed-fusion sweep.
+        """
+        # Imported here (not at module top) to avoid a circular import:
+        # baseline modules themselves import repro.eval.recommender.
+        from ..baselines import (
+            BERT4Rec,
+            GCSAN,
+            HUP,
+            MKMSR,
+            NARM,
+            RIB,
+            SGNNHN,
+            SKNN,
+            SPop,
+            SRGNN,
+            STAMP,
+        )
+
+        cfg = self.config
+        ds = self.dataset
+        d, drop, seed = cfg.dim, cfg.dropout, cfg.seed
+
+        simple: dict[str, Callable[[], Recommender]] = {
+            "S-POP": SPop,
+            "SKNN": SKNN,
+        }
+        if name in simple:
+            return simple[name]()
+
+        neural: dict[str, Callable[[PreparedDataset], Module]] = {
+            "NARM": lambda ds: NARM(ds.num_items, dim=d, dropout=drop, seed=seed),
+            "STAMP": lambda ds: STAMP(ds.num_items, dim=d, dropout=drop, seed=seed),
+            "SR-GNN": lambda ds: SRGNN(ds.num_items, dim=d, dropout=drop, seed=seed),
+            "GC-SAN": lambda ds: GCSAN(ds.num_items, dim=d, dropout=drop, seed=seed),
+            "BERT4Rec": lambda ds: BERT4Rec(ds.num_items, dim=d, dropout=drop, seed=seed),
+            "SGNN-HN": lambda ds: SGNNHN(ds.num_items, dim=d, w_k=cfg.w_k, dropout=drop, seed=seed),
+            "RIB": lambda ds: RIB(ds.num_items, ds.num_operations, dim=d, dropout=drop, seed=seed),
+            "HUP": lambda ds: HUP(ds.num_items, ds.num_operations, dim=d, dropout=drop, seed=seed),
+            "MKM-SR": lambda ds: MKMSR(ds.num_items, ds.num_operations, dim=d, dropout=drop, seed=seed),
+        }
+        if name in neural:
+            return NeuralRecommender(name, neural[name], cfg.train_config())
+
+        if name in VARIANT_BUILDERS:
+            builder = VARIANT_BUILDERS[name]
+            return NeuralRecommender(
+                name, lambda ds: builder(self._embsr_config()), cfg.train_config()
+            )
+
+        if name.startswith("EMBSR-beta="):
+            beta = float(name.split("=", 1)[1])
+            return NeuralRecommender(
+                name,
+                lambda ds: build_fixed_beta(self._embsr_config(), beta),
+                cfg.train_config(),
+            )
+
+        raise KeyError(f"unknown model name: {name!r}")
+
+    # ------------------------------------------------------------------
+    def score_on_test(self, recommender: Recommender) -> tuple[np.ndarray, np.ndarray]:
+        loader = DataLoader(self.dataset.test, batch_size=128)
+        scores, targets = [], []
+        for batch in loader:
+            scores.append(recommender.score_batch(batch))
+            targets.append(batch.target_classes)
+        return np.concatenate(scores), np.concatenate(targets)
+
+    def run(self, name: str, verbose: bool = False) -> ExperimentResult:
+        """Fit and evaluate one system; results are cached per name."""
+        if name in self.results:
+            return self.results[name]
+        recommender = self.build(name)
+        recommender.fit(self.dataset)
+        scores, targets = self.score_on_test(recommender)
+        metrics = evaluate_scores(scores, targets, ks=self.config.ks)
+        result = ExperimentResult(name, metrics, scores, targets, recommender)
+        self.results[name] = result
+        if verbose:
+            pretty = ", ".join(f"{k}={v:.2f}" for k, v in metrics.items())
+            print(f"[{self.dataset.name}] {name}: {pretty}")
+        return result
+
+    def run_all(self, names: list[str], verbose: bool = False) -> dict[str, ExperimentResult]:
+        return {name: self.run(name, verbose=verbose) for name in names}
+
+    def metric_table(self, names: list[str]) -> dict[str, dict[str, float]]:
+        """Metrics of already-run systems, keyed by model name."""
+        return {name: self.results[name].metrics for name in names if name in self.results}

@@ -1,0 +1,58 @@
+"""Ranking metrics (paper Sec. V-A3): Hit Rate and MRR at top-K.
+
+Both are reported in percent, matching the paper's tables. ``H@K`` is the
+fraction of test cases whose ground truth appears in the top-K list
+(Eq. 21); ``M@K`` is the mean reciprocal rank with ranks beyond K zeroed
+(Eq. 22).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ranks_of_targets", "hit_rate", "mrr", "evaluate_scores"]
+
+
+def ranks_of_targets(scores: np.ndarray, target_classes: np.ndarray) -> np.ndarray:
+    """1-based rank of each target under descending scores.
+
+    Ties are broken pessimistically (tied competitors count as ranked
+    ahead), which makes the metrics reproducible across BLAS backends.
+    """
+    scores = np.asarray(scores)
+    target_classes = np.asarray(target_classes, dtype=np.int64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be [B, num_items], got {scores.shape}")
+    target_scores = scores[np.arange(len(target_classes)), target_classes]
+    higher = (scores > target_scores[:, None]).sum(axis=1)
+    ties_before = (
+        (scores == target_scores[:, None]).sum(axis=1) - 1
+    )  # other items tied with the target
+    return higher + ties_before + 1
+
+
+def hit_rate(ranks: np.ndarray, k: int) -> float:
+    """H@K in percent."""
+    ranks = np.asarray(ranks)
+    return float((ranks <= k).mean() * 100.0)
+
+
+def mrr(ranks: np.ndarray, k: int) -> float:
+    """M@K in percent (reciprocal rank zeroed beyond K)."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    rr = np.where(ranks <= k, 1.0 / ranks, 0.0)
+    return float(rr.mean() * 100.0)
+
+
+def evaluate_scores(
+    scores: np.ndarray,
+    target_classes: np.ndarray,
+    ks: tuple[int, ...] = (5, 10, 20),
+) -> dict[str, float]:
+    """Compute ``H@K`` and ``M@K`` for every requested K."""
+    ranks = ranks_of_targets(scores, target_classes)
+    result: dict[str, float] = {}
+    for k in ks:
+        result[f"H@{k}"] = hit_rate(ranks, k)
+        result[f"M@{k}"] = mrr(ranks, k)
+    return result

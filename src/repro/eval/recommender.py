@@ -1,0 +1,38 @@
+"""The common recommender interface shared by EMBSR and every baseline.
+
+``Recommender.fit`` consumes prepared training/validation examples;
+``score_batch`` returns a dense score matrix over all real items
+(class ``i`` scores item id ``i + 1``, consistent with
+``SessionBatch.target_classes``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..data.dataset import SessionBatch
+from ..data.preprocess import PreparedDataset
+
+__all__ = ["Recommender"]
+
+
+class Recommender(abc.ABC):
+    """Abstract recommender: fit on a dataset, score padded batches."""
+
+    name: str = "recommender"
+
+    @abc.abstractmethod
+    def fit(self, dataset: PreparedDataset) -> "Recommender":
+        """Train (or index) the model on the dataset's train split."""
+
+    @abc.abstractmethod
+    def score_batch(self, batch: SessionBatch) -> np.ndarray:
+        """Return [B, num_items] scores (higher = more likely next item)."""
+
+    def top_k(self, batch: SessionBatch, k: int) -> np.ndarray:
+        """Dense ids of the top-``k`` items per session, best first."""
+        scores = self.score_batch(batch)
+        order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        return order + 1

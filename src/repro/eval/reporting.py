@@ -1,0 +1,70 @@
+"""Paper-style result tables.
+
+Formats a measured-metrics dict the way the paper's Table III is typeset:
+the best score per metric **bold**, the second best _underlined_ (markdown
+emphasis), plus the "Imp." row — EMBSR's relative improvement over the best
+baseline.
+"""
+
+from __future__ import annotations
+
+from .analysis import improvement_table
+
+__all__ = ["format_results_markdown"]
+
+
+def _mark(value: float, best: float, second: float) -> str:
+    text = f"{value:.2f}"
+    if value == best:
+        return f"**{text}**"
+    if value == second:
+        return f"_{text}_"
+    return text
+
+
+def format_results_markdown(
+    measured: dict[str, dict[str, float]],
+    metrics: tuple[str, ...] = ("H@5", "H@10", "H@20", "M@5", "M@10", "M@20"),
+    highlight_system: str | None = "EMBSR",
+) -> str:
+    """Render measured results as a paper-style markdown table.
+
+    Parameters
+    ----------
+    measured:
+        ``{model: {metric: value}}``.
+    metrics:
+        Column order.
+    highlight_system:
+        If present in ``measured``, an "Imp." row is appended showing its
+        relative gain over the best *other* system per metric.
+    """
+    if not measured:
+        raise ValueError("no results to format")
+    missing = [
+        (model, metric)
+        for model, row in measured.items()
+        for metric in metrics
+        if metric not in row
+    ]
+    if missing:
+        raise KeyError(f"missing metrics: {missing[:3]}...")
+
+    ranked: dict[str, tuple[float, float]] = {}
+    for metric in metrics:
+        values = sorted((row[metric] for row in measured.values()), reverse=True)
+        ranked[metric] = (values[0], values[1] if len(values) > 1 else values[0])
+
+    lines = [
+        "| model | " + " | ".join(metrics) + " |",
+        "|" + "---|" * (len(metrics) + 1),
+    ]
+    for model, row in measured.items():
+        cells = [_mark(row[m], *ranked[m]) for m in metrics]
+        lines.append(f"| {model} | " + " | ".join(cells) + " |")
+
+    if highlight_system and highlight_system in measured and len(measured) > 1:
+        imp = improvement_table(measured, highlight_system, metrics=metrics)
+        cells = [f"{imp[m]:+.2f}%" for m in metrics]
+        lines.append(f"| Imp. ({highlight_system}) | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Statistical significance of per-session ranking improvements.
+
+The paper reports Wilcoxon signed-rank tests with p << 0.01 for EMBSR over
+the best baseline (Sec. V-B). We apply the same test to the paired
+per-session reciprocal ranks of two systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from .metrics import ranks_of_targets
+
+__all__ = ["SignificanceResult", "wilcoxon_reciprocal_ranks"]
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of a paired Wilcoxon signed-rank test."""
+
+    statistic: float
+    p_value: float
+    mean_improvement: float  # mean difference in reciprocal rank (a - b)
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.01
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"Wilcoxon W={self.statistic:.1f}, p={self.p_value:.2e} "
+            f"({verdict}), mean RR improvement={self.mean_improvement:+.4f}"
+        )
+
+
+def wilcoxon_reciprocal_ranks(
+    scores_a: np.ndarray,
+    scores_b: np.ndarray,
+    target_classes: np.ndarray,
+    k: int = 20,
+) -> SignificanceResult:
+    """Test whether system A's per-session reciprocal ranks beat system B's."""
+    ranks_a = ranks_of_targets(scores_a, target_classes).astype(np.float64)
+    ranks_b = ranks_of_targets(scores_b, target_classes).astype(np.float64)
+    rr_a = np.where(ranks_a <= k, 1.0 / ranks_a, 0.0)
+    rr_b = np.where(ranks_b <= k, 1.0 / ranks_b, 0.0)
+    diff = rr_a - rr_b
+    if np.allclose(diff, 0.0):
+        return SignificanceResult(statistic=0.0, p_value=1.0, mean_improvement=0.0)
+    res = stats.wilcoxon(rr_a, rr_b, zero_method="wilcox", alternative="greater")
+    return SignificanceResult(
+        statistic=float(res.statistic),
+        p_value=float(res.pvalue),
+        mean_improvement=float(diff.mean()),
+    )

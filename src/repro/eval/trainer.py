@@ -1,0 +1,162 @@
+"""Training loop for the neural models.
+
+Mirrors the paper's protocol (Sec. V-A4): Adam optimizer, mini-batches,
+model selection on the validation split (we track MRR@20), and a bounded
+epoch budget. Gradient clipping and StepLR decay follow the SR-GNN family's
+reference implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..data.dataset import DataLoader, SessionBatch
+from ..data.preprocess import PreparedDataset
+from ..nn import Adam, Module, StepLR, clip_grad_norm, cross_entropy
+from .metrics import evaluate_scores
+from .recommender import Recommender
+
+__all__ = ["TrainConfig", "Trainer", "NeuralRecommender"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of the optimization loop."""
+
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.003
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    lr_step: int = 3
+    lr_gamma: float = 0.5
+    patience: int = 3          # early stop after this many non-improving epochs
+    selection_metric: str = "M@20"
+    max_ops_per_item: int = 6
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    train_loss: float
+    valid_metric: float
+
+
+class Trainer:
+    """Fits a ``Module`` that maps :class:`SessionBatch` -> logits."""
+
+    def __init__(self, model: Module, config: TrainConfig):
+        self.model = model
+        self.config = config
+        self.history: list[EpochStats] = []
+
+    def fit(self, dataset: PreparedDataset) -> "Trainer":
+        cfg = self.config
+        optimizer = Adam(self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+        scheduler = StepLR(optimizer, step_size=cfg.lr_step, gamma=cfg.lr_gamma)
+        train_loader = DataLoader(
+            dataset.train,
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            seed=cfg.seed,
+            max_ops_per_item=cfg.max_ops_per_item,
+        )
+
+        best_metric = -np.inf
+        best_state: dict[str, np.ndarray] | None = None
+        stale = 0
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            losses = []
+            for batch in train_loader:
+                optimizer.zero_grad()
+                logits = self.model(batch)
+                loss = cross_entropy(logits, batch.target_classes)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                losses.append(loss.item())
+            scheduler.step()
+
+            valid = self.evaluate(dataset.validation, batch_size=cfg.batch_size)
+            metric = valid[cfg.selection_metric]
+            self.history.append(EpochStats(epoch, float(np.mean(losses)), metric))
+            if cfg.verbose:
+                print(
+                    f"epoch {epoch}: loss={np.mean(losses):.4f} "
+                    f"{cfg.selection_metric}={metric:.2f}"
+                )
+            if metric > best_metric:
+                best_metric = metric
+                best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= cfg.patience:
+                    break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return self
+
+    def evaluate(
+        self,
+        examples,
+        ks: tuple[int, ...] = (5, 10, 20),
+        batch_size: int = 128,
+    ) -> dict[str, float]:
+        """HR/MRR of the current model over ``examples``."""
+        scores, targets = self.predict(examples, batch_size=batch_size)
+        return evaluate_scores(scores, targets, ks=ks)
+
+    def predict(self, examples, batch_size: int = 128) -> tuple[np.ndarray, np.ndarray]:
+        """Score matrix and target classes over ``examples`` (eval mode)."""
+        self.model.eval()
+        loader = DataLoader(
+            examples, batch_size=batch_size, max_ops_per_item=self.config.max_ops_per_item
+        )
+        all_scores, all_targets = [], []
+        with no_grad():
+            for batch in loader:
+                logits = self.model(batch)
+                all_scores.append(logits.data)
+                all_targets.append(batch.target_classes)
+        return np.concatenate(all_scores), np.concatenate(all_targets)
+
+
+class NeuralRecommender(Recommender):
+    """Adapts a model factory + trainer into the :class:`Recommender` API."""
+
+    def __init__(
+        self,
+        name: str,
+        model_factory: Callable[[PreparedDataset], Module],
+        train_config: TrainConfig | None = None,
+    ):
+        self.name = name
+        self._factory = model_factory
+        self.train_config = train_config or TrainConfig()
+        self.trainer: Trainer | None = None
+
+    @property
+    def model(self) -> Module:
+        if self.trainer is None:
+            raise RuntimeError(f"{self.name} has not been fitted")
+        return self.trainer.model
+
+    def fit(self, dataset: PreparedDataset) -> "NeuralRecommender":
+        model = self._factory(dataset)
+        self.trainer = Trainer(model, self.train_config)
+        self.trainer.fit(dataset)
+        return self
+
+    def score_batch(self, batch: SessionBatch) -> np.ndarray:
+        model = self.model
+        model.eval()
+        with no_grad():
+            return model(batch).data

@@ -1,0 +1,6 @@
+"""Session multigraph construction and batched graph arrays."""
+
+from .batch_graph import BatchGraph
+from .session_graph import SessionGraph
+
+__all__ = ["SessionGraph", "BatchGraph"]

@@ -1,0 +1,93 @@
+"""Session-to-multigraph conversion (paper Sec. IV-B1, Fig. 3).
+
+A macro-item sequence ``[v1, v2, v3, v2, v3, v4]`` becomes a directed
+**multigraph**: nodes are the distinct items, and every transition
+``v^i -> v^{i+1}`` contributes its own edge carrying an integer ``order``
+attribute (its position in the session). The multigraph — as opposed to the
+simple graph used by SR-GNN — is what lets the same node pass *different*
+messages along parallel edges, keyed by the micro-operation sequence its
+endpoint had at that time.
+
+The star node (inspired by SGNN-HN) is bidirectionally connected to every
+satellite node; it is kept implicit here and materialized in the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["SessionGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One ordered transition in the multigraph."""
+
+    source: int  # node index
+    target: int  # node index
+    order: int  # transition index in the session (0-based)
+
+
+class SessionGraph:
+    """Directed multigraph of one macro-item sequence with ordered edges."""
+
+    def __init__(self, macro_items: list[int]):
+        if not macro_items:
+            raise ValueError("cannot build a graph from an empty session")
+        for a, b in zip(macro_items, macro_items[1:]):
+            if a == b:
+                raise ValueError(
+                    "successive duplicate items must be merged before graph "
+                    "construction (see repro.data.schema.merge_successive)"
+                )
+        self.macro_items = list(macro_items)
+        # Nodes in order of first appearance — matches the paper's S^u_t.
+        self.nodes: list[int] = []
+        self._node_index: dict[int, int] = {}
+        for item in macro_items:
+            if item not in self._node_index:
+                self._node_index[item] = len(self.nodes)
+                self.nodes.append(item)
+        self.alias: list[int] = [self._node_index[v] for v in macro_items]
+        self.edges: list[Edge] = [
+            Edge(self.alias[i], self.alias[i + 1], order=i)
+            for i in range(len(macro_items) - 1)
+        ]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def node_of(self, item: int) -> int:
+        return self._node_index[item]
+
+    def in_edges(self, node: int) -> list[Edge]:
+        return [e for e in self.edges if e.target == node]
+
+    def out_edges(self, node: int) -> list[Edge]:
+        return [e for e in self.edges if e.source == node]
+
+    def parallel_edge_count(self) -> int:
+        """Number of edges beyond the first between any ordered node pair.
+
+        Positive exactly when the session genuinely needs a *multi*graph.
+        """
+        seen: dict[tuple[int, int], int] = {}
+        for e in self.edges:
+            seen[(e.source, e.target)] = seen.get((e.source, e.target), 0) + 1
+        return sum(n - 1 for n in seen.values() if n > 1)
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export to networkx for validation and visualization."""
+        graph = nx.MultiDiGraph()
+        for idx, item in enumerate(self.nodes):
+            graph.add_node(idx, item=item)
+        for e in self.edges:
+            graph.add_edge(e.source, e.target, order=e.order)
+        return graph

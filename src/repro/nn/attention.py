@@ -1,0 +1,83 @@
+"""Standard attention blocks used by the transformer-style baselines.
+
+The operation-aware self-attention of EMBSR itself (Eqs. 12-17) lives in
+``repro.core.attention``; this module provides the *vanilla* building blocks
+needed by GC-SAN and BERT4Rec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+
+__all__ = ["scaled_dot_attention", "MultiHeadSelfAttention", "TransformerBlock"]
+
+_NEG_INF = -1e9
+
+
+def scaled_dot_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    mask: np.ndarray | None = None,
+) -> Tensor:
+    """Softmax(QK^T / sqrt(d)) V with an optional boolean attention mask.
+
+    ``mask`` broadcasts against the score shape [..., Tq, Tk]; positions where
+    it is 0/False are excluded from attention.
+    """
+    d = q.shape[-1]
+    scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        bias = np.where(np.asarray(mask, dtype=bool), 0.0, _NEG_INF)
+        scores = scores + Tensor(np.broadcast_to(bias, scores.shape).copy())
+    return scores.softmax(axis=-1) @ v
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention over [B, T, dim]."""
+
+    def __init__(self, dim: int, num_heads: int, *, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.wq = Linear(dim, dim, bias=False, rng=rng)
+        self.wk = Linear(dim, dim, bias=False, rng=rng)
+        self.wv = Linear(dim, dim, bias=False, rng=rng)
+        self.wo = Linear(dim, dim, bias=False, rng=rng)
+
+    def _split(self, x: Tensor) -> Tensor:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        b, t, _ = x.shape
+        q, k, v = self._split(self.wq(x)), self._split(self.wk(x)), self._split(self.wv(x))
+        if mask is not None:
+            # [B, Tk] key mask -> [B, 1, 1, Tk]
+            mask = np.asarray(mask, dtype=bool)[:, None, None, :]
+        out = scaled_dot_attention(q, k, v, mask=mask)
+        return self.wo(out.transpose(0, 2, 1, 3).reshape(b, t, self.dim))
+
+
+class TransformerBlock(Module):
+    """Pre-LN transformer encoder block (attention + position-wise FFN)."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float, *, rng: np.random.Generator):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.fc1 = Linear(dim, dim * 2, rng=rng)
+        self.fc2 = Linear(dim * 2, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.dropout(self.attention(self.norm1(x), mask=mask))
+        return x + self.dropout(self.fc2(self.fc1(self.norm2(x)).relu()))

@@ -1,0 +1,36 @@
+"""Loss functions.
+
+The paper trains every neural model with the cross-entropy objective
+(Eq. 20) over softmax scores; EMBSR additionally L2-normalizes the session
+and item representations with a scale factor ``w_k`` before the softmax
+(Eq. 19) — that normalization lives in the models, the loss here consumes
+raw logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["cross_entropy"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of ``targets`` under softmax(logits).
+
+    Parameters
+    ----------
+    logits:
+        [B, num_classes] unnormalized scores.
+    targets:
+        [B] integer class ids.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("batch size mismatch between logits and targets")
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(targets.shape[0]), targets]
+    return -picked.mean()

@@ -1,0 +1,87 @@
+"""Recurrent layers: GRU cell and mask-aware GRU over padded sequences.
+
+The paper uses GRUs in two places: to encode each macro-item's
+micro-operation sequence (Eq. 3) and inside the RNN baselines
+(GRU4Rec-style encoders in NARM / RIB / HUP / MKM-SR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, stack
+from .init import scaled_uniform, zeros
+from .module import Module, Parameter
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit (Cho et al., 2014)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gates are fused: [update | reset | candidate].
+        self.w_ih = Parameter(scaled_uniform(rng, (input_dim, 3 * hidden_dim), hidden_dim))
+        self.w_hh = Parameter(scaled_uniform(rng, (hidden_dim, 3 * hidden_dim), hidden_dim))
+        self.b_ih = Parameter(zeros((3 * hidden_dim,)))
+        self.b_hh = Parameter(zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """Advance one step: ``x`` is [B, input_dim], ``h`` is [B, hidden_dim]."""
+        d = self.hidden_dim
+        gi = x @ self.w_ih + self.b_ih
+        gh = h @ self.w_hh + self.b_hh
+        z = (gi[:, :d] + gh[:, :d]).sigmoid()
+        r = (gi[:, d : 2 * d] + gh[:, d : 2 * d]).sigmoid()
+        n = (gi[:, 2 * d :] + r * gh[:, 2 * d :]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """GRU over a padded batch of sequences with an explicit validity mask.
+
+    Padded steps leave the hidden state unchanged, so the final hidden state
+    equals the state after the last *valid* step of each sequence.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        mask: np.ndarray | None = None,
+        h0: Tensor | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Run the GRU over ``x`` of shape [B, T, input_dim].
+
+        Parameters
+        ----------
+        mask:
+            Optional [B, T] array of {0, 1}; 0 marks padding.
+        h0:
+            Optional initial state [B, hidden_dim]; zeros by default.
+
+        Returns
+        -------
+        (outputs, final_state):
+            ``outputs`` is [B, T, hidden_dim], ``final_state`` is [B, hidden_dim].
+        """
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for t in range(steps):
+            x_t = x[:, t, :]
+            h_new = self.cell(x_t, h)
+            if mask is not None:
+                m = Tensor(mask[:, t : t + 1].astype(np.float64))
+                h = m * h_new + (1.0 - m) * h
+            else:
+                h = h_new
+            outputs.append(h)
+        return stack(outputs, axis=1), h

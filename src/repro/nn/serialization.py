@@ -1,0 +1,36 @@
+"""Model checkpointing: save/load a Module's parameters as ``.npz``.
+
+The dotted parameter names from :meth:`Module.named_parameters` become the
+archive keys, so checkpoints are portable across processes as long as the
+model is constructed with the same architecture switches.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(model: Module, path: str | pathlib.Path) -> None:
+    """Write every parameter of ``model`` to a compressed ``.npz`` archive."""
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez_compressed(pathlib.Path(path), **state)
+
+
+def load_checkpoint(model: Module, path: str | pathlib.Path) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Strict: raises ``KeyError`` on any missing/unexpected parameter and
+    ``ValueError`` on shape mismatch (same contract as ``load_state_dict``).
+    """
+    with np.load(pathlib.Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,179 @@
+"""Online serving: incremental session tracking and live recommendations.
+
+The training stack works on complete sessions; a production recommender
+sees *events* — "user U did operation O on item V" — and must answer
+"top-K next items for U?" at any moment. :class:`RecommenderService` keeps
+per-session state (with the same merge-successive semantics as training,
+Sec. II-B), maps raw item ids through the training vocabulary, and scores
+sessions in batches against any fitted :class:`~repro.eval.Recommender`.
+
+Example
+-------
+>>> service = RecommenderService(recommender, dataset.vocab, num_ops=10)
+>>> service.record("u1", item=1042, operation=3)
+>>> service.record("u1", item=1042, operation=8)
+>>> service.top_k("u1", k=5)
+[...five raw item ids...]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .data.dataset import collate
+from .data.preprocess import ItemVocab
+from .data.schema import MacroSession
+from .eval.recommender import Recommender
+
+__all__ = ["LiveSession", "RecommenderService"]
+
+
+@dataclass
+class LiveSession:
+    """Mutable per-user session state (dense ids, merged macro steps)."""
+
+    macro_items: list[int] = field(default_factory=list)
+    op_sequences: list[list[int]] = field(default_factory=list)
+    last_event_at: float = 0.0
+    dropped_events: int = 0  # events whose item was unknown to the vocab
+
+    def record(self, dense_item: int, operation: int, at: float) -> None:
+        if self.macro_items and self.macro_items[-1] == dense_item:
+            self.op_sequences[-1].append(operation)
+        else:
+            self.macro_items.append(dense_item)
+            self.op_sequences.append([operation])
+        self.last_event_at = at
+
+    @property
+    def num_macro_steps(self) -> int:
+        return len(self.macro_items)
+
+    def to_example(self, max_macro_len: int) -> MacroSession:
+        """Snapshot as a scoreable example (target is a placeholder)."""
+        items = self.macro_items[-max_macro_len:]
+        ops = [list(o) for o in self.op_sequences[-max_macro_len:]]
+        return MacroSession(items, ops, target=1)
+
+
+class RecommenderService:
+    """Serve top-K recommendations over live micro-behavior streams.
+
+    Parameters
+    ----------
+    recommender:
+        Any fitted :class:`Recommender` (EMBSR, a baseline, ...).
+    vocab:
+        The training :class:`ItemVocab`; raw event item ids are mapped
+        through it and unknown items are counted but ignored (cold items
+        have no embedding — the paper's closed-set setting).
+    num_ops:
+        Size of the operation vocabulary; out-of-range operations raise.
+    max_macro_len:
+        Sessions are truncated to their most recent steps, matching
+        training-time preprocessing.
+    session_ttl:
+        Seconds of inactivity after which :meth:`sweep_expired` evicts a
+        session (session segmentation by inactivity gap).
+    """
+
+    def __init__(
+        self,
+        recommender: Recommender,
+        vocab: ItemVocab,
+        num_ops: int,
+        max_macro_len: int = 20,
+        session_ttl: float = 1800.0,
+        clock=time.monotonic,
+    ):
+        self.recommender = recommender
+        self.vocab = vocab
+        self.num_ops = num_ops
+        self.max_macro_len = max_macro_len
+        self.session_ttl = session_ttl
+        self._clock = clock
+        self._sessions: dict[str, LiveSession] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, session_id: str, item: int, operation: int) -> bool:
+        """Ingest one micro-behavior event.
+
+        Returns ``True`` if the event was applied; ``False`` if the item is
+        outside the training vocabulary (counted on the session).
+        """
+        if not 0 <= operation < self.num_ops:
+            raise ValueError(f"operation {operation} outside 0..{self.num_ops - 1}")
+        session = self._sessions.setdefault(session_id, LiveSession())
+        now = self._clock()
+        if item not in self.vocab:
+            session.dropped_events += 1
+            session.last_event_at = now
+            return False
+        session.record(self.vocab.encode(item), operation, now)
+        return True
+
+    def session(self, session_id: str) -> LiveSession | None:
+        return self._sessions.get(session_id)
+
+    def end_session(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def sweep_expired(self) -> int:
+        """Evict sessions idle beyond the TTL; returns how many."""
+        now = self._clock()
+        expired = [
+            sid
+            for sid, s in self._sessions.items()
+            if now - s.last_event_at > self.session_ttl
+        ]
+        for sid in expired:
+            del self._sessions[sid]
+        return len(expired)
+
+    # ------------------------------------------------------------------
+    def top_k(self, session_id: str, k: int = 10, exclude_seen: bool = False) -> list[int]:
+        """Top-K raw item ids for one session (best first)."""
+        return self.top_k_batch([session_id], k=k, exclude_seen=exclude_seen)[session_id]
+
+    def top_k_batch(
+        self,
+        session_ids: list[str],
+        k: int = 10,
+        exclude_seen: bool = False,
+    ) -> dict[str, list[int]]:
+        """Score many sessions in one model call.
+
+        Sessions with no scoreable events yield an empty list rather than
+        an error — a brand-new visitor simply has no personalized ranking
+        yet.
+        """
+        scoreable: list[str] = []
+        examples: list[MacroSession] = []
+        results: dict[str, list[int]] = {}
+        for sid in session_ids:
+            session = self._sessions.get(sid)
+            if session is None or session.num_macro_steps == 0:
+                results[sid] = []
+                continue
+            scoreable.append(sid)
+            examples.append(session.to_example(self.max_macro_len))
+        if not examples:
+            return results
+
+        batch = collate(examples)
+        scores = np.array(self.recommender.score_batch(batch), dtype=float)
+        for row, sid in enumerate(scoreable):
+            if exclude_seen:
+                seen = np.array(self._sessions[sid].macro_items) - 1
+                scores[row, seen] = -np.inf
+            order = np.argsort(-scores[row], kind="stable")[:k]
+            results[sid] = [self.vocab.decode(int(i) + 1) for i in order]
+        return results
+
+    # ------------------------------------------------------------------
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)

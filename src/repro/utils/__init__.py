@@ -1,0 +1,5 @@
+"""Small shared utilities (table rendering, timing)."""
+
+from .tables import render_markdown, render_table
+
+__all__ = ["render_table", "render_markdown"]

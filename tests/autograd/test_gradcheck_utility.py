@@ -1,0 +1,48 @@
+"""Tests for the finite-difference checker itself (the verifier's verifier)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numerical_gradient
+
+
+class TestNumericalGradient:
+    def test_matches_known_derivative(self):
+        x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        grad = numerical_gradient(lambda x: x * x, [x], wrt=0)
+        assert np.allclose(grad, [4.0, 6.0], atol=1e-5)
+
+    def test_independent_of_requires_grad(self):
+        x = Tensor(np.array([1.5]))
+        grad = numerical_gradient(lambda x: x * 3.0, [x], wrt=0)
+        assert np.allclose(grad, [3.0], atol=1e-6)
+
+    def test_restores_input(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        before = x.data.copy()
+        numerical_gradient(lambda x: x.exp(), [x], wrt=0)
+        assert np.array_equal(x.data, before)
+
+
+class TestCheckGradients:
+    def test_detects_wrong_backward(self):
+        """A deliberately broken op must be caught."""
+
+        def broken(x: Tensor) -> Tensor:
+            out = x * 2.0
+            # Sabotage: return a value inconsistent with the graph.
+            out.data = out.data * 1.5
+            return out
+
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(broken, [x])
+
+    def test_passes_correct_op(self):
+        x = Tensor(np.array([[1.0, -2.0]]), requires_grad=True)
+        check_gradients(lambda x: (x * x).tanh(), [x])
+
+    def test_skips_non_grad_inputs(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        const = Tensor(np.array([5.0]))
+        check_gradients(lambda x, c: x * c, [x, const])

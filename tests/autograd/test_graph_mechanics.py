@@ -1,0 +1,64 @@
+"""Tests for autograd graph lifecycle and memory behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad
+
+
+class TestGraphLifecycle:
+    def test_backward_frees_graph(self):
+        """After backward, intermediate nodes release parents/closures."""
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a * 2
+        c = b + 1
+        c.sum().backward()
+        assert b._backward is None and b._parents == ()
+
+    def test_leaf_keeps_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 3).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+
+    def test_constant_branch_not_tracked(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        const = Tensor(np.ones(3))
+        out = a + const
+        assert out._parents  # graph exists via a
+        out2 = const + const
+        assert not out2.requires_grad
+
+    def test_nested_no_grad(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_requires_grad_not_set_under_no_grad(self):
+        with no_grad():
+            t = Tensor(np.ones(2), requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestRepr:
+    def test_repr_mentions_grad_flag(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.ones(2)))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_item_scalar(self):
+        assert Tensor(np.array([3.5])).item() == 3.5

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, check_gradients, concat
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+def arrays(max_side=4, min_dims=1, max_dims=3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, max_side=max_side),
+        elements=st.floats(-5, 5, allow_nan=False, width=64),
+    )
+
+
+class TestAlgebraicProperties:
+    @given(arrays())
+    def test_add_commutative(self, a):
+        x, y = Tensor(a), Tensor(a * 2 - 1)
+        assert np.allclose((x + y).data, (y + x).data)
+
+    @given(arrays())
+    def test_mul_identity(self, a):
+        assert np.allclose((Tensor(a) * 1.0).data, a)
+
+    @given(arrays())
+    def test_double_negation(self, a):
+        assert np.allclose((-(-Tensor(a))).data, a)
+
+    @given(arrays())
+    def test_exp_log_inverse(self, a):
+        t = Tensor(np.clip(a, -4, 4))
+        assert np.allclose(t.exp().log().data, t.data, atol=1e-9)
+
+    @given(arrays())
+    def test_tanh_odd(self, a):
+        assert np.allclose(Tensor(a).tanh().data, -((-Tensor(a)).tanh().data))
+
+    @given(arrays())
+    def test_sigmoid_symmetry(self, a):
+        # sigma(x) + sigma(-x) == 1
+        s1 = Tensor(a).sigmoid().data
+        s2 = (-Tensor(a)).sigmoid().data
+        assert np.allclose(s1 + s2, 1.0)
+
+    @given(arrays(min_dims=2, max_dims=2))
+    def test_softmax_is_distribution(self, a):
+        out = Tensor(a).softmax(axis=-1).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+        assert (out >= 0).all()
+
+    @given(arrays(min_dims=2, max_dims=2))
+    def test_softmax_shift_invariant(self, a):
+        base = Tensor(a).softmax(axis=-1).data
+        shifted = Tensor(a + 100.0).softmax(axis=-1).data
+        assert np.allclose(base, shifted, atol=1e-9)
+
+    @given(arrays())
+    def test_sum_matches_numpy(self, a):
+        assert np.allclose(Tensor(a).sum().data, a.sum())
+
+    @given(arrays(min_dims=2, max_dims=2))
+    def test_transpose_involution(self, a):
+        t = Tensor(a)
+        assert np.allclose(t.T.T.data, a)
+
+
+class TestGradientProperties:
+    @given(arrays(max_side=3))
+    def test_sum_gradient_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, np.ones_like(a))
+
+    @given(arrays(max_side=3))
+    def test_linear_gradient_is_coefficient(self, a):
+        t = Tensor(a, requires_grad=True)
+        (t * 3.5).sum().backward()
+        assert np.allclose(t.grad, 3.5)
+
+    @given(arrays(max_side=3))
+    def test_smooth_composition_gradcheck(self, a):
+        t = Tensor(a, requires_grad=True)
+        check_gradients(lambda t: (t.tanh() * t.sigmoid()).sum(keepdims=False).reshape(1), [t])
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    def test_matmul_gradcheck_random_shapes(self, m, k, n):
+        rng = np.random.default_rng(m * 100 + k * 10 + n)
+        a = Tensor(rng.normal(size=(m, k)), requires_grad=True)
+        b = Tensor(rng.normal(size=(k, n)), requires_grad=True)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    @given(arrays(max_side=3, min_dims=2, max_dims=2))
+    def test_concat_split_gradient(self, a):
+        t = Tensor(a, requires_grad=True)
+        out = concat([t, t], axis=0)
+        out.sum().backward()
+        assert np.allclose(t.grad, 2.0)

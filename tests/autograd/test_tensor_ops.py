@@ -1,0 +1,326 @@
+"""Unit tests for elementary Tensor operations (values + gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, concat, maximum, stack, where
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestForwardValues:
+    def test_add(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_add_scalar(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + 2.5).data, a + 2.5)
+
+    def test_radd(self, rng):
+        a = rng.normal(size=(3,))
+        assert np.allclose((2.0 + Tensor(a)).data, a + 2.0)
+
+    def test_sub(self, rng):
+        a, b = rng.normal(size=(2, 2)), rng.normal(size=(2, 2))
+        assert np.allclose((Tensor(a) - Tensor(b)).data, a - b)
+
+    def test_rsub(self, rng):
+        a = rng.normal(size=(3,))
+        assert np.allclose((1.0 - Tensor(a)).data, 1.0 - a)
+
+    def test_mul_broadcast(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        assert np.allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+    def test_div(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4)) + 3.0
+        assert np.allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    def test_rtruediv(self, rng):
+        a = rng.normal(size=(3,)) + 2.0
+        assert np.allclose((1.0 / Tensor(a)).data, 1.0 / a)
+
+    def test_neg(self, rng):
+        a = rng.normal(size=(5,))
+        assert np.allclose((-Tensor(a)).data, -a)
+
+    def test_pow(self, rng):
+        a = np.abs(rng.normal(size=(4,))) + 0.1
+        assert np.allclose((Tensor(a) ** 3).data, a**3)
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(3)) ** Tensor(np.ones(3))
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_batched(self, rng):
+        a, b = rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_exp_log_roundtrip(self, rng):
+        a = rng.normal(size=(3, 3))
+        assert np.allclose(Tensor(a).exp().log().data, a)
+
+    def test_sigmoid_range(self, rng):
+        out = Tensor(rng.normal(size=100) * 50).sigmoid().data
+        assert ((out >= 0) & (out <= 1)).all()
+        assert np.allclose(Tensor(np.zeros(3)).sigmoid().data, 0.5)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor(np.array([-1000.0, 1000.0])).sigmoid().data
+        assert np.isfinite(out).all()
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_relu(self):
+        out = Tensor(np.array([-1.0, 0.0, 2.0])).relu().data
+        assert np.allclose(out, [0.0, 0.0, 2.0])
+
+    def test_tanh(self, rng):
+        a = rng.normal(size=(3,))
+        assert np.allclose(Tensor(a).tanh().data, np.tanh(a))
+
+    def test_abs(self):
+        out = Tensor(np.array([-2.0, 3.0])).abs().data
+        assert np.allclose(out, [2.0, 3.0])
+
+    def test_sqrt(self, rng):
+        a = np.abs(rng.normal(size=(3,))) + 0.1
+        assert np.allclose(Tensor(a).sqrt().data, np.sqrt(a))
+
+    def test_sum_axis(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        assert np.allclose(Tensor(a).sum(axis=1).data, a.sum(axis=1))
+
+    def test_sum_keepdims(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert Tensor(a).sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_mean(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose(Tensor(a).mean().data, a.mean())
+        assert np.allclose(Tensor(a).mean(axis=0).data, a.mean(axis=0))
+
+    def test_max(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+
+    def test_var(self, rng):
+        a = rng.normal(size=(3, 8))
+        assert np.allclose(Tensor(a).var(axis=1).data, a.var(axis=1))
+
+    def test_softmax_sums_to_one(self, rng):
+        out = Tensor(rng.normal(size=(4, 7))).softmax(axis=-1).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = Tensor(rng.normal(size=(4, 7)))
+        assert np.allclose(a.log_softmax().data, np.log(a.softmax().data))
+
+    def test_l2_normalize_unit_norm(self, rng):
+        out = Tensor(rng.normal(size=(5, 8))).l2_normalize().data
+        assert np.allclose(np.linalg.norm(out, axis=-1), 1.0)
+
+    def test_reshape_transpose(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert Tensor(a).reshape(6, 4).shape == (6, 4)
+        assert Tensor(a).transpose(1, 0, 2).shape == (3, 2, 4)
+        assert Tensor(a).swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_unsqueeze_squeeze(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        assert a.unsqueeze(1).shape == (3, 1, 4)
+        assert a.unsqueeze(1).squeeze(1).shape == (3, 4)
+
+    def test_getitem_slice(self, rng):
+        a = rng.normal(size=(4, 5))
+        assert np.allclose(Tensor(a)[1:3, ::2].data, a[1:3, ::2])
+
+    def test_take(self, rng):
+        w = rng.normal(size=(10, 3))
+        idx = np.array([[1, 2], [0, 9]])
+        assert np.allclose(Tensor(w).take(idx).data, w[idx])
+
+    def test_concat(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        assert np.allclose(concat([Tensor(a), Tensor(b)], axis=1).data, np.concatenate([a, b], axis=1))
+
+    def test_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        assert stack([Tensor(a), Tensor(b)], axis=1).shape == (2, 2, 3)
+
+    def test_where(self, rng):
+        a, b = rng.normal(size=(4,)), rng.normal(size=(4,))
+        cond = a > 0
+        assert np.allclose(where(cond, Tensor(a), Tensor(b)).data, np.where(cond, a, b))
+
+    def test_maximum(self, rng):
+        a, b = rng.normal(size=(4,)), rng.normal(size=(4,))
+        assert np.allclose(maximum(Tensor(a), Tensor(b)).data, np.maximum(a, b))
+
+    def test_broadcast_to(self, rng):
+        a = rng.normal(size=(1, 4))
+        assert Tensor(a).broadcast_to((3, 4)).shape == (3, 4)
+
+
+class TestGradients:
+    """Every backward rule is checked against central finite differences."""
+
+    def _t(self, rng, *shape):
+        return Tensor(rng.normal(size=shape), requires_grad=True)
+
+    def test_add_broadcast(self, rng):
+        a, b = self._t(rng, 3, 4), self._t(rng, 4)
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_sub_broadcast(self, rng):
+        a, b = self._t(rng, 3, 4), self._t(rng, 1, 4)
+        check_gradients(lambda a, b: a - b, [a, b])
+
+    def test_mul_div(self, rng):
+        a = self._t(rng, 3, 4)
+        b = Tensor(rng.normal(size=(4,)) + 3.0, requires_grad=True)
+        check_gradients(lambda a, b: a * b / (b + 5.0), [a, b])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(3,))) + 0.5, requires_grad=True)
+        check_gradients(lambda a: a**3, [a])
+
+    def test_matmul_2d(self, rng):
+        a, b = self._t(rng, 3, 4), self._t(rng, 4, 5)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = self._t(rng, 2, 3, 4), self._t(rng, 2, 4, 5)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_matmul_broadcast_batch(self, rng):
+        a, b = self._t(rng, 2, 3, 4), self._t(rng, 4, 5)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_matmul_vector(self, rng):
+        a, v = self._t(rng, 3, 4), self._t(rng, 4)
+        check_gradients(lambda a, v: a @ v, [a, v])
+
+    def test_activations(self, rng):
+        a = self._t(rng, 3, 4)
+        check_gradients(lambda a: a.sigmoid(), [a])
+        check_gradients(lambda a: a.tanh(), [a])
+        check_gradients(lambda a: a.exp(), [a])
+
+    def test_relu_away_from_kink(self, rng):
+        a = Tensor(rng.normal(size=(20,)) + np.sign(rng.normal(size=20)) * 0.5, requires_grad=True)
+        check_gradients(lambda a: a.relu(), [a])
+
+    def test_log_sqrt(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(4,))) + 0.5, requires_grad=True)
+        check_gradients(lambda a: a.log(), [a])
+        check_gradients(lambda a: a.sqrt(), [a])
+
+    def test_reductions(self, rng):
+        a = self._t(rng, 3, 4)
+        check_gradients(lambda a: a.sum(axis=0), [a])
+        check_gradients(lambda a: a.mean(axis=1, keepdims=True), [a])
+        check_gradients(lambda a: a.var(axis=1), [a])
+
+    def test_max_unique(self, rng):
+        a = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda a: a.max(axis=1), [a])
+
+    def test_softmax_family(self, rng):
+        a = self._t(rng, 4, 6)
+        check_gradients(lambda a: a.softmax(axis=-1), [a])
+        check_gradients(lambda a: a.log_softmax(axis=-1), [a])
+
+    def test_l2_normalize(self, rng):
+        a = self._t(rng, 4, 6)
+        check_gradients(lambda a: a.l2_normalize(), [a])
+
+    def test_shape_ops(self, rng):
+        a = self._t(rng, 2, 3, 4)
+        check_gradients(lambda a: a.reshape(6, 4), [a])
+        check_gradients(lambda a: a.transpose(2, 0, 1), [a])
+        check_gradients(lambda a: a.unsqueeze(1), [a])
+        check_gradients(lambda a: a.broadcast_to((2, 3, 4)).swapaxes(0, 1), [a])
+
+    def test_indexing(self, rng):
+        a = self._t(rng, 5, 4)
+        check_gradients(lambda a: a[1:4, ::2], [a])
+        idx = np.array([[0, 0], [4, 2]])
+        check_gradients(lambda a: a.take(idx), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = self._t(rng, 5, 4)
+        rows = np.array([0, 2, 2])
+        cols = np.array([1, 3, 3])
+        check_gradients(lambda a: a[rows, cols], [a])
+
+    def test_concat_stack(self, rng):
+        a, b = self._t(rng, 2, 3), self._t(rng, 2, 3)
+        check_gradients(lambda a, b: concat([a, b], axis=1), [a, b])
+        check_gradients(lambda a, b: stack([a, b], axis=0), [a, b])
+
+    def test_where_maximum(self, rng):
+        a, b = self._t(rng, 6), self._t(rng, 6)
+        cond = a.data > 0
+        check_gradients(lambda a, b: where(cond, a, b), [a, b])
+        check_gradients(lambda a, b: maximum(a, b), [a, b])
+
+    def test_duplicate_use_accumulates(self, rng):
+        a = self._t(rng, 3)
+        check_gradients(lambda a: a * a + a, [a])
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar_or_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_grad_shape_validation(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_no_grad_blocks_graph(self):
+        from repro.autograd import no_grad
+
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_detach(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        assert not a.detach().requires_grad
+
+    def test_diamond_graph_gradient(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3
+        out = b * b  # d/da (3a)^2 = 18a = 36
+        out.backward()
+        assert np.allclose(a.grad, [36.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2).backward()
+        (a * 2).backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None

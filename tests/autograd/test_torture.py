@@ -1,0 +1,102 @@
+"""Torture tests: deep graphs, heavy sharing, and numerical stability."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concat
+
+
+class TestDeepGraphs:
+    def test_thousand_op_chain(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = x
+        for _ in range(1000):
+            out = out * 1.001
+        out.backward()
+        assert x.grad[0] == pytest.approx(1.001**1000, rel=1e-9)
+
+    def test_deep_tanh_chain_vanishes_but_finite(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        out = x
+        for _ in range(100):
+            out = out.tanh()
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_wide_fan_out(self):
+        """One tensor feeding 200 consumers accumulates all contributions."""
+        x = Tensor(np.ones(3), requires_grad=True)
+        total = (x * 0.0).sum()
+        for i in range(200):
+            total = total + (x * float(i)).sum()
+        total.backward()
+        assert np.allclose(x.grad, sum(range(200)))
+
+    def test_shared_subgraph_counted_once_per_path(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        shared = x * 3  # used by two downstream paths
+        out = shared * shared + shared
+        # d/dx (9x^2 + 3x) = 18x + 3 = 39 at x=2
+        out.backward()
+        assert np.allclose(x.grad, [39.0])
+
+    def test_recursive_concat_pyramid(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        level = [x, x, x, x]
+        while len(level) > 1:
+            level = [concat(level[i : i + 2]) for i in range(0, len(level), 2)]
+        level[0].sum().backward()
+        assert np.allclose(x.grad, 4.0)
+
+
+class TestNumericalStability:
+    def test_softmax_with_mask_bias(self):
+        """The -1e9 masking pattern must not produce NaNs."""
+        scores = np.full((2, 5), -1e9)
+        scores[:, 0] = 1.0
+        out = Tensor(scores, requires_grad=True).softmax(axis=-1)
+        assert np.isfinite(out.data).all()
+        assert np.allclose(out.data[:, 0], 1.0)
+        out.sum().backward()
+
+    def test_log_softmax_extreme_logits(self):
+        logits = Tensor(np.array([[1000.0, 0.0, -1000.0]]), requires_grad=True)
+        out = logits.log_softmax(axis=-1)
+        assert np.isfinite(out.data[0, 0])
+        assert out.data[0, 0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_l2_normalize_tiny_vector(self):
+        v = Tensor(np.full(4, 1e-30), requires_grad=True)
+        out = v.l2_normalize()
+        assert np.isfinite(out.data).all()
+        out.sum().backward()
+        assert np.isfinite(v.grad).all()
+
+    def test_division_by_small_number_gradient(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        eps = Tensor(np.array([1e-8]))
+        (x / (eps + 1.0)).backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_exp_overflow_is_inf_not_nan(self):
+        with np.errstate(over="ignore"):
+            out = Tensor(np.array([1e4])).exp()
+        assert np.isposinf(out.data).all()
+
+
+class TestBigShapes:
+    def test_large_matmul_grad_shapes(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(64, 128)), requires_grad=True)
+        b = Tensor(rng.normal(size=(128, 256)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+    def test_4d_broadcasting_grad(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(2, 3, 4, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (4, 5)
+        assert np.allclose(b.grad, a.data.sum(axis=(0, 1)))

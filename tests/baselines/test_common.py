@@ -1,0 +1,121 @@
+"""Unit tests for the shared GNN-baseline building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.common import (
+    SessionGGNN,
+    SoftAttentionReadout,
+    last_position_rep,
+    normalized_adjacency,
+)
+from repro.data import MacroSession, collate
+from repro.graphs import BatchGraph
+
+
+def graph_of(items):
+    batch = collate([MacroSession(items, [[0]] * len(items), target=9)])
+    return batch, BatchGraph.from_batch(batch)
+
+
+class TestNormalizedAdjacency:
+    def test_simple_chain(self):
+        _, g = graph_of([1, 2, 3])
+        a_in, a_out = normalized_adjacency(g)
+        # Node 0 -> node 1 -> node 2 with unit normalized weights.
+        assert a_out[0, 0, 1] == 1.0
+        assert a_out[0, 1, 2] == 1.0
+        assert a_in[0, 1, 0] == 1.0
+        assert a_in[0, 2, 1] == 1.0
+
+    def test_out_degree_normalization(self):
+        # 1 -> 2, 1 -> 3 (via revisit 2 -> 1): session [1, 2, 1, 3]
+        _, g = graph_of([1, 2, 1, 3])
+        _, a_out = normalized_adjacency(g)
+        node1 = 0
+        # Node 1 has two outgoing edges, each weighted 1/2.
+        assert a_out[0, node1, 1] == pytest.approx(0.5)
+        assert a_out[0, node1, 2] == pytest.approx(0.5)
+
+    def test_parallel_edges_collapse_with_weight(self):
+        # SR-GNN's simple-graph view: 2->3 twice still normalizes to 1 total.
+        _, g = graph_of([1, 2, 3, 2, 3])
+        _, a_out = normalized_adjacency(g)
+        node2 = 1
+        assert a_out[0, node2].sum() == pytest.approx(1.0)
+
+    def test_rows_normalized(self):
+        _, g = graph_of([1, 2, 3, 1, 4, 2])
+        a_in, a_out = normalized_adjacency(g)
+        for mat in (a_in[0], a_out[0]):
+            sums = mat.sum(axis=1)
+            assert ((sums < 1.0 + 1e-9)).all()
+
+
+class TestSessionGGNN:
+    def test_forward_shape_and_mask(self):
+        rng = np.random.default_rng(0)
+        ggnn = SessionGGNN(8, rng=rng)
+        batch = collate(
+            [
+                MacroSession([1, 2, 3], [[0]] * 3, target=9),
+                MacroSession([4], [[0]], target=9),
+            ]
+        )
+        g = BatchGraph.from_batch(batch)
+        nodes = Tensor(rng.normal(size=(2, 3, 8)))
+        out = ggnn(nodes, g)
+        assert out.shape == (2, 3, 8)
+        assert np.allclose(out.data[1, 1:], 0.0)  # padded node slots
+
+    def test_propagation_changes_connected_nodes(self):
+        rng = np.random.default_rng(1)
+        ggnn = SessionGGNN(8, rng=rng)
+        _, g = graph_of([1, 2])
+        nodes = rng.normal(size=(1, 2, 8))
+        out1 = ggnn(Tensor(nodes), g)
+        nodes2 = nodes.copy()
+        nodes2[0, 0] += 1.0  # perturb node 1
+        out2 = ggnn(Tensor(nodes2), g)
+        # Node 2 receives a message from node 1, so its state changes too.
+        assert not np.allclose(out1.data[0, 1], out2.data[0, 1])
+
+
+class TestSoftAttentionReadout:
+    def test_output_shape(self):
+        rng = np.random.default_rng(2)
+        readout = SoftAttentionReadout(8, rng=rng)
+        seq = Tensor(rng.normal(size=(3, 5, 8)))
+        last = Tensor(rng.normal(size=(3, 8)))
+        mask = np.ones((3, 5))
+        assert readout(seq, last, mask).shape == (3, 8)
+
+    def test_masked_positions_ignored(self):
+        rng = np.random.default_rng(3)
+        readout = SoftAttentionReadout(8, rng=rng)
+        seq = rng.normal(size=(1, 4, 8))
+        last = Tensor(seq[:, 1])
+        mask = np.array([[1, 1, 0, 0]], dtype=float)
+        out1 = readout(Tensor(seq), last, mask)
+        seq2 = seq.copy()
+        seq2[0, 2:] += 99.0
+        out2 = readout(Tensor(seq2), last, mask)
+        assert np.allclose(out1.data, out2.data)
+
+    def test_pool_only_mode(self):
+        rng = np.random.default_rng(4)
+        readout = SoftAttentionReadout(8, concat_last=False, rng=rng)
+        assert readout.w3 is None
+        seq = Tensor(rng.normal(size=(2, 3, 8)))
+        last = Tensor(rng.normal(size=(2, 8)))
+        assert readout(seq, last, np.ones((2, 3))).shape == (2, 8)
+
+
+class TestLastPositionRep:
+    def test_gathers_final_valid(self):
+        seq = Tensor(np.arange(24, dtype=float).reshape(2, 3, 4))
+        mask = np.array([[1, 1, 0], [1, 1, 1]], dtype=float)
+        out = last_position_rep(seq, mask)
+        assert np.allclose(out.data[0], seq.data[0, 1])
+        assert np.allclose(out.data[1], seq.data[1, 2])

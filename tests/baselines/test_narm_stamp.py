@@ -1,0 +1,79 @@
+"""Behavioral tests specific to NARM and STAMP."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.baselines import NARM, STAMP
+from repro.data import MacroSession, collate
+
+
+@pytest.fixture
+def batch():
+    return collate(
+        [
+            MacroSession([1, 2, 3], [[0], [0], [0]], target=4),
+            MacroSession([5], [[0]], target=6),
+        ]
+    )
+
+
+class TestNARM:
+    def test_recency_matters(self):
+        """Swapping the last item changes the prediction (local encoder)."""
+        model = NARM(20, dim=8, dropout=0.0)
+        model.eval()
+        a = collate([MacroSession([1, 2, 3], [[0]] * 3, target=4)])
+        b = collate([MacroSession([1, 3, 2], [[0]] * 3, target=4)])
+        with no_grad():
+            assert not np.allclose(model(a).data, model(b).data)
+
+    def test_bilinear_decoder_dimensions(self):
+        model = NARM(20, dim=8)
+        # decoder maps [h_t ; c_local] (2d) -> d
+        assert model.b.weight.shape == (16, 8)
+
+    def test_dropout_only_in_training(self, batch):
+        model = NARM(20, dim=8, dropout=0.5)
+        model.eval()
+        with no_grad():
+            a = model(batch).data
+            b = model(batch).data
+        assert np.allclose(a, b)
+
+    def test_padding_attention_masked(self):
+        model = NARM(20, dim=8, dropout=0.0)
+        model.eval()
+        short = MacroSession([3, 7], [[0], [0]], target=1)
+        huge = MacroSession([2, 4, 6, 8, 9, 10], [[0]] * 6, target=1)
+        with no_grad():
+            alone = model(collate([short])).data[0]
+            padded = model(collate([short, huge])).data[0]
+        assert np.allclose(alone, padded, atol=1e-10)
+
+
+class TestSTAMP:
+    def test_trilinear_composition(self):
+        """Scores come from (h_s * h_t) . emb — both interests matter."""
+        model = STAMP(20, dim=8, dropout=0.0)
+        model.eval()
+        a = collate([MacroSession([1, 2, 9], [[0]] * 3, target=4)])
+        b = collate([MacroSession([1, 2, 10], [[0]] * 3, target=4)])  # same memory-ish, new last click
+        with no_grad():
+            assert not np.allclose(model(a).data, model(b).data)
+
+    def test_session_mean_used(self):
+        """Changing a non-final item shifts the memory m_s and the scores."""
+        model = STAMP(20, dim=8, dropout=0.0)
+        model.eval()
+        a = collate([MacroSession([1, 2, 3], [[0]] * 3, target=4)])
+        b = collate([MacroSession([7, 2, 3], [[0]] * 3, target=4)])
+        with no_grad():
+            assert not np.allclose(model(a).data, model(b).data)
+
+    def test_single_item_session_stable(self):
+        model = STAMP(20, dim=8)
+        model.eval()
+        with no_grad():
+            scores = model(collate([MacroSession([5], [[0]], target=1)])).data
+        assert np.isfinite(scores).all()

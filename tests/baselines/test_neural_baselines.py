@@ -1,0 +1,122 @@
+"""Shared behaviour tests across all nine neural baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import no_grad
+from repro.baselines import BERT4Rec, GCSAN, HUP, MKMSR, NARM, RIB, SGNNHN, SRGNN, STAMP
+from repro.data import DataLoader, MacroSession, collate, generate_dataset, jd_appliances_config, prepare_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 400, seed=21), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    return next(iter(DataLoader(dataset.train, batch_size=16, seed=5)))
+
+
+def build_all(dataset, dim=12):
+    v, o = dataset.num_items, dataset.num_operations
+    return {
+        "NARM": NARM(v, dim=dim),
+        "STAMP": STAMP(v, dim=dim),
+        "SR-GNN": SRGNN(v, dim=dim),
+        "GC-SAN": GCSAN(v, dim=dim),
+        "BERT4Rec": BERT4Rec(v, dim=dim),
+        "SGNN-HN": SGNNHN(v, dim=dim),
+        "RIB": RIB(v, o, dim=dim),
+        "HUP": HUP(v, o, dim=dim),
+        "MKM-SR": MKMSR(v, o, dim=dim),
+    }
+
+
+MACRO_ONLY = ["NARM", "STAMP", "SR-GNN", "GC-SAN", "BERT4Rec", "SGNN-HN"]
+MICRO_AWARE = ["RIB", "HUP", "MKM-SR"]
+
+
+class TestAllNeuralBaselines:
+    @pytest.fixture(scope="class")
+    def models(self, dataset):
+        return build_all(dataset)
+
+    def test_forward_shapes(self, models, dataset, batch):
+        for name, model in models.items():
+            logits = model(batch)
+            assert logits.shape == (batch.batch_size, dataset.num_items), name
+            assert np.isfinite(logits.data).all(), name
+
+    def test_backward_produces_gradients(self, models, batch):
+        for name, model in models.items():
+            model.zero_grad()
+            loss = nn.cross_entropy(model(batch), batch.target_classes)
+            loss.backward()
+            grads = sum(
+                1 for p in model.parameters() if p.grad is not None and np.abs(p.grad).sum() > 0
+            )
+            assert grads >= 4, f"{name}: only {grads} parameters received gradient"
+
+    def test_single_item_sessions(self, models, dataset):
+        b = collate([MacroSession([3], [[0]], target=1)])
+        for name, model in models.items():
+            model.eval()
+            with no_grad():
+                assert np.isfinite(model(b).data).all(), name
+
+    def test_padding_consistency(self, models):
+        short = MacroSession([3, 7], [[0], [1]], target=1)
+        long = MacroSession([2, 4, 6, 8, 9], [[0]] * 5, target=1)
+        for name, model in models.items():
+            model.eval()
+            with no_grad():
+                alone = model(collate([short])).data[0]
+                together = model(collate([short, long])).data[0]
+            assert np.allclose(alone, together, atol=1e-8), name
+
+
+class TestMicroAwareness:
+    """Micro models must react to operations; macro models must not."""
+
+    items = [3, 7, 5]
+    ops_a = [[0], [1, 2], [0]]
+    ops_b = [[0], [0], [0, 3]]
+
+    def _scores(self, model, ops):
+        model.eval()
+        with no_grad():
+            return model(collate([MacroSession(self.items, ops, target=1)])).data
+
+    @pytest.mark.parametrize("name", MICRO_AWARE)
+    def test_micro_models_sensitive(self, dataset, name):
+        model = build_all(dataset)[name]
+        assert not np.allclose(self._scores(model, self.ops_a), self._scores(model, self.ops_b))
+
+    @pytest.mark.parametrize("name", MACRO_ONLY)
+    def test_macro_models_blind(self, dataset, name):
+        model = build_all(dataset)[name]
+        assert np.allclose(self._scores(model, self.ops_a), self._scores(model, self.ops_b))
+
+
+class TestBERT4Rec:
+    def test_mask_token_is_extra_row(self, dataset):
+        model = BERT4Rec(dataset.num_items, dim=12)
+        assert model.mask_id == dataset.num_items + 1
+        assert model.item_embedding.weight.shape[0] == dataset.num_items + 2
+
+    def test_scores_exclude_mask_token(self, dataset, batch):
+        model = BERT4Rec(dataset.num_items, dim=12)
+        assert model(batch).shape[1] == dataset.num_items
+
+
+class TestSGNNHN:
+    def test_normalized_scores_bounded(self, dataset, batch):
+        model = SGNNHN(dataset.num_items, dim=12, w_k=12.0)
+        model.eval()
+        with no_grad():
+            assert np.abs(model(batch).data).max() <= 12.0 + 1e-9

@@ -1,0 +1,114 @@
+"""Unit tests for S-POP and SKNN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SKNN, SPop
+from repro.data import (
+    DataLoader,
+    MacroSession,
+    collate,
+    generate_dataset,
+    jd_appliances_config,
+    prepare_dataset,
+    trivago_config,
+)
+
+
+@pytest.fixture(scope="module")
+def jd_dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(generate_dataset(cfg, 600, seed=1), cfg.operations, min_support=2, name="jd")
+
+
+@pytest.fixture(scope="module")
+def trivago_dataset():
+    cfg = trivago_config()
+    return prepare_dataset(generate_dataset(cfg, 600, seed=1), cfg.operations, min_support=2, name="trivago")
+
+
+class TestSPop:
+    def test_session_items_ranked_first(self, jd_dataset):
+        spop = SPop().fit(jd_dataset)
+        ex = MacroSession([5, 9, 5], [[0], [0], [0]], target=1)
+        scores = spop.score_batch(collate([ex]))[0]
+        # Item 5 appears twice, item 9 once; both beat everything else.
+        assert scores[4] > scores[8] > max(
+            s for i, s in enumerate(scores) if i not in (4, 8)
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SPop().score_batch(collate([MacroSession([1], [[0]], target=2)]))
+
+    def test_popularity_fallback_breaks_ties(self, jd_dataset):
+        spop = SPop(popularity_fallback=True).fit(jd_dataset)
+        ex = MacroSession([1], [[0]], target=2)
+        scores = spop.score_batch(collate([ex]))[0]
+        others = np.delete(scores, 0)
+        assert len(np.unique(others)) > 1  # popularity spreads the tail
+
+    def test_default_zero_outside_session(self, jd_dataset):
+        spop = SPop().fit(jd_dataset)
+        ex = MacroSession([1], [[0]], target=2)
+        scores = spop.score_batch(collate([ex]))[0]
+        assert np.allclose(np.delete(scores, 0), 0.0)
+
+    def test_fails_in_exploration_regime(self, trivago_dataset):
+        """The paper: S-POP H@K = exactly 0 on trivago."""
+        from repro.eval import evaluate_scores
+
+        spop = SPop().fit(trivago_dataset)
+        loader = DataLoader(trivago_dataset.test, batch_size=128)
+        scores, targets = [], []
+        for b in loader:
+            scores.append(spop.score_batch(b))
+            targets.append(b.target_classes)
+        metrics = evaluate_scores(np.concatenate(scores), np.concatenate(targets), ks=(20,))
+        assert metrics["H@20"] < 7.0  # only the ~5% in-session repeats can hit
+
+    def test_works_in_repeat_regime(self, jd_dataset):
+        from repro.eval import evaluate_scores
+
+        spop = SPop().fit(jd_dataset)
+        loader = DataLoader(jd_dataset.test, batch_size=128)
+        scores, targets = [], []
+        for b in loader:
+            scores.append(spop.score_batch(b))
+            targets.append(b.target_classes)
+        metrics = evaluate_scores(np.concatenate(scores), np.concatenate(targets), ks=(20,))
+        assert metrics["H@20"] > 15.0
+
+
+class TestSKNN:
+    def test_scores_shape(self, jd_dataset):
+        sknn = SKNN(k=20, sample_size=200).fit(jd_dataset)
+        batch = next(iter(DataLoader(jd_dataset.test, batch_size=8)))
+        assert sknn.score_batch(batch).shape == (8, jd_dataset.num_items)
+
+    def test_neighbour_transfer(self):
+        """Items co-occurring with the query session get positive scores."""
+        cfg = jd_appliances_config()
+        ds = prepare_dataset(generate_dataset(cfg, 400, seed=3), cfg.operations, min_support=2)
+        sknn = SKNN(k=10).fit(ds)
+        train_ex = ds.train[0]
+        scores = sknn.score_batch(collate([train_ex]))[0]
+        # The training session itself is a neighbour, so its target scores > 0.
+        assert scores[train_ex.target - 1] > 0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SKNN().score_batch(collate([MacroSession([1], [[0]], target=2)]))
+
+    def test_beats_random_on_test(self, jd_dataset):
+        from repro.eval import evaluate_scores
+
+        sknn = SKNN(k=50).fit(jd_dataset)
+        loader = DataLoader(jd_dataset.test, batch_size=128)
+        scores, targets = [], []
+        for b in loader:
+            scores.append(sknn.score_batch(b))
+            targets.append(b.target_classes)
+        metrics = evaluate_scores(np.concatenate(scores), np.concatenate(targets), ks=(20,))
+        random_h20 = 20 / jd_dataset.num_items * 100
+        assert metrics["H@20"] > random_h20 * 3

@@ -1,0 +1,139 @@
+"""Integration-style tests for the EMBSR model and its variants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import no_grad
+from repro.core import EMBSR, EMBSRConfig, VARIANT_BUILDERS, build_embsr, build_fixed_beta
+from repro.data import DataLoader, MacroSession, collate, generate_dataset, jd_appliances_config, prepare_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 400, seed=9), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    return next(iter(DataLoader(dataset.train, batch_size=16, seed=0)))
+
+
+@pytest.fixture(scope="module")
+def config(dataset):
+    return EMBSRConfig(num_items=dataset.num_items, num_ops=dataset.num_operations, dim=12, seed=0)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", sorted(VARIANT_BUILDERS))
+    def test_forward_backward(self, name, config, dataset, batch):
+        model = VARIANT_BUILDERS[name](config)
+        logits = model(batch)
+        assert logits.shape == (batch.batch_size, dataset.num_items)
+        assert np.isfinite(logits.data).all()
+        loss = nn.cross_entropy(logits, batch.target_classes)
+        loss.backward()
+        grads = [p for p in model.parameters() if p.grad is not None]
+        assert grads, f"{name} produced no gradients"
+
+    def test_fixed_beta_builder(self, config, batch):
+        model = build_fixed_beta(config, 0.3)
+        assert np.isfinite(model(batch).data).all()
+
+    def test_unknown_encoder_rejected(self, config):
+        with pytest.raises(ValueError):
+            EMBSR(config.variant(encoder="transformer"))
+
+    def test_unknown_fusion_rejected(self, config):
+        with pytest.raises(ValueError):
+            EMBSR(config.variant(fusion="mystery"))
+
+
+class TestEMBSRBehaviour:
+    def test_operations_affect_scores(self, config):
+        """Same items, different micro-operations => different predictions.
+
+        This is the paper's Fig. 1 motivation: user 1 and user 2 share the
+        macro-item sequence but differ in operations.
+        """
+        model = build_embsr(config)
+        model.eval()
+        items = [3, 7, 5]
+        a = MacroSession(items, [[0], [1, 2], [0]], target=1)
+        b = MacroSession(items, [[0], [0], [0, 3]], target=1)
+        with no_grad():
+            scores_a = model(collate([a])).data
+            scores_b = model(collate([b])).data
+        assert not np.allclose(scores_a, scores_b)
+
+    def test_macro_only_variant_ignores_operations(self, config):
+        model = VARIANT_BUILDERS["SGNN-Self"](config)
+        model.eval()
+        items = [3, 7, 5]
+        a = MacroSession(items, [[0], [1, 2], [0]], target=1)
+        b = MacroSession(items, [[0], [0], [0, 3]], target=1)
+        with no_grad():
+            scores_a = model(collate([a])).data
+            scores_b = model(collate([b])).data
+        # SGNN-Self sees no micro-operations; identical item sequences give
+        # identical score vectors (op sequences only affect padding layout).
+        assert np.allclose(scores_a, scores_b)
+
+    def test_item_order_affects_scores(self, config):
+        model = build_embsr(config)
+        model.eval()
+        a = MacroSession([3, 7, 5], [[0], [0], [0]], target=1)
+        b = MacroSession([5, 7, 3], [[0], [0], [0]], target=1)
+        with no_grad():
+            assert not np.allclose(model(collate([a])).data, model(collate([b])).data)
+
+    def test_batch_padding_consistency(self, config):
+        """A session scored alone equals the same session inside a batch."""
+        model = build_embsr(config)
+        model.eval()
+        short = MacroSession([3, 7], [[0], [1]], target=1)
+        long = MacroSession([2, 4, 6, 8, 9], [[0]] * 5, target=1)
+        with no_grad():
+            alone = model(collate([short])).data[0]
+            together = model(collate([short, long])).data[0]
+        assert np.allclose(alone, together, atol=1e-10)
+
+    def test_single_item_session(self, config):
+        model = build_embsr(config)
+        model.eval()
+        ex = MacroSession([3], [[0, 1]], target=1)
+        with no_grad():
+            scores = model(collate([ex])).data
+        assert np.isfinite(scores).all()
+
+    def test_scores_respect_wk_bound(self, config, batch):
+        model = build_embsr(config)
+        model.eval()
+        with no_grad():
+            scores = model(batch).data
+        assert np.abs(scores).max() <= config.w_k + 1e-9
+
+    def test_training_reduces_loss(self, dataset, config):
+        model = build_embsr(config)
+        loader = DataLoader(dataset.train[:128], batch_size=32, shuffle=True, seed=1)
+        opt = nn.Adam(model.parameters(), lr=0.01)
+        losses = []
+        for _ in range(4):
+            total = 0.0
+            for b in loader:
+                opt.zero_grad()
+                loss = nn.cross_entropy(model(b), b.target_classes)
+                loss.backward()
+                nn.clip_grad_norm(model.parameters(), 5.0)
+                opt.step()
+                total += loss.item()
+            losses.append(total)
+        assert losses[-1] < losses[0] * 0.9
+
+    def test_variant_config_immutable_copy(self, config):
+        changed = config.variant(attention="plain")
+        assert changed.attention == "plain"
+        assert config.attention == "dyadic"

@@ -1,0 +1,87 @@
+"""Fine-grained pathway tests for EMBSR's information flow."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.core import EMBSR, EMBSRConfig, build_embsr
+from repro.data import MacroSession, collate
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EMBSRConfig(num_items=30, num_ops=5, dim=8, dropout=0.0, seed=3)
+
+
+def scores(model, items, ops, target=9):
+    model.eval()
+    with no_grad():
+        return model(collate([MacroSession(items, ops, target=target)])).data
+
+
+class TestInformationFlow:
+    def test_distant_item_reaches_prediction_via_star(self, config):
+        """The star node propagates long-range information (Sec. IV-B5)."""
+        model = build_embsr(config)
+        a = scores(model, [1, 2, 3, 4, 5], [[0]] * 5)
+        b = scores(model, [7, 2, 3, 4, 5], [[0]] * 5)
+        assert not np.allclose(a, b)
+
+    def test_op_chain_on_middle_item_matters(self, config):
+        """Micro-ops of a non-final item flow through GRU+GNN+attention."""
+        model = build_embsr(config)
+        a = scores(model, [1, 2, 3], [[0], [1, 2], [0]])
+        b = scores(model, [1, 2, 3], [[0], [3, 4], [0]])
+        assert not np.allclose(a, b)
+
+    def test_last_operation_shifts_star_token(self, config):
+        """Eq. 13: the assumed next-operation (last op proxy) matters."""
+        model = build_embsr(config)
+        a = scores(model, [1, 2], [[0], [1]])
+        b = scores(model, [1, 2], [[0], [2]])
+        assert not np.allclose(a, b)
+
+    def test_op_order_within_chain_matters(self, config):
+        """The sequential pattern (Eq. 3) is order-sensitive end-to-end."""
+        model = build_embsr(config)
+        a = scores(model, [1, 2], [[1, 2], [0]])
+        b = scores(model, [1, 2], [[2, 1], [0]])
+        assert not np.allclose(a, b)
+
+    def test_revisit_differs_from_single_visit(self, config):
+        model = build_embsr(config)
+        a = scores(model, [1, 2, 1], [[0], [0], [0]])
+        b = scores(model, [1, 2, 3], [[0], [0], [0]])
+        assert not np.allclose(a, b)
+
+
+class TestVariantBlindSpots:
+    def test_ns_insensitive_to_op_pair_reordering_across_items(self, config):
+        """EMBSR-NS drops the attention: dyadic cross-item relations are
+        only seen through the GNN, so reordering ops *within* one item's
+        chain still changes its GRU encoding — but a variant without the
+        GRU and without attention ops (SGNN-Self) must be fully blind."""
+        from repro.core import build_sgnn_self
+
+        model = build_sgnn_self(config)
+        a = scores(model, [1, 2], [[1, 2], [0]])
+        b = scores(model, [1, 2], [[2, 1], [0]])
+        assert np.allclose(a, b)
+
+    def test_ng_still_uses_dyadic_relations(self, config):
+        from repro.core import build_embsr_ng
+
+        model = build_embsr_ng(config)
+        a = scores(model, [1, 2], [[1], [2]])
+        b = scores(model, [1, 2], [[2], [1]])
+        assert not np.allclose(a, b)
+
+    def test_macro_level_attention_uses_last_chain_op(self, config):
+        """SGNN-Seq-Self represents each macro step by its final op for the
+        (plain) attention mask path, and feeds full chains to the GNN."""
+        from repro.core import build_sgnn_seq_self
+
+        model = build_sgnn_seq_self(config)
+        a = scores(model, [1, 2], [[1, 2], [0]])
+        b = scores(model, [1, 2], [[1, 3], [0]])
+        assert not np.allclose(a, b)

@@ -1,0 +1,96 @@
+"""Unit tests for fusion mechanisms and the score predictor (Eqs. 18-19)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import ConcatMLP, FixedBeta, FusionGate, ScorePredictor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFusionGate:
+    def test_output_between_inputs(self, rng):
+        gate = FusionGate(8, rng=rng)
+        z = Tensor(np.zeros((3, 8)))
+        x = Tensor(np.ones((3, 8)))
+        out = gate(z, x).data
+        assert ((out >= 0.0) & (out <= 1.0)).all()
+
+    def test_gradients(self, rng):
+        gate = FusionGate(4, rng=rng)
+        z = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        gate(z, x).sum().backward()
+        assert z.grad is not None and x.grad is not None
+
+
+class TestFixedBeta:
+    def test_extremes(self, rng):
+        z = Tensor(rng.normal(size=(2, 4)))
+        x = Tensor(rng.normal(size=(2, 4)))
+        assert np.allclose(FixedBeta(1.0)(z, x).data, z.data)
+        assert np.allclose(FixedBeta(0.0)(z, x).data, x.data)
+
+    def test_midpoint(self, rng):
+        z = Tensor(np.zeros((1, 4)))
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(FixedBeta(0.5)(z, x).data, 0.5)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            FixedBeta(1.5)
+
+    def test_no_parameters(self):
+        assert list(FixedBeta(0.5).parameters()) == []
+
+
+class TestConcatMLP:
+    def test_shape_and_grad(self, rng):
+        mlp = ConcatMLP(6, rng=rng)
+        z = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 6)))
+        out = mlp(z, x)
+        assert out.shape == (3, 6)
+        out.sum().backward()
+        assert z.grad is not None
+
+
+class TestScorePredictor:
+    def test_scores_bounded_by_wk(self, rng):
+        pred = ScorePredictor(w_k=12.0)
+        m = Tensor(rng.normal(size=(4, 8)))
+        emb = Tensor(rng.normal(size=(11, 8)))
+        scores = pred(m, emb).data
+        assert scores.shape == (4, 10)  # padding row excluded
+        assert np.abs(scores).max() <= 12.0 + 1e-9  # cosine in [-1, 1] * w_k
+
+    def test_scale_invariance_of_session_vector(self, rng):
+        """L2 normalization makes scoring insensitive to vector norms."""
+        pred = ScorePredictor(w_k=12.0)
+        emb = Tensor(rng.normal(size=(6, 8)))
+        m = Tensor(rng.normal(size=(2, 8)))
+        m_scaled = Tensor(m.data * 37.0)
+        assert np.allclose(pred(m, emb).data, pred(m_scaled, emb).data)
+
+    def test_popularity_bias_removed(self, rng):
+        """Scaling one item's embedding must not change its relative score."""
+        pred = ScorePredictor(w_k=1.0)
+        emb_data = rng.normal(size=(4, 8))
+        m = Tensor(rng.normal(size=(1, 8)))
+        base = pred(m, Tensor(emb_data)).data
+        emb_data2 = emb_data.copy()
+        emb_data2[2] *= 100.0  # norm inflation (popular item)
+        boosted = pred(m, Tensor(emb_data2)).data
+        assert np.allclose(base, boosted)
+
+    def test_perfect_match_gets_max_score(self, rng):
+        pred = ScorePredictor(w_k=5.0)
+        emb = Tensor(np.vstack([np.zeros(4), np.eye(4)]))
+        m = Tensor(np.array([[1.0, 0, 0, 0]]))
+        scores = pred(m, emb).data
+        assert np.argmax(scores[0]) == 0
+        assert abs(scores[0, 0] - 5.0) < 1e-9

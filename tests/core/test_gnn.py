@@ -1,0 +1,113 @@
+"""Unit tests for the star multigraph GNN (Eqs. 5-11)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import StarMultigraphGNN
+from repro.data import MacroSession, collate
+from repro.graphs import BatchGraph
+
+
+def build(items, ops=None, target=99):
+    ops = ops or [[0]] * len(items)
+    batch = collate([MacroSession(items, ops, target=target)])
+    return batch, BatchGraph.from_batch(batch)
+
+
+@pytest.fixture
+def gnn():
+    return StarMultigraphGNN(8, num_layers=1, rng=np.random.default_rng(0))
+
+
+def run(gnn, graph, seed=1, htilde=None):
+    rng = np.random.default_rng(seed)
+    B, c = graph.node_items.shape
+    n = graph.gather.shape[1]
+    nodes0 = Tensor(rng.normal(size=(B, c, 8)), requires_grad=True)
+    star0 = Tensor(rng.normal(size=(B, 8)))
+    if htilde is None:
+        htilde = Tensor(np.zeros((B, n, 8)))
+    h_f, star = gnn(nodes0, star0, htilde, graph)
+    return nodes0, h_f, star
+
+
+class TestStarMultigraphGNN:
+    def test_shapes(self, gnn):
+        _, graph = build([1, 2, 3, 2])
+        nodes0, h_f, star = run(gnn, graph)
+        assert h_f.shape == nodes0.shape
+        assert star.shape == (1, 8)
+
+    def test_single_node_session_no_messages(self, gnn):
+        _, graph = build([5])
+        nodes0, h_f, star = run(gnn, graph)
+        assert np.isfinite(h_f.data).all()
+        assert np.isfinite(star.data).all()
+
+    def test_padded_nodes_stay_zero(self, gnn):
+        batch = collate(
+            [
+                MacroSession([1, 2, 3], [[0]] * 3, target=9),
+                MacroSession([4], [[0]], target=9),
+            ]
+        )
+        graph = BatchGraph.from_batch(batch)
+        _, h_f, _ = run(gnn, graph)
+        # Session 1 has one node; slots 1-2 are padding and must stay zero.
+        assert np.allclose(h_f.data[1, 1:], 0.0)
+
+    def test_micro_op_information_changes_output(self, gnn):
+        _, graph = build([1, 2, 3])
+        rng = np.random.default_rng(2)
+        nodes0 = Tensor(rng.normal(size=(1, 3, 8)))
+        star0 = Tensor(rng.normal(size=(1, 8)))
+        h_zero = Tensor(np.zeros((1, 3, 8)))
+        h_rand = Tensor(rng.normal(size=(1, 3, 8)))
+        out_zero, _ = gnn(nodes0, star0, h_zero, graph)
+        out_rand, _ = gnn(nodes0, star0, h_rand, graph)
+        assert not np.allclose(out_zero.data, out_rand.data)
+
+    def test_parallel_edges_deliver_distinct_messages(self, gnn):
+        """The multigraph property: the same node pair, different op context."""
+        _, graph = build([1, 2, 3, 2, 3])  # 2->3 twice (orders 1 and 3)
+        rng = np.random.default_rng(3)
+        nodes0 = Tensor(rng.normal(size=(1, 3, 8)))
+        star0 = Tensor(rng.normal(size=(1, 8)))
+        # htilde differs at macro positions 1 vs 3 (both item 2).
+        h = rng.normal(size=(1, 5, 8))
+        out_a, _ = gnn(nodes0, star0, Tensor(h), graph)
+        h2 = h.copy()
+        h2[0, 3] += 1.0  # change only the second visit's op encoding
+        out_b, _ = gnn(nodes0, star0, Tensor(h2), graph)
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_gradients_flow_to_inputs(self, gnn):
+        _, graph = build([1, 2, 3, 2])
+        nodes0, h_f, star = run(gnn, graph)
+        (h_f.sum() + star.sum()).backward()
+        assert nodes0.grad is not None
+        assert np.abs(nodes0.grad).sum() > 0
+
+    def test_multiple_layers_run(self):
+        gnn = StarMultigraphGNN(8, num_layers=3, rng=np.random.default_rng(0))
+        _, graph = build([1, 2, 1, 3])
+        _, h_f, star = run(gnn, graph)
+        assert np.isfinite(h_f.data).all()
+
+    def test_highway_mixes_initial_embeddings(self, gnn):
+        """Eq. 11: output depends on nodes0 beyond the propagation path."""
+        _, graph = build([1, 2])
+        rng = np.random.default_rng(4)
+        nodes0 = Tensor(rng.normal(size=(1, 2, 8)))
+        star0 = Tensor(rng.normal(size=(1, 8)))
+        htilde = Tensor(np.zeros((1, 2, 8)))
+        h_f, _ = gnn(nodes0, star0, htilde, graph)
+        # The highway gate keeps h_f between nodes0 and the GNN output, so
+        # h_f cannot equal the propagated state alone unless g == 0.
+        g = gnn.w_g(  # reconstruct the gate to confirm it is non-trivial
+            __import__("repro.autograd", fromlist=["concat"]).concat(
+                [nodes0, h_f], axis=2
+            )
+        ).sigmoid()
+        assert 0.0 < g.data.mean() < 1.0

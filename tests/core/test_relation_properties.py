@@ -1,0 +1,60 @@
+"""Property-based tests for the dyadic relation index (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import relation_ids
+
+settings.register_profile("repro-rel", deadline=None, max_examples=50)
+settings.load_profile("repro-rel")
+
+
+ops_arrays = st.integers(1, 12).flatmap(
+    lambda num_ops: st.tuples(
+        st.just(num_ops),
+        st.lists(st.integers(0, num_ops), min_size=1, max_size=8),
+    )
+)
+
+
+class TestRelationIdProperties:
+    @given(ops_arrays)
+    def test_bijective_over_pairs(self, args):
+        """Distinct (o_i, o_j) pairs map to distinct relation ids."""
+        num_ops, ops = args
+        arr = np.array([ops])
+        rel = relation_ids(arr, arr, num_ops)
+        seen = {}
+        for i, oi in enumerate(ops):
+            for j, oj in enumerate(ops):
+                rid = int(rel[0, i, j])
+                pair = (oi, oj)
+                if rid in seen:
+                    assert seen[rid] == pair
+                seen[rid] = pair
+
+    @given(ops_arrays)
+    def test_range_bounds(self, args):
+        num_ops, ops = args
+        arr = np.array([ops])
+        rel = relation_ids(arr, arr, num_ops)
+        assert rel.min() >= 0
+        assert rel.max() <= (num_ops + 1) ** 2 - 1
+
+    @given(ops_arrays)
+    def test_diagonal_is_self_pair(self, args):
+        num_ops, ops = args
+        arr = np.array([ops])
+        rel = relation_ids(arr, arr, num_ops)
+        for i, o in enumerate(ops):
+            assert rel[0, i, i] == o * (num_ops + 1) + o
+
+    @given(ops_arrays)
+    def test_transpose_swaps_pair(self, args):
+        """r(o_i, o_j) and r(o_j, o_i) decode to swapped pairs."""
+        num_ops, ops = args
+        arr = np.array([ops])
+        rel = relation_ids(arr, arr, num_ops)
+        base = num_ops + 1
+        decoded = np.stack([rel // base, rel % base], axis=-1)
+        assert np.array_equal(decoded[0].transpose(1, 0, 2), decoded[0][..., ::-1])

@@ -1,0 +1,100 @@
+"""Structural tests: each variant wires exactly the components it claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EMBSRConfig,
+    VARIANT_BUILDERS,
+    build_embsr,
+    build_embsr_nf,
+    build_embsr_ng,
+    build_embsr_ns,
+    build_fixed_beta,
+    build_rnn_self,
+    build_sgnn_abs_self,
+    build_sgnn_dyadic,
+    build_sgnn_self,
+    build_sgnn_seq_self,
+)
+from repro.core.fusion import ConcatMLP, FixedBeta, FusionGate
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EMBSRConfig(num_items=30, num_ops=5, dim=8, seed=0)
+
+
+class TestVariantArchitectures:
+    def test_full_embsr(self, config):
+        m = build_embsr(config)
+        assert m.op_encoder is not None
+        assert m.gnn is not None
+        assert m.attention is not None
+        assert isinstance(m.fusion, FusionGate)
+        assert m.config.attention == "dyadic"
+
+    def test_ns_has_no_attention(self, config):
+        m = build_embsr_ns(config)
+        assert m.attention is None
+        assert m.op_encoder is not None  # sequential pattern kept
+
+    def test_ng_has_no_gnn(self, config):
+        m = build_embsr_ng(config)
+        assert m.gnn is None
+        assert m.op_encoder is None
+        assert m.attention is not None  # dyadic pattern kept
+
+    def test_nf_uses_concat_mlp(self, config):
+        m = build_embsr_nf(config)
+        assert isinstance(m.fusion, ConcatMLP)
+
+    def test_sgnn_self_is_macro_only(self, config):
+        m = build_sgnn_self(config)
+        assert m.op_encoder is None
+        assert m.config.attention == "plain"
+        assert m.config.attention_level == "macro"
+
+    def test_sgnn_seq_self_adds_op_gru(self, config):
+        m = build_sgnn_seq_self(config)
+        assert m.op_encoder is not None
+        assert m.config.attention == "plain"
+
+    def test_rnn_self_uses_rnn_encoder(self, config):
+        m = build_rnn_self(config)
+        assert m.rnn is not None
+        assert m.gnn is None
+
+    def test_abs_vs_dyadic_attention_mode(self, config):
+        assert build_sgnn_abs_self(config).config.attention == "absolute"
+        assert build_sgnn_dyadic(config).config.attention == "dyadic"
+        assert build_sgnn_dyadic(config).op_encoder is None
+
+    def test_fixed_beta_fusion(self, config):
+        m = build_fixed_beta(config, 0.6)
+        assert isinstance(m.fusion, FixedBeta)
+        assert m.fusion.beta == 0.6
+
+    def test_registry_complete(self):
+        expected = {
+            "EMBSR", "EMBSR-NS", "EMBSR-NG", "EMBSR-NF",
+            "SGNN-Self", "SGNN-Seq-Self", "RNN-Self",
+            "SGNN-Abs-Self", "SGNN-Dyadic",
+        }
+        assert set(VARIANT_BUILDERS) == expected
+
+    def test_untied_tables_by_default(self, config):
+        m = build_embsr(config)
+        assert m.gru_op_embedding is not m.op_embedding
+
+    def test_tied_tables_on_request(self, config):
+        m = build_embsr(config.variant(tie_op_embeddings=True))
+        assert m.gru_op_embedding is m.op_embedding
+
+    def test_param_counts_ordered(self, config):
+        """Adding components must add parameters."""
+        full = build_embsr(config).num_parameters()
+        ns = build_embsr_ns(config).num_parameters()
+        sgnn_self = build_sgnn_self(config).num_parameters()
+        assert full > ns
+        assert full > sgnn_self

@@ -1,0 +1,49 @@
+"""Extra collation edge cases found worth pinning during benchmarking."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, MacroSession, collate
+
+
+class TestOpsTruncationEdges:
+    def test_truncation_updates_last_op(self):
+        """When the final chain is truncated, last_op must reflect the kept ops."""
+        ex = MacroSession([1], [[0, 1, 2, 3, 4]], target=2)
+        batch = collate([ex], max_ops_per_item=2)
+        # Kept ops: [0, 1] -> shifted last is 2.
+        assert batch.last_op[0] == 2
+
+    def test_no_truncation_by_default_loader(self):
+        loader = DataLoader(
+            [MacroSession([1], [[0] * 10], target=2)], batch_size=1, max_ops_per_item=None
+        )
+        batch = next(iter(loader))
+        assert batch.ops.shape[2] == 10
+
+    def test_k_max_is_batch_local(self):
+        batch = collate(
+            [
+                MacroSession([1], [[0]], target=2),
+                MacroSession([3], [[0, 1, 2]], target=4),
+            ]
+        )
+        assert batch.ops.shape[2] == 3
+
+    def test_micro_len_after_truncation(self):
+        batch = collate(
+            [MacroSession([1, 2], [[0, 1, 2], [3]], target=4)], max_ops_per_item=2
+        )
+        assert batch.micro_lengths()[0] == 3  # 2 kept + 1
+
+    def test_heterogeneous_batch_alignment(self):
+        examples = [
+            MacroSession([1, 2, 3], [[0], [1, 2], [3]], target=5),
+            MacroSession([4], [[0, 1, 2, 3]], target=6),
+        ]
+        batch = collate(examples)
+        # Row 0: 4 micro steps; row 1: 4 micro steps.
+        assert batch.micro_lengths().tolist() == [4, 4]
+        # The flattened item of each micro step matches its macro step.
+        t0 = batch.micro_items[0, : 4].tolist()
+        assert t0 == [1, 2, 2, 3]

@@ -1,0 +1,98 @@
+"""Unit tests for batch collation and the data loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, MacroSession, collate
+
+
+def make_example(items, ops, target):
+    return MacroSession(items, ops, target=target)
+
+
+class TestCollate:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collate([])
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ValueError):
+            collate([MacroSession([1], [[0]])])
+
+    def test_padding_layout(self):
+        batch = collate(
+            [
+                make_example([1, 2], [[0], [1, 2]], target=3),
+                make_example([4], [[2]], target=5),
+            ]
+        )
+        assert batch.items.shape == (2, 2)
+        assert batch.items[1, 1] == 0
+        assert batch.item_mask[1, 1] == 0.0
+        # Operation ids are shifted by +1.
+        assert batch.ops[0, 0, 0] == 1
+        assert batch.ops[0, 1].tolist() == [2, 3]
+        assert batch.targets.tolist() == [3, 5]
+
+    def test_micro_flattening(self):
+        batch = collate([make_example([1, 2], [[0], [1, 2]], target=3)])
+        t = int(batch.micro_mask[0].sum())
+        assert t == 3
+        assert batch.micro_items[0, :t].tolist() == [1, 2, 2]
+        assert batch.micro_ops[0, :t].tolist() == [1, 2, 3]
+
+    def test_last_op(self):
+        batch = collate([make_example([1, 2], [[0], [1, 4]], target=3)])
+        assert batch.last_op[0] == 5  # shifted
+
+    def test_target_classes_zero_based(self):
+        batch = collate([make_example([1], [[0]], target=7)])
+        assert batch.target_classes[0] == 6
+
+    def test_ops_truncation(self):
+        batch = collate(
+            [make_example([1], [[0, 1, 2, 3, 4, 5, 6]], target=2)], max_ops_per_item=3
+        )
+        assert batch.ops.shape[2] == 3
+        assert int(batch.micro_mask.sum()) == 3
+
+    def test_lengths(self):
+        batch = collate(
+            [
+                make_example([1, 2, 3], [[0], [0], [0]], target=4),
+                make_example([5], [[0, 1]], target=6),
+            ]
+        )
+        assert batch.macro_lengths().tolist() == [3, 1]
+        assert batch.micro_lengths().tolist() == [3, 2]
+
+
+class TestDataLoader:
+    examples = [make_example([i + 1], [[0]], target=i + 2) for i in range(10)]
+
+    def test_batch_count(self):
+        loader = DataLoader(self.examples, batch_size=4)
+        assert len(loader) == 3
+        sizes = [b.batch_size for b in loader]
+        assert sizes == [4, 4, 2]
+
+    def test_shuffle_deterministic_per_seed(self):
+        a = [b.targets.tolist() for b in DataLoader(self.examples, batch_size=4, shuffle=True, seed=1)]
+        b = [b.targets.tolist() for b in DataLoader(self.examples, batch_size=4, shuffle=True, seed=1)]
+        assert a == b
+
+    def test_shuffle_changes_order_across_epochs(self):
+        loader = DataLoader(self.examples, batch_size=10, shuffle=True, seed=1)
+        first = next(iter(loader)).targets.tolist()
+        second = next(iter(loader)).targets.tolist()
+        assert sorted(first) == sorted(second)
+        assert first != second
+
+    def test_no_shuffle_preserves_order(self):
+        loader = DataLoader(self.examples, batch_size=3)
+        flat = [t for b in loader for t in b.targets.tolist()]
+        assert flat == [ex.target for ex in self.examples]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self.examples, batch_size=0)

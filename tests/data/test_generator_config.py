@@ -1,0 +1,88 @@
+"""Tests for generator configuration plumbing and custom personas."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GeneratorConfig,
+    Persona,
+    SyntheticSessionGenerator,
+    jd_appliances_config,
+    jd_computers_config,
+    merge_successive,
+    trivago_config,
+)
+from repro.data.schema import OperationVocab
+
+
+class TestBuiltinConfigs:
+    def test_num_operations(self):
+        assert jd_appliances_config().num_operations == 10
+        assert jd_computers_config().num_operations == 10
+        assert trivago_config().num_operations == 6
+
+    def test_trivago_exploration_knobs(self):
+        cfg = trivago_config()
+        assert cfg.repeat_prob == 0.0
+
+    def test_jd_repeat_heavy(self):
+        assert jd_appliances_config().repeat_prob > 0.3
+        assert jd_computers_config().repeat_prob > 0.3
+
+    def test_distinct_catalogue_sizes(self):
+        assert jd_computers_config().num_items > jd_appliances_config().num_items
+
+
+class TestCustomConfig:
+    def test_minimal_custom_generator(self):
+        ops = OperationVocab(["view", "buy"])
+        persona = Persona(
+            name="minimal",
+            entry_probs={0: 1.0},
+            transition={0: {1: 1.0}},
+            stop_prob=0.5,
+            max_ops_per_item=2,
+        )
+        cfg = GeneratorConfig(
+            name="custom",
+            operations=ops,
+            personas=[persona],
+            num_items=40,
+            num_categories=4,
+            targets_per_context=3,
+            op_strength={1: 1.0},
+        )
+        gen = SyntheticSessionGenerator(cfg, seed=1)
+        sessions = gen.generate(50)
+        assert len(sessions) == 50
+        for s in sessions[:10]:
+            macro = merge_successive(s)
+            assert len(macro) >= 2
+            assert all(o in (0, 1) for ops_ in macro.op_sequences for o in ops_)
+
+    def test_single_persona_pool_covers_category(self):
+        ops = OperationVocab(["view"])
+        persona = Persona(name="p", entry_probs={0: 1.0}, transition={}, stop_prob=1.0)
+        cfg = GeneratorConfig(
+            name="c", operations=ops, personas=[persona],
+            num_items=20, num_categories=2, targets_per_context=5,
+        )
+        gen = SyntheticSessionGenerator(cfg, seed=0)
+        for c in range(2):
+            pool = gen.target_pool[(c, 0)]
+            assert len(pool) == 5
+            assert all(gen.category_of[i] == c for i in pool)
+
+    def test_zero_noise_zero_repeat_targets_always_in_pool(self):
+        ops = OperationVocab(["view"])
+        persona = Persona(name="p", entry_probs={0: 1.0}, transition={}, stop_prob=1.0)
+        cfg = GeneratorConfig(
+            name="c", operations=ops, personas=[persona],
+            num_items=30, num_categories=3, targets_per_context=4,
+            noise_prob=0.0, repeat_prob=0.0, category_jump_prob=0.0,
+        )
+        gen = SyntheticSessionGenerator(cfg, seed=2)
+        pools = {i for pool in gen.target_pool.values() for i in pool.tolist()}
+        for s in gen.generate(80):
+            target = merge_successive(s).macro_items[-1]
+            assert target in pools

@@ -1,0 +1,118 @@
+"""Property-based tests for data invariants (schema, collation, graphs)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Interaction, MacroSession, Session, collate, merge_successive
+from repro.graphs import BatchGraph, SessionGraph
+
+settings.register_profile("repro-data", deadline=None, max_examples=60)
+settings.load_profile("repro-data")
+
+interactions = st.lists(
+    st.tuples(st.integers(1, 8), st.integers(0, 5)).map(lambda t: Interaction(*t)),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _dedupe_successive(items):
+    out = [items[0]]
+    for x in items[1:]:
+        if x != out[-1]:
+            out.append(x)
+    return out
+
+
+class TestMergeProperties:
+    @given(interactions)
+    def test_micro_count_preserved(self, micro):
+        macro = merge_successive(Session(micro))
+        assert macro.num_micro_behaviors == len(micro)
+
+    @given(interactions)
+    def test_no_successive_duplicates(self, micro):
+        macro = merge_successive(Session(micro))
+        for a, b in zip(macro.macro_items, macro.macro_items[1:]):
+            assert a != b
+
+    @given(interactions)
+    def test_roundtrip_flat_micro(self, micro):
+        macro = merge_successive(Session(micro))
+        assert macro.flat_micro() == micro
+
+    @given(interactions)
+    def test_item_multiset_preserved(self, micro):
+        macro = merge_successive(Session(micro))
+        flat_items = [i for item, ops in zip(macro.macro_items, macro.op_sequences) for i in [item] * len(ops)]
+        assert flat_items == [x.item for x in micro]
+
+
+macro_sessions = st.lists(
+    st.tuples(
+        st.lists(st.integers(1, 9), min_size=1, max_size=6).map(_dedupe_successive),
+        st.integers(1, 9),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_examples(raw):
+    out = []
+    for items, target in raw:
+        ops = [[0] for _ in items]
+        out.append(MacroSession(items, ops, target=target))
+    return out
+
+
+class TestCollateProperties:
+    @given(macro_sessions)
+    def test_masks_consistent(self, raw):
+        batch = collate(build_examples(raw))
+        # item ids are nonzero exactly where the mask is set
+        assert ((batch.items > 0) == (batch.item_mask > 0)).all()
+        assert ((batch.micro_items > 0) == (batch.micro_mask > 0)).all()
+        assert ((batch.ops > 0) == (batch.op_mask > 0)).all()
+
+    @given(macro_sessions)
+    def test_lengths_match_inputs(self, raw):
+        examples = build_examples(raw)
+        batch = collate(examples)
+        assert batch.macro_lengths().tolist() == [len(e) for e in examples]
+
+    @given(macro_sessions)
+    def test_micro_equals_total_ops(self, raw):
+        examples = build_examples(raw)
+        batch = collate(examples)
+        assert batch.micro_lengths().tolist() == [e.num_micro_behaviors for e in examples]
+
+
+class TestGraphProperties:
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=10).map(_dedupe_successive))
+    def test_edges_equal_transitions(self, items):
+        g = SessionGraph(items)
+        assert g.num_edges == len(items) - 1
+        assert g.num_nodes == len(set(items))
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=10).map(_dedupe_successive))
+    def test_alias_consistent(self, items):
+        g = SessionGraph(items)
+        for pos, item in enumerate(items):
+            assert g.nodes[g.alias[pos]] == item
+
+    @given(macro_sessions)
+    def test_batch_graph_degree_conservation(self, raw):
+        """Total in-degree == total out-degree == number of transitions."""
+        batch = collate(build_examples(raw))
+        g = BatchGraph.from_batch(batch)
+        n_trans = g.trans_mask.sum()
+        assert g.scatter_in.sum() == n_trans
+        assert g.scatter_out.sum() == n_trans
+
+    @given(macro_sessions)
+    def test_batch_graph_gather_recovers_items(self, raw):
+        batch = collate(build_examples(raw))
+        g = BatchGraph.from_batch(batch)
+        rec = np.einsum("bnc,bc->bn", g.gather, g.node_items.astype(float))
+        assert np.allclose(rec, batch.items * batch.item_mask)

@@ -1,0 +1,85 @@
+"""Unit tests for the micro-behavior schema and merging."""
+
+import pytest
+
+from repro.data import (
+    JD_OPERATIONS,
+    TRIVAGO_OPERATIONS,
+    Interaction,
+    MacroSession,
+    OperationVocab,
+    Session,
+    merge_successive,
+)
+
+
+class TestOperationVocab:
+    def test_jd_has_ten_ops(self):
+        assert len(JD_OPERATIONS) == 10
+
+    def test_trivago_has_six_ops(self):
+        assert len(TRIVAGO_OPERATIONS) == 6
+
+    def test_paper_named_operations_present(self):
+        # Sec. V-A1 names these explicitly.
+        for name in ("SearchList2Product", "Detail_comments", "Order"):
+            assert name in JD_OPERATIONS
+        assert "interaction item image" in TRIVAGO_OPERATIONS
+
+    def test_roundtrip(self):
+        for i, name in enumerate(JD_OPERATIONS):
+            assert JD_OPERATIONS.id_of(name) == i
+            assert JD_OPERATIONS.name_of(i) == name
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            OperationVocab(["a", "a"])
+
+
+class TestMergeSuccessive:
+    def test_paper_fig3_example(self):
+        # S^v = [v1, v2, v3, v2, v3, v4],
+        # S^o = [(o1), (o1), (o1), (o1,o2), (o1,o2,o3), (o1)]
+        micro = [
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (2, 0), (2, 1),
+            (3, 0), (3, 1), (3, 2),
+            (4, 0),
+        ]
+        session = Session([Interaction(v, o) for v, o in micro])
+        macro = merge_successive(session)
+        assert macro.macro_items == [1, 2, 3, 2, 3, 4]
+        assert macro.op_sequences == [[0], [0], [0], [0, 1], [0, 1, 2], [0]]
+
+    def test_single_item_multiple_ops(self):
+        session = Session([Interaction(7, 0), Interaction(7, 1), Interaction(7, 2)])
+        macro = merge_successive(session)
+        assert macro.macro_items == [7]
+        assert macro.op_sequences == [[0, 1, 2]]
+
+    def test_revisit_creates_new_macro_step(self):
+        session = Session([Interaction(1, 0), Interaction(2, 0), Interaction(1, 1)])
+        macro = merge_successive(session)
+        assert macro.macro_items == [1, 2, 1]
+
+    def test_flat_micro_roundtrip(self):
+        interactions = [Interaction(1, 0), Interaction(1, 2), Interaction(5, 1)]
+        macro = merge_successive(Session(interactions))
+        assert macro.flat_micro() == interactions
+
+    def test_num_micro_behaviors(self):
+        macro = merge_successive(
+            Session([Interaction(1, 0), Interaction(1, 1), Interaction(2, 0)])
+        )
+        assert macro.num_micro_behaviors == 3
+
+
+class TestMacroSession:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MacroSession([1, 2], [[0]])
+
+    def test_len(self):
+        assert len(MacroSession([1, 2], [[0], [1]])) == 2

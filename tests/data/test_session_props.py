@@ -1,0 +1,35 @@
+"""Tests for Session/MacroSession convenience accessors."""
+
+from repro.data import Interaction, MacroSession, Session
+
+
+class TestSession:
+    session = Session(
+        [Interaction(3, 0), Interaction(3, 1), Interaction(7, 0)], session_id=42
+    )
+
+    def test_items_and_operations(self):
+        assert self.session.items == [3, 3, 7]
+        assert self.session.operations == [0, 1, 0]
+
+    def test_distinct_items(self):
+        assert self.session.distinct_items() == {3, 7}
+
+    def test_len(self):
+        assert len(self.session) == 3
+
+    def test_session_id(self):
+        assert self.session.session_id == 42
+
+
+class TestMacroSessionProps:
+    macro = MacroSession([3, 7], [[0, 1], [0]], target=9, session_id=5)
+
+    def test_num_micro(self):
+        assert self.macro.num_micro_behaviors == 3
+
+    def test_flat_roundtrip_types(self):
+        flat = self.macro.flat_micro()
+        assert all(isinstance(x, Interaction) for x in flat)
+        assert flat[0] == Interaction(3, 0)
+        assert flat[-1] == Interaction(7, 0)

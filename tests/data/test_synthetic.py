@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic session generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticSessionGenerator,
+    generate_dataset,
+    jd_appliances_config,
+    jd_computers_config,
+    merge_successive,
+    trivago_config,
+)
+
+
+@pytest.fixture(scope="module")
+def jd_sessions():
+    return generate_dataset(jd_appliances_config(), 300, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trivago_sessions():
+    return generate_dataset(trivago_config(), 300, seed=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sessions(self):
+        cfg = jd_appliances_config()
+        a = generate_dataset(cfg, 20, seed=5)
+        b = generate_dataset(cfg, 20, seed=5)
+        for s1, s2 in zip(a, b):
+            assert s1.interactions == s2.interactions
+
+    def test_different_seed_differs(self):
+        cfg = jd_appliances_config()
+        a = generate_dataset(cfg, 20, seed=5)
+        b = generate_dataset(cfg, 20, seed=6)
+        assert any(s1.interactions != s2.interactions for s1, s2 in zip(a, b))
+
+
+class TestSessionStructure:
+    def test_operations_in_range(self, jd_sessions):
+        num_ops = len(jd_appliances_config().operations)
+        for s in jd_sessions:
+            assert all(0 <= x.operation < num_ops for x in s.interactions)
+
+    def test_items_in_range(self, jd_sessions):
+        num_items = jd_appliances_config().num_items
+        for s in jd_sessions:
+            assert all(0 <= x.item < num_items for x in s.interactions)
+
+    def test_macro_length_bounds(self, jd_sessions):
+        cfg = jd_appliances_config()
+        for s in jd_sessions:
+            macro = merge_successive(s)
+            # +1 for the appended target item; successive same-item draws can
+            # merge, so the lower bound is 2 (one input step + target).
+            assert 2 <= len(macro) <= cfg.max_macro_len + 1
+
+    def test_no_leakage_last_two_items_differ(self, jd_sessions):
+        for s in jd_sessions:
+            macro = merge_successive(s)
+            assert macro.macro_items[-1] != macro.macro_items[-2]
+
+    def test_sessions_contain_revisits(self, jd_sessions):
+        """The multigraph structure requires repeated non-adjacent items."""
+        revisits = sum(
+            len(merge_successive(s).macro_items)
+            != len(set(merge_successive(s).macro_items))
+            for s in jd_sessions
+        )
+        assert revisits > 10
+
+
+class TestRegimes:
+    def test_jd_has_repeat_targets(self, jd_sessions):
+        repeats = 0
+        for s in jd_sessions:
+            macro = merge_successive(s)
+            repeats += macro.macro_items[-1] in macro.macro_items[:-1]
+        assert repeats / len(jd_sessions) > 0.2  # repeat-heavy regime
+
+    def test_trivago_targets_mostly_unseen(self, trivago_sessions):
+        repeats = 0
+        for s in trivago_sessions:
+            macro = merge_successive(s)
+            repeats += macro.macro_items[-1] in macro.macro_items[:-1]
+        assert repeats / len(trivago_sessions) < 0.1  # exploration regime
+
+    def test_trivago_uses_six_ops(self, trivago_sessions):
+        ops = {x.operation for s in trivago_sessions for x in s.interactions}
+        assert ops <= set(range(6))
+        assert len(ops) >= 5
+
+
+class TestTargetPools:
+    def test_pools_disjoint_across_personas(self):
+        gen = SyntheticSessionGenerator(jd_appliances_config(), seed=0)
+        num_personas = len(gen.config.personas)
+        for c in range(gen.config.num_categories):
+            pools = [set(gen.target_pool[(c, p)].tolist()) for p in range(num_personas)]
+            for i in range(num_personas):
+                for j in range(i + 1, num_personas):
+                    assert not pools[i] & pools[j]
+
+    def test_pools_within_category(self):
+        gen = SyntheticSessionGenerator(jd_computers_config(), seed=0)
+        for (c, _p), pool in gen.target_pool.items():
+            assert all(gen.category_of[item] == c for item in pool)
+
+
+class TestPersonas:
+    def test_jd_researcher_and_skeptic_share_entry_marginals(self):
+        personas = {p.name: p for p in jd_appliances_config().personas}
+        assert personas["researcher"].entry_probs == personas["skeptic"].entry_probs
+
+    def test_transition_probs_normalized_draws(self):
+        # _sample_ops must never raise even for long chains.
+        gen = SyntheticSessionGenerator(jd_appliances_config(), seed=3)
+        for persona in gen.config.personas:
+            for _ in range(50):
+                ops = gen._sample_ops(persona)
+                assert 1 <= len(ops) <= persona.max_ops_per_item

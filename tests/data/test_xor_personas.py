@@ -1,0 +1,64 @@
+"""Tests pinning the XOR structure of the JD researcher/skeptic personas.
+
+Fig. 5's reproduction relies on the two personas being separable through
+operation *pairs* but not through per-position operation marginals; these
+tests keep that construction from regressing.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data import JD_OPERATIONS, jd_appliances_config
+from repro.data.synthetic import SyntheticSessionGenerator
+
+
+@pytest.fixture(scope="module")
+def chains():
+    gen = SyntheticSessionGenerator(jd_appliances_config(), seed=11)
+    personas = {p.name: p for p in gen.config.personas}
+    out = {}
+    for name in ("researcher", "skeptic"):
+        out[name] = [gen._sample_ops(personas[name]) for _ in range(4000)]
+    return out
+
+
+def position_marginal(chains, position):
+    counts = Counter(c[position] for c in chains if len(c) > position)
+    total = sum(counts.values())
+    return {op: n / total for op, n in counts.items()}
+
+
+class TestXORStructure:
+    def test_position_marginals_match(self, chains):
+        """Researcher and skeptic are indistinguishable per position."""
+        for position in (0, 1, 2):
+            a = position_marginal(chains["researcher"], position)
+            b = position_marginal(chains["skeptic"], position)
+            assert set(a) == set(b), f"position {position}: different supports"
+            for op in a:
+                assert a[op] == pytest.approx(b[op], abs=0.05), (
+                    f"position {position}, op {JD_OPERATIONS.name_of(op)}"
+                )
+
+    def test_pair_distributions_differ(self, chains):
+        """The (o_2, o_3) pairing separates the personas."""
+        comments = JD_OPERATIONS.id_of("Detail_comments")
+        cart = JD_OPERATIONS.id_of("Cart")
+
+        def comments_then_cart_rate(cs):
+            eligible = [c for c in cs if len(c) >= 3 and c[1] == comments]
+            if not eligible:
+                return 0.0
+            return sum(c[2] == cart for c in eligible) / len(eligible)
+
+        researcher_rate = comments_then_cart_rate(chains["researcher"])
+        skeptic_rate = comments_then_cart_rate(chains["skeptic"])
+        assert researcher_rate > 0.8
+        assert skeptic_rate < 0.1
+
+    def test_chain_length_distribution_matches(self, chains):
+        a = np.mean([len(c) for c in chains["researcher"]])
+        b = np.mean([len(c) for c in chains["skeptic"]])
+        assert a == pytest.approx(b, abs=0.15)

@@ -1,0 +1,94 @@
+"""Tests for the post-hoc analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import MacroSession
+from repro.eval import (
+    improvement_table,
+    repeat_vs_explore_breakdown,
+    session_length_breakdown,
+)
+
+
+class TestImprovementTable:
+    measured = {
+        "A": {"H@5": 10.0, "M@5": 5.0},
+        "B": {"H@5": 20.0, "M@5": 4.0},
+        "C": {"H@5": 22.0, "M@5": 6.0},
+    }
+
+    def test_positive_when_leading(self):
+        imp = improvement_table(self.measured, "C", metrics=("H@5", "M@5"))
+        assert imp["H@5"] == pytest.approx((22 - 20) / 20 * 100)
+        assert imp["M@5"] == pytest.approx((6 - 5) / 5 * 100)
+
+    def test_negative_when_trailing(self):
+        imp = improvement_table(self.measured, "A", metrics=("H@5",))
+        assert imp["H@5"] < 0
+
+    def test_zero_baseline_handled(self):
+        measured = {"A": {"H@5": 1.0}, "B": {"H@5": 0.0}}
+        imp = improvement_table(measured, "A", metrics=("H@5",))
+        assert imp["H@5"] == float("inf")
+
+
+def _fake_examples_scores(lengths, repeats, num_items=30, seed=0):
+    rng = np.random.default_rng(seed)
+    examples, targets = [], []
+    for length, repeat in zip(lengths, repeats):
+        items = list(rng.choice(np.arange(1, num_items + 1), size=length, replace=False))
+        target = items[0] if repeat else int(rng.integers(1, num_items + 1))
+        if not repeat:
+            while target in items:
+                target = int(rng.integers(1, num_items + 1))
+        examples.append(MacroSession(items, [[0]] * length, target=target))
+        targets.append(target - 1)
+    scores = rng.normal(size=(len(examples), num_items))
+    return examples, scores, np.array(targets)
+
+
+class TestSessionLengthBreakdown:
+    def test_buckets_cover_all_sessions(self):
+        examples, scores, targets = _fake_examples_scores(
+            lengths=[1, 2, 3, 5, 8, 9], repeats=[False] * 6
+        )
+        buckets = session_length_breakdown(examples, scores, targets, edges=(2, 4, 7))
+        assert sum(b.count for b in buckets) == len(examples)
+
+    def test_bucket_labels(self):
+        examples, scores, targets = _fake_examples_scores([1, 5, 10], [False] * 3)
+        buckets = session_length_breakdown(examples, scores, targets, edges=(2, 4, 7))
+        labels = [b.label for b in buckets]
+        assert labels[0].startswith("len 1-")
+        assert labels[-1].startswith("len >")
+
+    def test_misaligned_inputs_rejected(self):
+        examples, scores, targets = _fake_examples_scores([2, 3], [False, False])
+        with pytest.raises(ValueError):
+            session_length_breakdown(examples[:1], scores, targets)
+
+
+class TestRepeatVsExplore:
+    def test_split_counts(self):
+        examples, scores, targets = _fake_examples_scores(
+            lengths=[3, 3, 3, 3], repeats=[True, True, False, False]
+        )
+        buckets = repeat_vs_explore_breakdown(examples, scores, targets)
+        by_label = {b.label: b for b in buckets}
+        assert by_label["repeat (target in session)"].count == 2
+        assert by_label["explore (target unseen)"].count == 2
+
+    def test_oracle_repeat_scorer_wins_on_repeats(self):
+        examples, scores, targets = _fake_examples_scores(
+            lengths=[4] * 20, repeats=[True] * 10 + [False] * 10, seed=3
+        )
+        # Score session items highly (an S-POP-like oracle).
+        for i, ex in enumerate(examples):
+            scores[i, np.array(ex.macro_items) - 1] += 10.0
+        buckets = repeat_vs_explore_breakdown(examples, scores, targets)
+        by_label = {b.label: b for b in buckets}
+        assert (
+            by_label["repeat (target in session)"].metrics["H@10"]
+            > by_label["explore (target unseen)"].metrics["H@10"]
+        )

@@ -1,0 +1,79 @@
+"""Tests for the Fig. 7 case-study tooling."""
+
+import numpy as np
+import pytest
+
+from repro.data import MacroSession, generate_dataset, jd_appliances_config, prepare_dataset
+from repro.data.dataset import SessionBatch
+from repro.eval import Recommender, find_interesting_session, run_case_study
+
+
+class FixedScoreRecommender(Recommender):
+    """Deterministic scores for testing: item ``best`` always wins."""
+
+    def __init__(self, num_items: int, best: int):
+        self.name = f"fixed-{best}"
+        self.num_items = num_items
+        self.best = best
+
+    def fit(self, dataset):
+        return self
+
+    def score_batch(self, batch: SessionBatch) -> np.ndarray:
+        scores = np.zeros((batch.batch_size, self.num_items))
+        scores[:, self.best - 1] = 1.0
+        return scores
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 300, seed=51), cfg.operations, min_support=2, name="jd"
+    )
+
+
+class TestRunCaseStudy:
+    def test_rows_per_system(self, dataset):
+        example = dataset.test[0]
+        systems = {
+            "a": FixedScoreRecommender(dataset.num_items, best=example.target),
+            "b": FixedScoreRecommender(
+                dataset.num_items, best=(example.target % dataset.num_items) + 1
+            ),
+        }
+        rows = run_case_study(example, systems, k=5)
+        assert [r.model for r in rows] == ["a", "b"]
+        by = {r.model: r for r in rows}
+        assert by["a"].target_rank == 1 and by["a"].hit_at_k
+        assert by["a"].top_items[0] == example.target
+
+    def test_top_items_are_one_based(self, dataset):
+        example = dataset.test[0]
+        rec = FixedScoreRecommender(dataset.num_items, best=1)
+        rows = run_case_study(example, {"r": rec}, k=3)
+        assert rows[0].top_items[0] == 1
+
+
+class TestFindInterestingSession:
+    def test_finds_flip_case(self, dataset):
+        # "macro" never ranks targets; "micro" always ranks them first.
+        target0 = dataset.test[0].target
+        wrong = (target0 % dataset.num_items) + 1
+        systems = {
+            "macro": FixedScoreRecommender(dataset.num_items, best=wrong),
+            "micro": FixedScoreRecommender(dataset.num_items, best=target0),
+        }
+        found = find_interesting_session(
+            dataset, systems, macro_only="macro", full_model="micro", k=5
+        )
+        assert found is not None
+        assert found.target == target0  # the first session with that target
+
+    def test_returns_none_when_no_flip(self, dataset):
+        rec = FixedScoreRecommender(dataset.num_items, best=1)
+        found = find_interesting_session(
+            dataset, {"macro": rec, "micro": rec}, macro_only="macro", full_model="micro"
+        )
+        # Identical systems can never flip.
+        assert found is None or found.target == 1

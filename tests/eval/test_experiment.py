@@ -1,0 +1,58 @@
+"""Tests for the experiment runner and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.eval import MODEL_NAMES, ExperimentConfig, ExperimentRunner
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+
+
+@pytest.fixture(scope="module")
+def runner():
+    cfg = jd_appliances_config()
+    dataset = prepare_dataset(
+        generate_dataset(cfg, 400, seed=41), cfg.operations, min_support=2, name="jd"
+    )
+    return ExperimentRunner(dataset, ExperimentConfig(dim=12, epochs=1, seed=0))
+
+
+class TestRegistry:
+    def test_table3_has_twelve_systems(self):
+        assert len(MODEL_NAMES) == 12
+        assert MODEL_NAMES[-1] == "EMBSR"
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_all_names_buildable(self, runner, name):
+        assert runner.build(name) is not None
+
+    def test_variant_names_buildable(self, runner):
+        for name in ("EMBSR-NS", "EMBSR-NG", "EMBSR-NF", "SGNN-Self", "SGNN-Dyadic"):
+            assert runner.build(name) is not None
+
+    def test_fixed_beta_names(self, runner):
+        rec = runner.build("EMBSR-beta=0.4")
+        assert rec is not None
+
+    def test_unknown_name_raises(self, runner):
+        with pytest.raises(KeyError):
+            runner.build("GPT-7")
+
+
+class TestRun:
+    def test_run_produces_metrics(self, runner):
+        result = runner.run("S-POP")
+        assert set(result.metrics) == {"H@5", "M@5", "H@10", "M@10", "H@20", "M@20"}
+        assert result.scores.shape[0] == len(runner.dataset.test)
+
+    def test_results_cached(self, runner):
+        first = runner.run("S-POP")
+        assert runner.run("S-POP") is first
+
+    def test_neural_run(self, runner):
+        result = runner.run("STAMP")
+        assert np.isfinite(result.scores).all()
+
+    def test_metric_table(self, runner):
+        runner.run("S-POP")
+        table = runner.metric_table(["S-POP", "NOT-RUN"])
+        assert "S-POP" in table and "NOT-RUN" not in table

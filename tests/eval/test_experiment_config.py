@@ -1,0 +1,24 @@
+"""Tests for ExperimentConfig -> TrainConfig plumbing."""
+
+from repro.eval import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_train_config_inherits_fields(self):
+        cfg = ExperimentConfig(epochs=7, batch_size=32, lr=0.008, patience=2, seed=9)
+        tc = cfg.train_config()
+        assert tc.epochs == 7
+        assert tc.batch_size == 32
+        assert tc.lr == 0.008
+        assert tc.patience == 2
+        assert tc.seed == 9
+
+    def test_defaults_match_paper_protocol(self):
+        cfg = ExperimentConfig()
+        # K values reported in Table III.
+        assert cfg.ks == (5, 10, 20)
+        # NISER / SGNN-HN normalized-softmax scale (Sec. V-A4: w_k = 12).
+        assert cfg.w_k == 12.0
+
+    def test_selection_metric_default(self):
+        assert ExperimentConfig().train_config().selection_metric == "M@20"

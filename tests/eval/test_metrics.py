@@ -1,0 +1,84 @@
+"""Unit tests for HR@K / MRR@K (Eqs. 21-22)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate_scores, hit_rate, mrr, ranks_of_targets
+
+
+class TestRanks:
+    def test_basic_ranking(self):
+        scores = np.array([[0.1, 0.9, 0.5]])
+        assert ranks_of_targets(scores, np.array([1]))[0] == 1
+        assert ranks_of_targets(scores, np.array([2]))[0] == 2
+        assert ranks_of_targets(scores, np.array([0]))[0] == 3
+
+    def test_ties_pessimistic(self):
+        scores = np.array([[0.5, 0.5, 0.5]])
+        # All tied: the target counts every tied competitor as ahead.
+        assert ranks_of_targets(scores, np.array([0]))[0] == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ranks_of_targets(np.zeros(5), np.array([0]))
+
+    def test_batch(self):
+        scores = np.array([[3.0, 2.0, 1.0], [1.0, 2.0, 3.0]])
+        ranks = ranks_of_targets(scores, np.array([0, 0]))
+        assert ranks.tolist() == [1, 3]
+
+
+class TestHitRate:
+    def test_all_hits(self):
+        assert hit_rate(np.array([1, 2, 3]), k=3) == 100.0
+
+    def test_partial(self):
+        assert hit_rate(np.array([1, 5, 10]), k=5) == pytest.approx(200 / 3)
+
+    def test_none(self):
+        assert hit_rate(np.array([21, 30]), k=20) == 0.0
+
+
+class TestMRR:
+    def test_rank_one(self):
+        assert mrr(np.array([1, 1]), k=20) == 100.0
+
+    def test_beyond_k_zeroed(self):
+        assert mrr(np.array([21]), k=20) == 0.0
+
+    def test_mixed(self):
+        # ranks 1 and 4 -> (1 + 0.25) / 2 = 62.5%
+        assert mrr(np.array([1, 4]), k=10) == pytest.approx(62.5)
+
+    def test_h1_equals_m1(self):
+        """The paper notes H@1 == M@1 (Supp. Table III)."""
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(50, 30))
+        targets = rng.integers(0, 30, size=50)
+        ranks = ranks_of_targets(scores, targets)
+        assert hit_rate(ranks, 1) == pytest.approx(mrr(ranks, 1))
+
+
+class TestEvaluateScores:
+    def test_keys(self):
+        rng = np.random.default_rng(1)
+        out = evaluate_scores(rng.normal(size=(10, 20)), rng.integers(0, 20, 10), ks=(5, 10))
+        assert set(out) == {"H@5", "M@5", "H@10", "M@10"}
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(2)
+        out = evaluate_scores(rng.normal(size=(100, 50)), rng.integers(0, 50, 100))
+        assert out["H@5"] <= out["H@10"] <= out["H@20"]
+        assert out["M@5"] <= out["M@10"] <= out["M@20"]
+
+    def test_hit_bounds_mrr(self):
+        rng = np.random.default_rng(3)
+        out = evaluate_scores(rng.normal(size=(100, 50)), rng.integers(0, 50, 100))
+        for k in (5, 10, 20):
+            assert out[f"M@{k}"] <= out[f"H@{k}"]
+
+    def test_perfect_predictor(self):
+        targets = np.arange(10)
+        scores = np.eye(10)
+        out = evaluate_scores(scores, targets, ks=(1,))
+        assert out["H@1"] == 100.0 and out["M@1"] == 100.0

@@ -1,0 +1,81 @@
+"""Property-based tests for the evaluation metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval import evaluate_scores, hit_rate, mrr, ranks_of_targets
+
+settings.register_profile("repro-eval", deadline=None, max_examples=50)
+settings.load_profile("repro-eval")
+
+
+# Scores are rounded to 3 decimals so that score differences survive the
+# floating-point translation in test_score_translation_invariance (adding a
+# constant would otherwise absorb sub-epsilon differences and create ties).
+score_matrices = st.integers(2, 40).flatmap(
+    lambda items: st.tuples(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 30).map(lambda b: (b, items)),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        ).map(lambda a: np.round(a, 3)),
+        st.just(items),
+    )
+)
+
+
+class TestMetricProperties:
+    @given(score_matrices, st.data())
+    def test_ranks_in_valid_range(self, scores_items, data):
+        scores, items = scores_items
+        targets = data.draw(
+            hnp.arrays(np.int64, scores.shape[0], elements=st.integers(0, items - 1))
+        )
+        ranks = ranks_of_targets(scores, targets)
+        assert (ranks >= 1).all() and (ranks <= items).all()
+
+    @given(score_matrices, st.data())
+    def test_hit_rate_monotone_in_k(self, scores_items, data):
+        scores, items = scores_items
+        targets = data.draw(
+            hnp.arrays(np.int64, scores.shape[0], elements=st.integers(0, items - 1))
+        )
+        ranks = ranks_of_targets(scores, targets)
+        values = [hit_rate(ranks, k) for k in range(1, items + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] == 100.0  # K = |items| always hits
+
+    @given(score_matrices, st.data())
+    def test_mrr_bounded_by_hit(self, scores_items, data):
+        scores, items = scores_items
+        targets = data.draw(
+            hnp.arrays(np.int64, scores.shape[0], elements=st.integers(0, items - 1))
+        )
+        ranks = ranks_of_targets(scores, targets)
+        for k in (1, min(5, items), items):
+            assert mrr(ranks, k) <= hit_rate(ranks, k) + 1e-12
+
+    @given(score_matrices, st.data())
+    def test_score_translation_invariance(self, scores_items, data):
+        """Adding a constant to every score must not change any metric."""
+        scores, items = scores_items
+        targets = data.draw(
+            hnp.arrays(np.int64, scores.shape[0], elements=st.integers(0, items - 1))
+        )
+        a = evaluate_scores(scores, targets, ks=(1, 2))
+        b = evaluate_scores(scores + 7.5, targets, ks=(1, 2))
+        assert a == b
+
+    @given(score_matrices, st.data())
+    def test_boosting_target_never_hurts(self, scores_items, data):
+        scores, items = scores_items
+        targets = data.draw(
+            hnp.arrays(np.int64, scores.shape[0], elements=st.integers(0, items - 1))
+        )
+        boosted = scores.copy()
+        boosted[np.arange(len(targets)), targets] += 100.0
+        base = evaluate_scores(scores, targets, ks=(5,))
+        best = evaluate_scores(boosted, targets, ks=(5,))
+        assert best["H@5"] >= base["H@5"]
+        assert best["M@5"] >= base["M@5"]

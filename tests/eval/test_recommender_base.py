@@ -1,0 +1,44 @@
+"""Tests for the Recommender base interface and top-K extraction."""
+
+import numpy as np
+import pytest
+
+from repro.data import MacroSession, collate
+from repro.eval import Recommender
+
+
+class Scripted(Recommender):
+    """Scores equal to fixed per-item values."""
+
+    name = "scripted"
+
+    def __init__(self, values):
+        self.values = np.asarray(values, dtype=float)
+
+    def fit(self, dataset):
+        return self
+
+    def score_batch(self, batch):
+        return np.tile(self.values, (batch.batch_size, 1))
+
+
+class TestTopK:
+    batch = collate([MacroSession([1], [[0]], target=2)])
+
+    def test_descending_order(self):
+        rec = Scripted([0.1, 0.9, 0.5, 0.7])
+        top = rec.top_k(self.batch, k=4)[0]
+        assert top.tolist() == [2, 4, 3, 1]  # dense ids are 1-based
+
+    def test_k_truncation(self):
+        rec = Scripted([0.1, 0.9, 0.5, 0.7])
+        assert rec.top_k(self.batch, k=2).shape == (1, 2)
+
+    def test_stable_on_ties(self):
+        rec = Scripted([0.5, 0.5, 0.5])
+        top = rec.top_k(self.batch, k=3)[0]
+        assert top.tolist() == [1, 2, 3]  # stable argsort keeps index order
+
+    def test_abstract_instantiation_blocked(self):
+        with pytest.raises(TypeError):
+            Recommender()

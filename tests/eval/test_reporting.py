@@ -1,0 +1,44 @@
+"""Tests for paper-style table formatting."""
+
+import pytest
+
+from repro.eval.reporting import format_results_markdown
+
+MEASURED = {
+    "SGNN-HN": {"H@5": 34.80, "M@5": 21.00},
+    "MKM-SR": {"H@5": 33.82, "M@5": 20.73},
+    "EMBSR": {"H@5": 37.34, "M@5": 23.58},
+}
+
+
+class TestFormatResultsMarkdown:
+    def test_best_bolded(self):
+        out = format_results_markdown(MEASURED, metrics=("H@5", "M@5"))
+        assert "**37.34**" in out
+        assert "**23.58**" in out
+
+    def test_second_best_underlined(self):
+        out = format_results_markdown(MEASURED, metrics=("H@5", "M@5"))
+        assert "_34.80_" in out
+        assert "_21.00_" in out
+
+    def test_improvement_row(self):
+        out = format_results_markdown(MEASURED, metrics=("H@5",))
+        expected = (37.34 - 34.80) / 34.80 * 100
+        assert f"{expected:+.2f}%" in out
+
+    def test_no_improvement_row_without_highlight(self):
+        out = format_results_markdown(MEASURED, metrics=("H@5",), highlight_system=None)
+        assert "Imp." not in out
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(KeyError):
+            format_results_markdown(MEASURED, metrics=("H@99",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_results_markdown({})
+
+    def test_single_system(self):
+        out = format_results_markdown({"EMBSR": {"H@5": 1.0}}, metrics=("H@5",))
+        assert "**1.00**" in out

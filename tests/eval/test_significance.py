@@ -1,0 +1,47 @@
+"""Tests for the Wilcoxon signed-rank significance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.eval import wilcoxon_reciprocal_ranks
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_scores(rng, n=200, items=50):
+    return rng.normal(size=(n, items)), rng.integers(0, items, size=n)
+
+
+class TestWilcoxon:
+    def test_identical_systems_not_significant(self, rng):
+        scores, targets = make_scores(rng)
+        result = wilcoxon_reciprocal_ranks(scores, scores, targets)
+        assert result.p_value == 1.0
+        assert not result.significant
+        assert result.mean_improvement == 0.0
+
+    def test_clear_improvement_significant(self, rng):
+        scores_b, targets = make_scores(rng)
+        scores_a = scores_b.copy()
+        # System A places the target first for most sessions.
+        boost = rng.random(len(targets)) < 0.8
+        scores_a[np.arange(len(targets))[boost], targets[boost]] += 100.0
+        result = wilcoxon_reciprocal_ranks(scores_a, scores_b, targets)
+        assert result.significant
+        assert result.mean_improvement > 0
+
+    def test_degradation_not_significant_for_greater_alternative(self, rng):
+        scores_a, targets = make_scores(rng)
+        scores_b = scores_a.copy()
+        boost = rng.random(len(targets)) < 0.8
+        scores_b[np.arange(len(targets))[boost], targets[boost]] += 100.0
+        result = wilcoxon_reciprocal_ranks(scores_a, scores_b, targets)
+        assert not result.significant
+        assert result.mean_improvement < 0
+
+    def test_str_contains_verdict(self, rng):
+        scores, targets = make_scores(rng)
+        assert "not significant" in str(wilcoxon_reciprocal_ranks(scores, scores, targets))

@@ -1,0 +1,97 @@
+"""Tests for the training loop, early stopping, and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import EMBSRConfig, build_sgnn_self
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.eval import NeuralRecommender, TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 500, seed=31), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture(scope="module")
+def model_config(dataset):
+    return EMBSRConfig(num_items=dataset.num_items, num_ops=dataset.num_operations, dim=12, seed=0)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, dataset, model_config):
+        trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=3, lr=0.01, seed=1))
+        trainer.fit(dataset)
+        losses = [h.train_loss for h in trainer.history]
+        assert losses[-1] < losses[0]
+
+    def test_history_records_epochs(self, dataset, model_config):
+        trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=2, seed=1))
+        trainer.fit(dataset)
+        assert len(trainer.history) == 2
+
+    def test_early_stopping(self, dataset, model_config):
+        cfg = TrainConfig(epochs=50, lr=0.01, patience=1, seed=1)
+        trainer = Trainer(build_sgnn_self(model_config), cfg)
+        trainer.fit(dataset)
+        assert len(trainer.history) < 50
+
+    def test_best_model_restored(self, dataset, model_config):
+        """After fit, the model must reproduce the best validation metric."""
+        cfg = TrainConfig(epochs=4, lr=0.01, patience=10, seed=1)
+        trainer = Trainer(build_sgnn_self(model_config), cfg)
+        trainer.fit(dataset)
+        best = max(h.valid_metric for h in trainer.history)
+        current = trainer.evaluate(dataset.validation, batch_size=64)[cfg.selection_metric]
+        assert current == pytest.approx(best, abs=1e-9)
+
+    def test_better_than_random(self, dataset, model_config):
+        trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=4, lr=0.01, seed=1))
+        trainer.fit(dataset)
+        metrics = trainer.evaluate(dataset.test)
+        random_h20 = 20 / dataset.num_items * 100
+        assert metrics["H@20"] > 2 * random_h20
+
+    def test_predict_shapes(self, dataset, model_config):
+        trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1))
+        trainer.fit(dataset)
+        scores, targets = trainer.predict(dataset.test[:10])
+        assert scores.shape == (10, dataset.num_items)
+        assert targets.shape == (10,)
+
+
+class TestNeuralRecommender:
+    def test_fit_then_score(self, dataset, model_config):
+        rec = NeuralRecommender(
+            "sgnn", lambda ds: build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1)
+        )
+        rec.fit(dataset)
+        from repro.data import DataLoader
+
+        batch = next(iter(DataLoader(dataset.test, batch_size=4)))
+        assert rec.score_batch(batch).shape == (4, dataset.num_items)
+
+    def test_unfitted_raises(self, model_config):
+        rec = NeuralRecommender("sgnn", lambda ds: build_sgnn_self(model_config))
+        with pytest.raises(RuntimeError):
+            _ = rec.model
+
+    def test_top_k(self, dataset, model_config):
+        rec = NeuralRecommender(
+            "sgnn", lambda ds: build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1)
+        )
+        rec.fit(dataset)
+        from repro.data import DataLoader
+
+        batch = next(iter(DataLoader(dataset.test, batch_size=4)))
+        top = rec.top_k(batch, k=5)
+        assert top.shape == (4, 5)
+        assert (top >= 1).all() and (top <= dataset.num_items).all()
+        # Best-first ordering.
+        scores = rec.score_batch(batch)
+        for b in range(4):
+            vals = scores[b, top[b] - 1]
+            assert (np.diff(vals) <= 1e-12).all()

@@ -1,0 +1,67 @@
+"""Edge-case tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import EMBSRConfig, build_sgnn_self
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.eval import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 250, seed=91), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture(scope="module")
+def model_config(dataset):
+    return EMBSRConfig(num_items=dataset.num_items, num_ops=dataset.num_operations, dim=8, seed=0)
+
+
+class TestTrainerEdges:
+    def test_zero_epochs_leaves_model_untouched(self, dataset, model_config):
+        model = build_sgnn_self(model_config)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        Trainer(model, TrainConfig(epochs=0, seed=1)).fit(dataset)
+        after = model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+    def test_single_epoch_history(self, dataset, model_config):
+        trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1))
+        trainer.fit(dataset)
+        assert len(trainer.history) == 1
+        assert trainer.history[0].epoch == 0
+
+    def test_training_is_deterministic_per_seed(self, dataset, model_config):
+        def run():
+            trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=2, seed=7))
+            trainer.fit(dataset)
+            return [h.train_loss for h in trainer.history]
+
+        assert run() == run()
+
+    def test_different_seed_changes_trajectory(self, dataset, model_config):
+        def run(seed):
+            trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=1, seed=seed))
+            trainer.fit(dataset)
+            return trainer.history[0].train_loss
+
+        assert run(1) != run(2)
+
+    def test_evaluate_on_empty_ks(self, dataset, model_config):
+        trainer = Trainer(build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1))
+        trainer.fit(dataset)
+        assert trainer.evaluate(dataset.test, ks=()) == {}
+
+    def test_predict_in_eval_mode(self, dataset, model_config):
+        """predict() must disable dropout: repeated calls agree."""
+        config = model_config.variant(dropout=0.5)
+        trainer = Trainer(build_sgnn_self(config), TrainConfig(epochs=1, seed=1))
+        trainer.fit(dataset)
+        s1, _ = trainer.predict(dataset.test[:20])
+        s2, _ = trainer.predict(dataset.test[:20])
+        assert np.allclose(s1, s2)

@@ -1,0 +1,53 @@
+"""Tests for the grid-search protocol."""
+
+import pytest
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.eval import ExperimentConfig, grid_search
+from repro.eval.tuning import PAPER_DROPOUT_GRID, PAPER_LR_GRID
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 300, seed=71), cfg.operations, min_support=2, name="jd"
+    )
+
+
+class TestGridSearch:
+    def test_paper_grids_match_section_va4(self):
+        assert PAPER_LR_GRID == (0.001, 0.003, 0.005, 0.008, 0.01)
+        assert PAPER_DROPOUT_GRID == (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+    def test_evaluates_every_point(self, dataset):
+        result = grid_search(
+            dataset,
+            "STAMP",
+            ExperimentConfig(dim=8, epochs=1, seed=0),
+            lrs=(0.005, 0.01),
+            dropouts=(0.0, 0.1),
+        )
+        assert len(result.points) == 4
+        combos = {(p.lr, p.dropout) for p in result.points}
+        assert combos == {(0.005, 0.0), (0.005, 0.1), (0.01, 0.0), (0.01, 0.1)}
+
+    def test_best_is_max(self, dataset):
+        result = grid_search(
+            dataset,
+            "STAMP",
+            ExperimentConfig(dim=8, epochs=1, seed=0),
+            lrs=(0.005, 0.01),
+            dropouts=(0.1,),
+        )
+        assert result.best.valid_metric == max(p.valid_metric for p in result.points)
+
+    def test_works_for_nonneural(self, dataset):
+        result = grid_search(
+            dataset,
+            "S-POP",
+            ExperimentConfig(dim=8, epochs=1, seed=0),
+            lrs=(0.005,),
+            dropouts=(0.1,),
+        )
+        assert len(result.points) == 1

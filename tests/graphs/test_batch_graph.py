@@ -1,0 +1,89 @@
+"""Unit tests for batched multigraph arrays (gather/scatter one-hots)."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, MacroSession, collate, generate_dataset, jd_appliances_config, prepare_dataset
+from repro.graphs import BatchGraph, SessionGraph
+
+
+def graph_of(items, ops=None, target=99):
+    ops = ops or [[0]] * len(items)
+    batch = collate([MacroSession(items, ops, target=target)])
+    return batch, BatchGraph.from_batch(batch)
+
+
+class TestBatchGraphSingle:
+    def test_nodes_deduplicated(self):
+        _, g = graph_of([1, 2, 3, 2, 3, 4])
+        assert g.node_items[0, :4].tolist() == [1, 2, 3, 4]
+        assert g.node_mask[0].sum() == 4
+
+    def test_alias_matches_session_graph(self):
+        items = [5, 7, 9, 7, 9, 11]
+        _, g = graph_of(items)
+        ref = SessionGraph(items)
+        assert g.alias[0, : len(items)].tolist() == ref.alias
+
+    def test_gather_recovers_items(self):
+        batch, g = graph_of([1, 2, 3, 2])
+        rec = np.einsum("bnc,bc->bn", g.gather, g.node_items.astype(float))
+        assert np.allclose(rec, batch.items * batch.item_mask)
+
+    def test_scatter_degrees_match_multigraph(self):
+        items = [1, 2, 3, 2, 3, 4]
+        _, g = graph_of(items)
+        ref = SessionGraph(items)
+        in_deg = g.scatter_in[0].sum(axis=1)
+        out_deg = g.scatter_out[0].sum(axis=1)
+        for node in range(ref.num_nodes):
+            assert in_deg[node] == len(ref.in_edges(node))
+            assert out_deg[node] == len(ref.out_edges(node))
+
+    def test_parallel_edges_counted_separately(self):
+        # 2 -> 3 twice: node(3) has in-degree 2 (a simple graph would say 1).
+        _, g = graph_of([1, 2, 3, 2, 3])
+        node3 = 2
+        assert g.scatter_in[0, node3].sum() == 2
+
+    def test_single_item_session(self):
+        _, g = graph_of([5])
+        assert g.trans_mask.sum() == 0
+        assert g.node_mask[0].sum() == 1
+
+    def test_micro_gather(self):
+        batch, g = graph_of([1, 2], [[0, 1], [2]])
+        rec = np.einsum("btc,bc->bt", g.micro_gather, g.node_items.astype(float))
+        assert np.allclose(rec, batch.micro_items * batch.micro_mask)
+
+
+class TestBatchGraphBatched:
+    @pytest.fixture(scope="class")
+    def batch_and_graph(self):
+        cfg = jd_appliances_config()
+        ds = prepare_dataset(generate_dataset(cfg, 300, seed=4), cfg.operations, min_support=2)
+        batch = next(iter(DataLoader(ds.train, batch_size=32)))
+        return batch, BatchGraph.from_batch(batch)
+
+    def test_transition_counts(self, batch_and_graph):
+        batch, g = batch_and_graph
+        lengths = batch.macro_lengths()
+        assert np.allclose(g.trans_mask.sum(axis=1), np.maximum(lengths - 1, 0))
+
+    def test_gather_rows_one_hot(self, batch_and_graph):
+        batch, g = batch_and_graph
+        sums = g.gather.sum(axis=2)
+        assert np.allclose(sums, batch.item_mask)
+
+    def test_each_transition_scattered_once(self, batch_and_graph):
+        _, g = batch_and_graph
+        # Every valid transition contributes exactly one in and one out entry.
+        assert np.allclose(g.scatter_in.sum(axis=1), g.trans_mask)
+        assert np.allclose(g.scatter_out.sum(axis=1), g.trans_mask)
+
+    def test_node_items_are_session_items(self, batch_and_graph):
+        batch, g = batch_and_graph
+        for b in range(batch.batch_size):
+            session_items = set(batch.items[b][batch.item_mask[b] > 0].tolist())
+            node_items = set(g.node_items[b][g.node_mask[b] > 0].tolist())
+            assert session_items == node_items

@@ -1,0 +1,73 @@
+"""Tests for the multigraph -> simple-graph ablation hook (Fig. 3 choice)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.core import EMBSRConfig, build_embsr
+from repro.data import MacroSession, collate
+from repro.graphs import BatchGraph
+
+
+def graph_of(items):
+    batch = collate([MacroSession(items, [[0]] * len(items), target=9)])
+    return batch, BatchGraph.from_batch(batch)
+
+
+class TestCollapseParallelEdges:
+    def test_parallel_edges_removed(self):
+        # 2 -> 3 appears twice (orders 1 and 3).
+        _, g = graph_of([1, 2, 3, 2, 3])
+        simple = g.collapse_parallel_edges()
+        assert g.trans_mask.sum() == 4
+        assert simple.trans_mask.sum() == 3
+        node3 = 2
+        assert g.scatter_in[0, node3].sum() == 2
+        assert simple.scatter_in[0, node3].sum() == 1
+
+    def test_chain_unchanged(self):
+        _, g = graph_of([1, 2, 3, 4])
+        simple = g.collapse_parallel_edges()
+        assert np.allclose(simple.scatter_in, g.scatter_in)
+        assert np.allclose(simple.scatter_out, g.scatter_out)
+        assert np.allclose(simple.trans_mask, g.trans_mask)
+
+    def test_original_untouched(self):
+        _, g = graph_of([1, 2, 1, 2])
+        before = g.trans_mask.copy()
+        g.collapse_parallel_edges()
+        assert np.allclose(g.trans_mask, before)
+
+    def test_distinct_pairs_kept(self):
+        # 1->2, 2->1, 1->2 again: only the second 1->2 collapses.
+        _, g = graph_of([1, 2, 1, 2])
+        simple = g.collapse_parallel_edges()
+        assert simple.trans_mask[0].tolist() == [1.0, 1.0, 0.0]
+
+
+class TestModelLevelAblation:
+    def test_multigraph_changes_model_output(self):
+        """With parallel edges, the multigraph and simple views must differ
+        through the full EMBSR forward pass (this is the point of Fig. 3)."""
+        config = EMBSRConfig(num_items=20, num_ops=4, dim=8, dropout=0.0, seed=0)
+        model = build_embsr(config)
+        model.eval()
+        batch = collate(
+            [MacroSession([1, 2, 3, 2, 3], [[1], [2], [1], [3], [2]], target=4)]
+        )
+        full_graph = BatchGraph.from_batch(batch)
+        with no_grad():
+            multi = model(batch, graph=full_graph).data
+            simple = model(batch, graph=full_graph.collapse_parallel_edges()).data
+        assert not np.allclose(multi, simple)
+
+    def test_no_parallel_edges_identical(self):
+        config = EMBSRConfig(num_items=20, num_ops=4, dim=8, dropout=0.0, seed=0)
+        model = build_embsr(config)
+        model.eval()
+        batch = collate([MacroSession([1, 2, 3], [[1], [2], [1]], target=4)])
+        graph = BatchGraph.from_batch(batch)
+        with no_grad():
+            a = model(batch, graph=graph).data
+            b = model(batch, graph=graph.collapse_parallel_edges()).data
+        assert np.allclose(a, b)

@@ -1,0 +1,62 @@
+"""Unit tests for the session multigraph (validated against networkx)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import SessionGraph
+
+
+class TestSessionGraph:
+    def test_fig3_example(self):
+        # The paper's Fig. 3: S^v = [v1, v2, v3, v2, v3, v4].
+        g = SessionGraph([1, 2, 3, 2, 3, 4])
+        assert g.nodes == [1, 2, 3, 4]
+        assert g.alias == [0, 1, 2, 1, 2, 3]
+        assert g.num_edges == 5
+        orders = [e.order for e in g.edges]
+        assert orders == [0, 1, 2, 3, 4]  # edge order preserved
+
+    def test_multigraph_parallel_edges(self):
+        g = SessionGraph([1, 2, 3, 2, 3, 4])
+        assert g.parallel_edge_count() == 1  # 2->3 appears twice
+        parallel = [e for e in g.edges if (e.source, e.target) == (1, 2)]
+        assert len(parallel) == 2
+        assert parallel[0].order != parallel[1].order
+
+    def test_simple_chain_no_parallel(self):
+        g = SessionGraph([1, 2, 3])
+        assert g.parallel_edge_count() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SessionGraph([])
+
+    def test_unmerged_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SessionGraph([1, 1, 2])
+
+    def test_in_out_edges(self):
+        g = SessionGraph([1, 2, 1, 3])
+        n1 = g.node_of(1)
+        assert len(g.out_edges(n1)) == 2  # 1->2 and 1->3
+        assert len(g.in_edges(n1)) == 1  # 2->1
+
+    def test_single_node_graph(self):
+        g = SessionGraph([5])
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_networkx_roundtrip(self):
+        g = SessionGraph([1, 2, 3, 2, 3, 4])
+        nxg = g.to_networkx()
+        assert isinstance(nxg, nx.MultiDiGraph)
+        assert nxg.number_of_nodes() == g.num_nodes
+        assert nxg.number_of_edges() == g.num_edges
+        # Degrees agree with our in/out edge lists.
+        for node in range(g.num_nodes):
+            assert nxg.in_degree(node) == len(g.in_edges(node))
+            assert nxg.out_degree(node) == len(g.out_edges(node))
+
+    def test_node_order_is_first_appearance(self):
+        g = SessionGraph([9, 4, 9, 1])
+        assert g.nodes == [9, 4, 1]

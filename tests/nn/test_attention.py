@@ -1,0 +1,81 @@
+"""Unit tests for the vanilla attention blocks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestScaledDotAttention:
+    def test_uniform_when_scores_equal(self, rng):
+        q = Tensor(np.zeros((1, 3, 4)))
+        k = Tensor(np.zeros((1, 3, 4)))
+        v = Tensor(rng.normal(size=(1, 3, 4)))
+        out = nn.scaled_dot_attention(q, k, v)
+        assert np.allclose(out.data[0, 0], v.data[0].mean(axis=0))
+
+    def test_mask_excludes_positions(self, rng):
+        q = Tensor(rng.normal(size=(1, 2, 4)))
+        k = Tensor(rng.normal(size=(1, 3, 4)))
+        v = Tensor(rng.normal(size=(1, 3, 4)))
+        mask = np.array([[[True, True, False]] * 2])
+        out = nn.scaled_dot_attention(q, k, v, mask=mask)
+        # Perturbing the masked value must not change the output.
+        v2 = v.data.copy()
+        v2[0, 2] += 100.0
+        out2 = nn.scaled_dot_attention(q, k, Tensor(v2), mask=mask)
+        assert np.allclose(out.data, out2.data)
+
+
+class TestMultiHeadSelfAttention:
+    def test_shape(self, rng):
+        mha = nn.MultiHeadSelfAttention(8, 2, rng=rng)
+        out = mha(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_dim_must_divide(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(7, 2, rng=rng)
+
+    def test_padding_invariance(self, rng):
+        mha = nn.MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        out1 = mha(Tensor(x), mask=mask)
+        x2 = x.copy()
+        x2[0, 2:] = 42.0  # change padded content
+        out2 = mha(Tensor(x2), mask=mask)
+        assert np.allclose(out1.data[0, :2], out2.data[0, :2])
+
+    def test_backward_flows(self, rng):
+        mha = nn.MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        mha(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestTransformerBlock:
+    def test_forward_backward(self, rng):
+        block = nn.TransformerBlock(8, 2, dropout=0.0, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        mask = np.array([[1, 1, 1, 0], [1, 1, 0, 0]])
+        out = block(x, mask=mask)
+        assert out.shape == (2, 4, 8)
+        out.sum().backward()
+        assert x.grad is not None
+
+    def test_residual_path(self, rng):
+        block = nn.TransformerBlock(8, 2, dropout=0.0, rng=rng)
+        # Zero all weights: the block must reduce to the identity.
+        for p in block.parameters():
+            p.data = np.zeros_like(p.data)
+        block.norm1.gamma.data = np.ones(8)
+        block.norm2.gamma.data = np.ones(8)
+        x = Tensor(rng.normal(size=(1, 3, 8)))
+        assert np.allclose(block(x).data, x.data)

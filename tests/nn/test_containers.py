@@ -1,0 +1,65 @@
+"""Tests for Sequential and ModuleList containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        a = nn.Linear(4, 8, rng=rng)
+        b = nn.Linear(8, 2, rng=rng)
+        seq = nn.Sequential(a, b)
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(seq(x).data, b(a(x)).data)
+
+    def test_len_and_iter(self, rng):
+        seq = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.LayerNorm(2))
+        assert len(seq) == 2
+        assert len(list(iter(seq))) == 2
+
+    def test_parameters_collected(self, rng):
+        seq = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.Linear(2, 2, rng=rng))
+        assert len(list(seq.parameters())) == 4
+
+    def test_empty_sequential_is_identity(self):
+        seq = nn.Sequential()
+        x = Tensor(np.ones((2, 2)))
+        assert seq(x) is x
+
+
+class TestModuleList:
+    def test_indexing(self, rng):
+        layers = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert layers[1] is layers.items[1]
+        assert len(layers) == 3
+
+    def test_append_registers_parameters(self, rng):
+        layers = nn.ModuleList()
+        layers.append(nn.Linear(2, 2, rng=rng))
+        assert len(list(layers.parameters())) == 2
+
+    def test_train_eval_propagation(self, rng):
+        layers = nn.ModuleList([nn.Dropout(0.5, rng=rng)])
+        layers.eval()
+        assert not layers[0].training
+        layers.train()
+        assert layers[0].training
+
+    def test_named_parameters_have_indices(self, rng):
+        layers = nn.ModuleList([nn.Linear(2, 2, rng=rng)])
+
+        class Net(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = layers
+
+        names = [name for name, _ in Net().named_parameters()]
+        assert any(".0." in name for name in names)

@@ -1,0 +1,46 @@
+"""Tests for weight-initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import normal, scaled_uniform, xavier_uniform, zeros
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestScaledUniform:
+    def test_bounds_follow_paper(self, rng):
+        """MKM-SR / paper Sec. V-A4: uniform in ±1/sqrt(d)."""
+        d = 64
+        w = scaled_uniform(rng, (1000, d), d)
+        bound = 1.0 / np.sqrt(d)
+        assert w.max() <= bound and w.min() >= -bound
+        assert abs(w.mean()) < bound / 10
+
+    def test_scale_dim_independent_of_shape(self, rng):
+        w = scaled_uniform(rng, (10, 20), 100)
+        assert np.abs(w).max() <= 0.1
+
+
+class TestXavier:
+    def test_bound(self, rng):
+        w = xavier_uniform(rng, (30, 50))
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(w).max() <= bound
+
+    def test_variance_scaling(self, rng):
+        w = xavier_uniform(rng, (400, 400))
+        # Var(U(-b, b)) = b^2 / 3 = 2 / (fan_in + fan_out)
+        assert w.var() == pytest.approx(2.0 / 800, rel=0.1)
+
+
+class TestOthers:
+    def test_normal_std(self, rng):
+        w = normal(rng, (5000,), std=0.02)
+        assert w.std() == pytest.approx(0.02, rel=0.1)
+
+    def test_zeros(self):
+        assert np.count_nonzero(zeros((3, 4))) == 0

@@ -1,0 +1,79 @@
+"""Edge-case tests for optimizers (None grads, shared params, decay)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestNoneGradients:
+    def test_adam_skips_gradless_params(self):
+        a = nn.Parameter(np.array([1.0]))
+        b = nn.Parameter(np.array([2.0]))
+        opt = nn.Adam([a, b], lr=0.1)
+        (a * 3.0).backward()  # only a gets a gradient
+        opt.step()
+        assert a.data[0] != 1.0
+        assert b.data[0] == 2.0
+
+    def test_sgd_skips_gradless_params(self):
+        a = nn.Parameter(np.array([1.0]))
+        b = nn.Parameter(np.array([2.0]))
+        opt = nn.SGD([a, b], lr=0.1)
+        (a * 3.0).backward()
+        opt.step()
+        assert b.data[0] == 2.0
+
+    def test_zero_grad_clears_all(self):
+        a = nn.Parameter(np.array([1.0]))
+        opt = nn.Adam([a], lr=0.1)
+        (a * 2.0).backward()
+        opt.zero_grad()
+        assert a.grad is None
+
+
+class TestAdamState:
+    def test_momentum_accumulates_across_steps(self):
+        p = nn.Parameter(np.array([10.0]))
+        opt = nn.Adam([p], lr=0.1)
+        deltas = []
+        for _ in range(3):
+            opt.zero_grad()
+            (p * 1.0).backward()  # constant gradient 1
+            before = p.data.copy()
+            opt.step()
+            deltas.append(abs((p.data - before).item()))
+        # With constant gradients Adam's step stays ~lr (bias-corrected).
+        for d in deltas:
+            assert d == pytest.approx(0.1, rel=0.05)
+
+    def test_bias_correction_first_step(self):
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.Adam([p], lr=0.5)
+        (p * 1.0).backward()
+        opt.step()
+        # First Adam step with g=1 is exactly -lr (up to eps).
+        assert p.data.item() == pytest.approx(-0.5, rel=1e-6)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = nn.Parameter(np.array([1.0]))
+        p.grad = np.array([0.3])
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.3)
+        assert p.grad[0] == pytest.approx(0.3)
+
+    def test_handles_all_none(self):
+        p = nn.Parameter(np.array([1.0]))
+        assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_multi_param_global_norm(self):
+        a = nn.Parameter(np.array([3.0]))
+        b = nn.Parameter(np.array([4.0]))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = nn.clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)

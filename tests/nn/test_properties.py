@@ -1,0 +1,98 @@
+"""Property-based tests for nn-layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.autograd import Tensor, no_grad
+
+settings.register_profile("repro-nn", deadline=None, max_examples=25)
+settings.load_profile("repro-nn")
+
+
+class TestGRUMaskProperties:
+    @given(st.integers(1, 5), st.integers(0, 3), st.integers(0, 2**31 - 1))
+    def test_padding_content_irrelevant(self, valid_len, pad_len, seed):
+        """Whatever sits in padded steps must not change the final state."""
+        rng = np.random.default_rng(seed)
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        total = valid_len + pad_len
+        x = rng.normal(size=(1, total, 3))
+        mask = np.zeros((1, total))
+        mask[0, :valid_len] = 1.0
+        with no_grad():
+            _, final1 = gru(Tensor(x), mask)
+            x2 = x.copy()
+            x2[0, valid_len:] = rng.normal(size=(pad_len, 3)) * 100
+            _, final2 = gru(Tensor(x2), mask)
+        assert np.allclose(final1.data, final2.data)
+
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    def test_final_state_equals_output_at_last_valid(self, valid_len, seed):
+        rng = np.random.default_rng(seed)
+        gru = nn.GRU(2, 3, rng=np.random.default_rng(1))
+        x = Tensor(rng.normal(size=(1, valid_len + 2, 2)))
+        mask = np.zeros((1, valid_len + 2))
+        mask[0, :valid_len] = 1.0
+        with no_grad():
+            outs, final = gru(x, mask)
+        assert np.allclose(final.data[0], outs.data[0, valid_len - 1])
+
+
+class TestLayerNormProperties:
+    @given(st.integers(2, 16), st.floats(0.5, 10.0), st.integers(0, 2**31 - 1))
+    def test_scale_invariance(self, dim, scale, seed):
+        """LayerNorm is scale-invariant up to the eps regularizer.
+
+        Rows with tiny variance are excluded: there the eps term dominates
+        and exact invariance genuinely does not hold.
+        """
+        from hypothesis import assume
+
+        rng = np.random.default_rng(seed)
+        ln = nn.LayerNorm(dim)
+        x = rng.normal(size=(3, dim)) + 1.0
+        assume(x.var(axis=-1).min() > 0.1)
+        with no_grad():
+            a = ln(Tensor(x)).data
+            b = ln(Tensor(x * scale)).data
+        assert np.allclose(a, b, atol=1e-3)
+
+    @given(st.integers(2, 16), st.floats(-50, 50), st.integers(0, 2**31 - 1))
+    def test_shift_invariance(self, dim, shift, seed):
+        rng = np.random.default_rng(seed)
+        ln = nn.LayerNorm(dim)
+        x = rng.normal(size=(2, dim))
+        with no_grad():
+            a = ln(Tensor(x)).data
+            b = ln(Tensor(x + shift)).data
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestEmbeddingProperties:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=20))
+    def test_lookup_consistency(self, ids):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(2))
+        out = emb(np.array(ids))
+        for i, idx in enumerate(ids):
+            assert np.allclose(out.data[i], emb.weight.data[idx])
+
+    @given(st.integers(1, 8))
+    def test_gradient_counts_repetitions(self, repeats):
+        emb = nn.Embedding(5, 3, rng=np.random.default_rng(3))
+        out = emb(np.full(repeats, 2))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], float(repeats))
+
+
+class TestOptimizerProperties:
+    @given(st.floats(0.01, 0.3), st.integers(0, 2**31 - 1))
+    def test_adam_step_bounded_by_lr(self, lr, seed):
+        """Adam's per-step parameter change is approximately bounded by lr."""
+        rng = np.random.default_rng(seed)
+        p = nn.Parameter(rng.normal(size=5))
+        before = p.data.copy()
+        opt = nn.Adam([p], lr=lr)
+        (p * rng.normal(size=5)).sum().backward()
+        opt.step()
+        assert np.abs(p.data - before).max() <= lr * 1.01

@@ -1,0 +1,58 @@
+"""Tests for .npz checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import EMBSRConfig, build_embsr
+from repro.data import MacroSession, collate
+
+
+class TestCheckpoint:
+    def test_roundtrip_linear(self, tmp_path):
+        rng = np.random.default_rng(0)
+        a = nn.Linear(4, 3, rng=rng)
+        path = tmp_path / "lin.npz"
+        nn.save_checkpoint(a, path)
+        b = nn.Linear(4, 3, rng=np.random.default_rng(99))
+        nn.load_checkpoint(b, path)
+        assert np.allclose(a.weight.data, b.weight.data)
+        assert np.allclose(a.bias.data, b.bias.data)
+
+    def test_roundtrip_full_embsr(self, tmp_path):
+        config = EMBSRConfig(num_items=20, num_ops=4, dim=8, seed=1)
+        a = build_embsr(config)
+        batch = collate([MacroSession([1, 2, 3], [[1], [2, 3], [1]], target=4)])
+        a.eval()
+        from repro.autograd import no_grad
+
+        with no_grad():
+            expected = a(batch).data
+        path = tmp_path / "embsr.npz"
+        nn.save_checkpoint(a, path)
+
+        b = build_embsr(EMBSRConfig(num_items=20, num_ops=4, dim=8, seed=42))
+        nn.load_checkpoint(b, path)
+        b.eval()
+        with no_grad():
+            actual = b(batch).data
+        assert np.allclose(expected, actual)
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        a = nn.Linear(4, 3, rng=rng)
+        path = tmp_path / "lin.npz"
+        nn.save_checkpoint(a, path)
+        wrong = nn.Linear(5, 3, rng=rng)
+        with pytest.raises(ValueError):
+            nn.load_checkpoint(wrong, path)
+        different = nn.GRUCell(4, 3, rng=rng)
+        with pytest.raises(KeyError):
+            nn.load_checkpoint(different, path)
+
+    def test_empty_model_rejected(self, tmp_path):
+        class Empty(nn.Module):
+            pass
+
+        with pytest.raises(ValueError):
+            nn.save_checkpoint(Empty(), tmp_path / "e.npz")

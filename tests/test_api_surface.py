@@ -1,0 +1,57 @@
+"""API-surface tests: every exported name resolves and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.autograd",
+    "repro.nn",
+    "repro.data",
+    "repro.graphs",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.utils",
+    "repro.serve",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and module.__doc__.strip(), f"{package} lacks a docstring"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_classes_documented(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), f"{package}.{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_no_accidental_torch_dependency():
+    """The whole point: nothing in the library may import torch."""
+    import sys
+
+    for package in PACKAGES:
+        importlib.import_module(package)
+    assert "torch" not in sys.modules

@@ -1,0 +1,88 @@
+"""End-to-end tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def pipeline_files(tmp_path_factory):
+    """Run generate -> prepare once; later tests reuse the artifacts."""
+    root = tmp_path_factory.mktemp("cli")
+    sessions = root / "sessions.jsonl"
+    dataset = root / "dataset.json"
+    assert main([
+        "generate", "--config", "jd-appliances", "--sessions", "250",
+        "--seed", "5", "--out", str(sessions),
+    ]) == 0
+    assert main([
+        "prepare", "--config", "jd-appliances", "--input", str(sessions),
+        "--out", str(dataset), "--min-support", "2",
+    ]) == 0
+    return root, sessions, dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--config", "trivago", "--out", "x.jsonl"]
+        )
+        assert args.config == "trivago"
+        assert args.sessions == 2000
+
+
+class TestPipeline:
+    def test_artifacts_created(self, pipeline_files):
+        _root, sessions, dataset = pipeline_files
+        assert sessions.exists() and sessions.stat().st_size > 0
+        assert dataset.exists() and dataset.stat().st_size > 0
+
+    def test_train_with_checkpoint(self, pipeline_files, capsys):
+        root, _sessions, dataset = pipeline_files
+        ckpt = root / "model.npz"
+        code = main([
+            "train", "--dataset", str(dataset), "--model", "STAMP",
+            "--dim", "8", "--epochs", "1", "--checkpoint", str(ckpt),
+        ])
+        assert code == 0
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "test metrics" in out
+
+    def test_evaluate_checkpoint(self, pipeline_files, capsys):
+        root, _sessions, dataset = pipeline_files
+        ckpt = root / "model2.npz"
+        main([
+            "train", "--dataset", str(dataset), "--model", "STAMP",
+            "--dim", "8", "--epochs", "1", "--checkpoint", str(ckpt),
+        ])
+        code = main([
+            "evaluate", "--dataset", str(dataset), "--model", "STAMP",
+            "--dim", "8", "--checkpoint", str(ckpt),
+        ])
+        assert code == 0
+        assert "H@20" in capsys.readouterr().out
+
+    def test_train_nonneural_checkpoint_fails_cleanly(self, pipeline_files, capsys):
+        root, _sessions, dataset = pipeline_files
+        code = main([
+            "train", "--dataset", str(dataset), "--model", "S-POP",
+            "--checkpoint", str(root / "nope.npz"),
+        ])
+        assert code == 1
+
+    def test_compare(self, pipeline_files, capsys):
+        _root, _sessions, dataset = pipeline_files
+        code = main([
+            "compare", "--dataset", str(dataset), "--models", "S-POP", "STAMP",
+            "--dim", "8", "--epochs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S-POP" in out and "STAMP" in out

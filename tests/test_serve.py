@@ -1,0 +1,149 @@
+"""Tests for the online serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.data.dataset import SessionBatch
+from repro.eval import Recommender
+from repro.serve import RecommenderService
+
+
+class EchoLast(Recommender):
+    """Scores proportional to the last macro item id (deterministic)."""
+
+    name = "echo"
+
+    def __init__(self, num_items):
+        self.num_items = num_items
+
+    def fit(self, dataset):
+        return self
+
+    def score_batch(self, batch: SessionBatch) -> np.ndarray:
+        scores = np.zeros((batch.batch_size, self.num_items))
+        lengths = batch.macro_lengths()
+        for b in range(batch.batch_size):
+            last = batch.items[b, lengths[b] - 1]
+            scores[b, last - 1] = 2.0  # rank the last item first...
+            scores[b, last % self.num_items] = 1.0  # ...then its successor
+        return scores
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 200, seed=3), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture
+def service(dataset):
+    clock = {"t": 0.0}
+    svc = RecommenderService(
+        EchoLast(dataset.num_items),
+        dataset.vocab,
+        num_ops=dataset.num_operations,
+        session_ttl=100.0,
+        clock=lambda: clock["t"],
+    )
+    svc._test_clock = clock
+    return svc
+
+
+def raw_item(dataset, dense):
+    return dataset.vocab.decode(dense)
+
+
+class TestRecording:
+    def test_merge_successive_semantics(self, service, dataset):
+        item = raw_item(dataset, 1)
+        service.record("u", item, 0)
+        service.record("u", item, 1)
+        session = service.session("u")
+        assert session.num_macro_steps == 1
+        assert session.op_sequences[0] == [0, 1]
+
+    def test_revisit_new_step(self, service, dataset):
+        a, b = raw_item(dataset, 1), raw_item(dataset, 2)
+        for it in (a, b, a):
+            service.record("u", it, 0)
+        assert service.session("u").num_macro_steps == 3
+
+    def test_unknown_item_dropped_and_counted(self, service):
+        applied = service.record("u", item=10**9, operation=0)
+        assert not applied
+        assert service.session("u").dropped_events == 1
+
+    def test_invalid_operation_rejected(self, service, dataset):
+        with pytest.raises(ValueError):
+            service.record("u", raw_item(dataset, 1), operation=99)
+
+
+class TestTopK:
+    def test_ranking_follows_recommender(self, service, dataset):
+        service.record("u", raw_item(dataset, 5), 0)
+        top = service.top_k("u", k=2)
+        assert top[0] == raw_item(dataset, 5)
+
+    def test_exclude_seen(self, service, dataset):
+        service.record("u", raw_item(dataset, 5), 0)
+        top = service.top_k("u", k=3, exclude_seen=True)
+        assert raw_item(dataset, 5) not in top
+
+    def test_unknown_session_empty(self, service):
+        assert service.top_k("ghost", k=5) == []
+
+    def test_batch_scoring_mixed(self, service, dataset):
+        service.record("a", raw_item(dataset, 3), 0)
+        out = service.top_k_batch(["a", "ghost"], k=2)
+        assert out["ghost"] == []
+        assert len(out["a"]) == 2
+
+    def test_returns_raw_ids(self, service, dataset):
+        service.record("u", raw_item(dataset, 7), 0)
+        for rid in service.top_k("u", k=5):
+            assert rid in dataset.vocab
+
+
+class TestLifecycle:
+    def test_ttl_eviction(self, service, dataset):
+        service.record("old", raw_item(dataset, 1), 0)
+        service._test_clock["t"] = 50.0
+        service.record("fresh", raw_item(dataset, 2), 0)
+        service._test_clock["t"] = 140.0  # old idle 140 > ttl; fresh idle 90 < ttl
+        evicted = service.sweep_expired()
+        assert evicted == 1
+        assert service.session("old") is None
+        assert service.session("fresh") is not None
+
+    def test_end_session(self, service, dataset):
+        service.record("u", raw_item(dataset, 1), 0)
+        service.end_session("u")
+        assert service.active_sessions == 0
+
+    def test_truncation_to_max_macro_len(self, dataset):
+        svc = RecommenderService(
+            EchoLast(dataset.num_items), dataset.vocab,
+            num_ops=dataset.num_operations, max_macro_len=3,
+        )
+        for dense in (1, 2, 3, 4, 5):
+            svc.record("u", raw_item(dataset, dense), 0)
+        example = svc.session("u").to_example(3)
+        assert len(example) == 3
+        assert example.macro_items == [3, 4, 5]
+
+
+class TestWithRealModel:
+    def test_neural_model_end_to_end(self, dataset):
+        from repro.eval import ExperimentConfig, ExperimentRunner
+
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=8, epochs=1, seed=0))
+        rec = runner.run("STAMP").recommender
+        svc = RecommenderService(rec, dataset.vocab, num_ops=dataset.num_operations)
+        svc.record("u", dataset.vocab.decode(1), 0)
+        svc.record("u", dataset.vocab.decode(2), 1)
+        top = svc.top_k("u", k=10)
+        assert len(top) == 10
+        assert len(set(top)) == 10

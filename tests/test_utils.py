@@ -1,0 +1,37 @@
+"""Tests for table rendering utilities."""
+
+from repro.utils import render_markdown, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "v"], [["a", 1.5], ["longer", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        header, sep, row1, row2 = lines
+        assert header.index("|") == row1.index("|") == row2.index("|")
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out and "3.1416" not in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_mixed_types(self):
+        out = render_table(["x"], [["text"], [42], [1.0]])
+        assert "text" in out and "42" in out and "1.00" in out
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        out = render_markdown(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_floats_rounded(self):
+        out = render_markdown(["m"], [[12.3456]])
+        assert "| 12.35 |" in out
