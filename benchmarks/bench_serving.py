@@ -1,0 +1,216 @@
+"""Serving-stack benchmark: micro-batched vs. per-request scoring.
+
+Not a paper experiment — this measures the `repro.serving` gateway layer.
+A small neural model is trained on the synthetic JD-like dataset, live
+sessions are seeded into a :class:`RecommenderService`, and closed-loop
+worker threads then request top-K rankings two ways:
+
+* **unbatched** — each request is its own ``top_k`` (= one batch-1 model
+  call) under a service lock, the seed's serving behaviour;
+* **batched** — requests go through :class:`MicroBatcher`, so up to
+  ``max_batch_size`` concurrent requests share one model call.
+
+Throughput and latency are reported per concurrency level, an HTTP
+load-generator leg exercises the full gateway (cache + admission +
+metrics), and everything lands in
+``benchmarks/results/serving_throughput.json`` for trajectory tracking.
+
+Run standalone (``python benchmarks/bench_serving.py``) or via pytest
+(``pytest benchmarks/bench_serving.py``). ``REPRO_BENCH_FAST=1`` shrinks
+the run; the ≥2x batching-speedup shape criterion is asserted at
+concurrency ≥ 16 either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.eval import ExperimentConfig, ExperimentRunner
+from repro.serve import RecommenderService
+from repro.serving import (
+    GatewayConfig,
+    MicroBatcher,
+    PopularityFallback,
+    ServingGateway,
+    run_load,
+)
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SESSIONS = 400 if FAST else 1200
+MODEL = "NARM"  # a realistically-sized scorer: ~0.5 ms per batch-1 call
+DIM = 64
+CONCURRENCY_LEVELS = (4, 16, 32)
+REQUESTS_PER_WORKER = 20 if FAST else 40
+LIVE_SESSIONS = 64
+TOP_K = 10
+MAX_WAIT_MS = 0.5  # low-latency batching window
+
+
+def build_stack():
+    """Synthetic JD-like dataset + a small trained model + live sessions."""
+    cfg = jd_appliances_config()
+    dataset = prepare_dataset(
+        generate_dataset(cfg, SESSIONS, seed=0), cfg.operations, min_support=3, name="jd"
+    )
+    runner = ExperimentRunner(dataset, ExperimentConfig(dim=DIM, epochs=1, seed=0))
+    recommender = runner.run(MODEL).recommender
+    service = RecommenderService(recommender, dataset.vocab, num_ops=dataset.num_operations)
+    # Seed live sessions with real event streams from the test split.
+    for i in range(LIVE_SESSIONS):
+        example = dataset.test[i % len(dataset.test)]
+        for item, ops in zip(example.macro_items, example.op_sequences):
+            for op in ops:
+                service.record(f"s{i}", dataset.vocab.decode(item), op)
+    return dataset, service
+
+
+def _drive(workers: int, one_request) -> dict:
+    """Closed loop: ``workers`` threads each issue REQUESTS_PER_WORKER calls."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    errors = [0]
+
+    def work(worker_id: int) -> None:
+        local = []
+        for i in range(REQUESTS_PER_WORKER):
+            sid = f"s{(worker_id * REQUESTS_PER_WORKER + i) % LIVE_SESSIONS}"
+            started = time.perf_counter()
+            try:
+                one_request(sid)
+            except Exception:
+                with lock:
+                    errors[0] += 1
+                continue
+            local.append((time.perf_counter() - started) * 1000.0)
+        with lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=work, args=(w,)) for w in range(workers)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+    return {
+        "requests": len(latencies),
+        "errors": errors[0],
+        "throughput_rps": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(pct(0.50), 3),
+        "p95_ms": round(pct(0.95), 3),
+        "p99_ms": round(pct(0.99), 3),
+        "duration_s": round(elapsed, 3),
+    }
+
+
+def bench_modes(service) -> dict:
+    """Batched vs unbatched throughput at each concurrency level."""
+    service_lock = threading.Lock()
+
+    def unbatched(sid: str) -> None:
+        with service_lock:  # the seed's behaviour: one model call per request
+            service.top_k(sid, k=TOP_K)
+
+    out: dict[str, dict] = {}
+    for workers in CONCURRENCY_LEVELS:
+        batcher = MicroBatcher(
+            service, max_batch_size=64, max_wait_ms=MAX_WAIT_MS, max_queue_depth=1024, lock=service_lock
+        ).start()
+        try:
+            batched = _drive(workers, lambda sid: batcher.submit(sid, k=TOP_K).result(timeout=30))
+        finally:
+            batcher.stop()
+        unbatched_stats = _drive(workers, unbatched)
+        speedup = (
+            batched["throughput_rps"] / unbatched_stats["throughput_rps"]
+            if unbatched_stats["throughput_rps"]
+            else float("inf")
+        )
+        out[str(workers)] = {
+            "batched": batched,
+            "unbatched": unbatched_stats,
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"concurrency {workers:>3}: unbatched {unbatched_stats['throughput_rps']:>8.1f} rps"
+            f" | batched {batched['throughput_rps']:>8.1f} rps | speedup {speedup:.2f}x"
+        )
+    return out
+
+
+def bench_gateway(dataset, service) -> dict:
+    """One HTTP load-generator run against the full gateway stack."""
+    gateway = ServingGateway(
+        service,
+        GatewayConfig(max_batch_size=64, max_wait_ms=MAX_WAIT_MS, deadline_ms=1000.0),
+        fallback=PopularityFallback(dataset),
+    )
+    items = [dataset.vocab.decode(d) for d in range(1, min(50, dataset.num_items) + 1)]
+    with gateway:
+        report = run_load(
+            gateway.config.host,
+            gateway.port,
+            items,
+            num_ops=dataset.num_operations,
+            workers=16,
+            requests_per_worker=REQUESTS_PER_WORKER,
+            event_every=4,
+        )
+        metrics = gateway.registry.snapshot()
+    print(
+        f"gateway loadgen: {report.throughput_rps:.1f} rps, "
+        f"p50 {report.percentile(0.5):.2f} ms, p99 {report.percentile(0.99):.2f} ms, "
+        f"cache hit rate {metrics.get('cache_hit_rate', 0.0):.2f}"
+    )
+    return {"loadgen": report.summary(), "metrics": metrics}
+
+
+def run_benchmark() -> dict:
+    dataset, service = build_stack()
+    results = {
+        "dataset": "jd-appliances-synthetic",
+        "model": MODEL,
+        "dim": DIM,
+        "fast_mode": FAST,
+        "requests_per_worker": REQUESTS_PER_WORKER,
+        "concurrency": bench_modes(service),
+        "gateway": bench_gateway(dataset, service),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "serving_throughput.json"
+    path.write_text(json.dumps(results, indent=2))
+    print(f"wrote {path}")
+    return results
+
+
+def test_bench_serving_throughput():
+    """Shape criterion: micro-batching >= 2x unbatched at concurrency >= 16."""
+    results = run_benchmark()
+    for workers in CONCURRENCY_LEVELS:
+        if workers >= 16:
+            level = results["concurrency"][str(workers)]
+            assert level["speedup"] >= 2.0, (
+                f"batching speedup {level['speedup']}x < 2x at concurrency {workers}"
+            )
+            assert level["batched"]["errors"] == 0
+    gateway = results["gateway"]
+    assert gateway["loadgen"]["errors"] == 0
+    assert gateway["metrics"]["request_latency_ms"]["count"] > 0
+
+
+if __name__ == "__main__":
+    run_benchmark()

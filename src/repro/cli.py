@@ -9,9 +9,13 @@ Usage (after ``python setup.py develop``):
     python -m repro.cli train    --dataset dataset.json --model EMBSR --epochs 8 --checkpoint embsr.npz
     python -m repro.cli evaluate --dataset dataset.json --model EMBSR --checkpoint embsr.npz
     python -m repro.cli compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR
+    python -m repro.cli serve    --config jd-appliances --model STAMP --port 8080
 
 The ``compare`` command reproduces a slice of the paper's Table III for any
-subset of the twelve systems.
+subset of the twelve systems. ``serve`` trains (or loads) a model on a
+synthetic dataset and exposes it through the micro-batching HTTP gateway
+(``repro.serving``): ``POST /events``, ``GET /recommend``, ``GET /healthz``,
+``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -91,6 +95,24 @@ def _add_compare(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("serve", help="train (or load) a model and serve it over HTTP")
+    p.add_argument("--config", choices=sorted(_CONFIGS), default="jd-appliances")
+    p.add_argument("--sessions", type=int, default=1000, help="synthetic sessions to train on")
+    p.add_argument("--model", default="STAMP")
+    p.add_argument("--dim", type=int, default=16)
+    p.add_argument("--epochs", type=int, default=2)
+    p.add_argument("--lr", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None, help="load this .npz instead of training")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--max-batch-size", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=5.0)
+    p.add_argument("--deadline-ms", type=float, default=250.0)
+    p.add_argument("--duration", type=float, default=0.0, help="seconds to serve (0 = until Ctrl-C)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -99,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(sub)
     _add_evaluate(sub)
     _add_compare(sub)
+    _add_serve(sub)
     return parser
 
 
@@ -195,12 +218,75 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from .serve import RecommenderService
+    from .serving import GatewayConfig, PopularityFallback, ServingGateway
+
+    config_fn, min_support = _CONFIGS[args.config]
+    cfg = config_fn()
+    sessions = generate_dataset(cfg, args.sessions, seed=args.seed)
+    dataset = prepare_dataset(
+        sessions, cfg.operations, name=args.config, min_support=min_support, seed=args.seed
+    )
+    runner = ExperimentRunner(
+        dataset, ExperimentConfig(dim=args.dim, epochs=args.epochs, lr=args.lr, seed=args.seed)
+    )
+    if args.checkpoint:
+        try:
+            recommender = runner.build(args.model).load(dataset, args.checkpoint)
+        except FileNotFoundError:
+            print(f"checkpoint not found: {args.checkpoint}", file=sys.stderr)
+            return 1
+        except (KeyError, ValueError) as error:
+            print(
+                f"checkpoint {args.checkpoint} does not match {args.model} "
+                f"(dim={args.dim}) on this dataset: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"loaded {args.model} checkpoint from {args.checkpoint}")
+    else:
+        recommender = runner.run(args.model, verbose=True).recommender
+    service = RecommenderService(recommender, dataset.vocab, num_ops=dataset.num_operations)
+    gateway = ServingGateway(
+        service,
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            deadline_ms=args.deadline_ms,
+        ),
+        fallback=PopularityFallback(dataset),
+    )
+    gateway.start()
+    print(f"serving {args.model} on {gateway.address}")
+    print(f"  POST {gateway.address}/events      {{session_id, item, operation}}")
+    print(f"  GET  {gateway.address}/recommend?session_id=...&k=10")
+    print(f"  GET  {gateway.address}/healthz")
+    print(f"  GET  {gateway.address}/metrics")
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        gateway.stop()
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "prepare": _cmd_prepare,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
 }
 
 

@@ -9,6 +9,7 @@
 from __future__ import annotations
 
 import abc
+import pathlib
 
 import numpy as np
 
@@ -30,6 +31,24 @@ class Recommender(abc.ABC):
     @abc.abstractmethod
     def score_batch(self, batch: SessionBatch) -> np.ndarray:
         """Return [B, num_items] scores (higher = more likely next item)."""
+
+    # -- persistence (overridden where the system has parameters) -------
+    def save(self, path: str | pathlib.Path) -> None:
+        """Persist fitted state to ``path`` so serving can skip retraining.
+
+        Parametric systems override this (see ``NeuralRecommender.save``);
+        non-parametric ones (S-POP, SKNN) re-index in seconds and opt out.
+        """
+        raise NotImplementedError(f"{self.name} does not support checkpointing")
+
+    def load(self, dataset: PreparedDataset, path: str | pathlib.Path) -> "Recommender":
+        """Restore state saved by :meth:`save`; the inverse round-trip.
+
+        ``dataset`` supplies the architecture dimensions (vocabulary sizes)
+        the checkpoint was trained with — loading never touches the train
+        split, so a gateway can boot from disk in milliseconds.
+        """
+        raise NotImplementedError(f"{self.name} does not support checkpointing")
 
     def top_k(self, batch: SessionBatch, k: int) -> np.ndarray:
         """Dense ids of the top-``k`` items per session, best first."""

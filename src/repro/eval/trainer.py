@@ -155,6 +155,26 @@ class NeuralRecommender(Recommender):
         self.trainer.fit(dataset)
         return self
 
+    def save(self, path) -> None:
+        """Checkpoint the fitted model's parameters (``.npz`` archive)."""
+        from ..nn import save_checkpoint
+
+        save_checkpoint(self.model, path)
+
+    def load(self, dataset: PreparedDataset, path) -> "NeuralRecommender":
+        """Rebuild the architecture for ``dataset`` and load a checkpoint.
+
+        The factory must be constructed with the same switches (dim, seed,
+        ...) used at training time; ``load_checkpoint`` is strict about
+        names and shapes, so a mismatched architecture fails loudly.
+        """
+        from ..nn import load_checkpoint
+
+        model = self._factory(dataset)
+        load_checkpoint(model, path)
+        self.trainer = Trainer(model, self.train_config)
+        return self
+
     def score_batch(self, batch: SessionBatch) -> np.ndarray:
         model = self.model
         model.eval()

@@ -52,11 +52,26 @@ class LiveSession:
     def num_macro_steps(self) -> int:
         return len(self.macro_items)
 
+    def window(self, max_macro_len: int) -> tuple[tuple[int, ...], tuple[tuple[int, ...], ...]]:
+        """The (items, op-sequences) slice the model actually scores.
+
+        Truncation to the most recent ``max_macro_len`` macro steps matches
+        training-time preprocessing; both :meth:`to_example` and everything
+        that must agree with scoring semantics (seen-item masking, cache
+        fingerprints) derive from this one helper.
+        """
+        items = tuple(self.macro_items[-max_macro_len:])
+        ops = tuple(tuple(o) for o in self.op_sequences[-max_macro_len:])
+        return items, ops
+
+    def fingerprint(self, max_macro_len: int) -> tuple:
+        """Hashable identity of the scoreable state (for score caches)."""
+        return self.window(max_macro_len)
+
     def to_example(self, max_macro_len: int) -> MacroSession:
         """Snapshot as a scoreable example (target is a placeholder)."""
-        items = self.macro_items[-max_macro_len:]
-        ops = [list(o) for o in self.op_sequences[-max_macro_len:]]
-        return MacroSession(items, ops, target=1)
+        items, ops = self.window(max_macro_len)
+        return MacroSession(list(items), [list(o) for o in ops], target=1)
 
 
 class RecommenderService:
@@ -96,22 +111,30 @@ class RecommenderService:
         self.session_ttl = session_ttl
         self._clock = clock
         self._sessions: dict[str, LiveSession] = {}
+        self.vocab_misses = 0  # unknown-item events from visitors with no session
 
     # ------------------------------------------------------------------
     def record(self, session_id: str, item: int, operation: int) -> bool:
         """Ingest one micro-behavior event.
 
         Returns ``True`` if the event was applied; ``False`` if the item is
-        outside the training vocabulary (counted on the session).
+        outside the training vocabulary. Unknown items never *create* a
+        session — a crawler (or a flood of cold-item visitors) must not grow
+        the session table — they only bump ``vocab_misses``, or the dropped
+        count of an already-live session.
         """
         if not 0 <= operation < self.num_ops:
             raise ValueError(f"operation {operation} outside 0..{self.num_ops - 1}")
-        session = self._sessions.setdefault(session_id, LiveSession())
         now = self._clock()
         if item not in self.vocab:
-            session.dropped_events += 1
-            session.last_event_at = now
+            session = self._sessions.get(session_id)
+            if session is None:
+                self.vocab_misses += 1
+            else:
+                session.dropped_events += 1
+                session.last_event_at = now
             return False
+        session = self._sessions.setdefault(session_id, LiveSession())
         session.record(self.vocab.encode(item), operation, now)
         return True
 
@@ -167,7 +190,12 @@ class RecommenderService:
         scores = np.array(self.recommender.score_batch(batch), dtype=float)
         for row, sid in enumerate(scoreable):
             if exclude_seen:
-                seen = np.array(self._sessions[sid].macro_items) - 1
+                # Mask only what the model actually scored: dense ids inside
+                # the truncated window (items that scrolled out of a long
+                # session are legitimately recommendable again), clipped to
+                # the recommender's score width.
+                window_items, _ = self._sessions[sid].window(self.max_macro_len)
+                seen = [i - 1 for i in set(window_items) if i - 1 < scores.shape[1]]
                 scores[row, seen] = -np.inf
             order = np.argsort(-scores[row], kind="stable")[:k]
             results[sid] = [self.vocab.decode(int(i) + 1) for i in order]

@@ -1,0 +1,46 @@
+"""Production serving stack on top of :mod:`repro.serve`.
+
+``repro.serve`` answers "top-K for this session" one caller at a time;
+this package wraps it in the machinery a real deployment needs:
+
+* :mod:`~repro.serving.batcher` — coalesce concurrent requests into one
+  model call (size-or-timeout micro-batching);
+* :mod:`~repro.serving.cache` — generation-aware TTL cache of rankings,
+  invalidated the moment a session ingests a new event;
+* :mod:`~repro.serving.admission` — bounded-queue load shedding,
+  per-request deadlines, popularity fallback (graceful degradation);
+* :mod:`~repro.serving.metrics` — counters / gauges / latency histograms
+  rendered at ``/metrics``;
+* :mod:`~repro.serving.gateway` — the stdlib JSON-over-HTTP front end;
+* :mod:`~repro.serving.loadgen` — a closed-loop load generator for
+  benchmarks and end-to-end tests.
+
+See ``docs/serving.md`` for the architecture walk-through and
+``repro serve`` for a one-command demo.
+"""
+
+from .admission import AdmissionController, PopularityFallback, Recommendation
+from .batcher import BatchFuture, DeadlineExceededError, MicroBatcher, QueueFullError
+from .cache import ScoreCache
+from .gateway import GatewayConfig, ServingGateway
+from .loadgen import LoadReport, run_load
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "AdmissionController",
+    "PopularityFallback",
+    "Recommendation",
+    "BatchFuture",
+    "DeadlineExceededError",
+    "MicroBatcher",
+    "QueueFullError",
+    "ScoreCache",
+    "GatewayConfig",
+    "ServingGateway",
+    "LoadReport",
+    "run_load",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,129 @@
+"""Graceful degradation: load shedding, deadlines, and a cheap fallback.
+
+Three independent safety valves keep the gateway responsive under stress:
+
+1. **Load shedding** — the batcher's bounded queue rejects new work when
+   full; :class:`AdmissionController` counts the shed and re-raises so the
+   HTTP layer answers 429 in microseconds instead of queueing unboundedly.
+2. **Deadlines** — every admitted request carries a wall-clock budget; a
+   request still unanswered when it expires stops waiting on the model.
+3. **Fallback** — expired requests are answered from
+   :class:`PopularityFallback`, a precomputed global-popularity ranking
+   (the classic "most popular" degraded mode: worse, but instant and never
+   empty), and flagged ``degraded`` so callers/metrics can see it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+
+from ..data.preprocess import PreparedDataset
+from .batcher import DeadlineExceededError, MicroBatcher, QueueFullError
+from .metrics import MetricsRegistry
+
+__all__ = ["PopularityFallback", "AdmissionController", "Recommendation"]
+
+
+class PopularityFallback:
+    """Global-popularity ranking precomputed from a dataset's train split.
+
+    Answering from a sorted list is O(k) with zero model involvement, which
+    is exactly what a deadline-missing request needs. Returned ids are raw
+    (decoded) item ids, like the primary path's.
+    """
+
+    def __init__(self, dataset: PreparedDataset):
+        tally: TallyCounter[int] = TallyCounter()
+        for example in dataset.train:
+            tally.update(example.macro_items)
+            if example.target is not None:
+                tally[example.target] += 1
+        ranked_dense = [item for item, _ in tally.most_common()]
+        self._ranked_raw = [dataset.vocab.decode(dense) for dense in ranked_dense]
+
+    def top_k(self, k: int, exclude_raw: tuple[int, ...] = ()) -> list[int]:
+        """Most popular ``k`` raw item ids, skipping ``exclude_raw``."""
+        excluded = set(exclude_raw)
+        out = []
+        for raw in self._ranked_raw:
+            if raw in excluded:
+                continue
+            out.append(raw)
+            if len(out) == k:
+                break
+        return out
+
+
+@dataclass
+class Recommendation:
+    """A ranking plus how it was produced (primary model or degraded)."""
+
+    items: list[int]
+    source: str  # "model" | "fallback"
+    cached: bool = False
+
+
+class AdmissionController:
+    """Front door for ``/recommend``: admit, bound, degrade.
+
+    Parameters
+    ----------
+    batcher:
+        The :class:`MicroBatcher` doing the actual scoring.
+    deadline_ms:
+        Per-request budget from admission to answer; a miss triggers the
+        fallback (or re-raises when no fallback is configured).
+    fallback:
+        Optional :class:`PopularityFallback` used on deadline misses.
+    registry:
+        Metrics registry for shed/fallback counters.
+    """
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        deadline_ms: float = 100.0,
+        fallback: PopularityFallback | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.batcher = batcher
+        self.deadline_ms = deadline_ms
+        self.fallback = fallback
+        registry = registry or MetricsRegistry()
+        self._shed = registry.counter("requests_shed_total", "rejected with 429: queue full")
+        self._fallbacks = registry.counter(
+            "requests_fallback_total", "answered by popularity after deadline miss"
+        )
+
+    def recommend(
+        self,
+        session_id: str,
+        k: int = 10,
+        exclude_seen: bool = False,
+        exclude_raw: tuple[int, ...] = (),
+    ) -> Recommendation:
+        """Admit one request end-to-end.
+
+        Raises :class:`QueueFullError` when shed (HTTP 429) and
+        :class:`DeadlineExceededError` when the deadline passes with no
+        fallback configured (HTTP 504).
+        """
+        deadline_s = self.deadline_ms / 1000.0
+        try:
+            future = self.batcher.submit(
+                session_id, k=k, exclude_seen=exclude_seen, deadline_s=deadline_s
+            )
+        except QueueFullError:
+            self._shed.inc()
+            raise
+        try:
+            return Recommendation(items=future.result(timeout=deadline_s), source="model")
+        except DeadlineExceededError:
+            self._fallbacks.inc()
+            if self.fallback is None:
+                raise
+            return Recommendation(
+                items=self.fallback.top_k(k, exclude_raw=exclude_raw if exclude_seen else ()),
+                source="fallback",
+            )

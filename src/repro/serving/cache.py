@@ -1,0 +1,114 @@
+"""Generation-aware TTL score cache for live recommendations.
+
+Identical consecutive ``GET /recommend`` calls are extremely common in
+production (page re-renders, retries, polling widgets) and a session's
+ranking only changes when the session itself does. :class:`ScoreCache`
+therefore keys entries on the session's *scored-window fingerprint* (the
+exact ``(items, op_sequences)`` slice the model sees — see
+``LiveSession.window``) plus the request shape ``(k, exclude_seen)``, and
+pairs that with a per-session **generation counter**: every ingested event
+bumps the generation, so stale rankings die instantly without scanning the
+cache. A TTL bounds staleness of everything else (e.g. after a model swap)
+and an LRU bound caps memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ScoreCache"]
+
+
+class ScoreCache:
+    """LRU + TTL + generation-checked cache of top-K result lists.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least recently used entry is evicted first.
+    ttl:
+        Seconds after which an entry is considered stale regardless of
+        generation.
+    clock:
+        Injectable time source (tests freeze it).
+    """
+
+    def __init__(self, max_entries: int = 4096, ttl: float = 30.0, clock=time.monotonic):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (generation, stored_at, value)
+        self._entries: OrderedDict[tuple, tuple[int, float, list[int]]] = OrderedDict()
+        self._generations: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, session_id: str, fingerprint: Hashable, k: int, exclude_seen: bool) -> tuple:
+        return (session_id, fingerprint, k, exclude_seen)
+
+    def generation(self, session_id: str) -> int:
+        return self._generations.get(session_id, 0)
+
+    def invalidate(self, session_id: str) -> None:
+        """Bump the session's generation; all its cached entries go stale."""
+        with self._lock:
+            self._generations[session_id] = self._generations.get(session_id, 0) + 1
+            self.invalidations += 1
+
+    def forget(self, session_id: str) -> None:
+        """Drop generation tracking for an ended/evicted session."""
+        with self._lock:
+            self._generations.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    def get(
+        self, session_id: str, fingerprint: Hashable, k: int, exclude_seen: bool = False
+    ) -> list[int] | None:
+        """Cached ranking, or ``None`` on miss/stale (never a wrong answer)."""
+        key = self._key(session_id, fingerprint, k, exclude_seen)
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            generation, stored_at, value = entry
+            if generation != self._generations.get(session_id, 0) or now - stored_at > self.ttl:
+                del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return list(value)
+
+    def put(
+        self,
+        session_id: str,
+        fingerprint: Hashable,
+        k: int,
+        value: list[int],
+        exclude_seen: bool = False,
+    ) -> None:
+        key = self._key(session_id, fingerprint, k, exclude_seen)
+        with self._lock:
+            self._entries[key] = (self._generations.get(session_id, 0), self._clock(), list(value))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,325 @@
+"""JSON-over-HTTP serving gateway (stdlib-only, threaded).
+
+Request path for ``GET /recommend``::
+
+    handler thread ──▶ ScoreCache ──hit──▶ 200 (cached)
+           │ miss
+           ▼
+    AdmissionController ──queue full──▶ 429 (shed)
+           │ admitted
+           ▼
+    MicroBatcher queue ──▶ scorer thread ──▶ top_k_batch (one model call
+           │                                 for up to max_batch_size
+           │ deadline miss                   concurrent requests)
+           ▼
+    PopularityFallback ──▶ 200 (degraded)
+
+``POST /events`` ingests micro-behaviors (and invalidates the session's
+cache generation); ``GET /healthz`` is a liveness probe; ``GET /metrics``
+renders the registry. Built on ``http.server.ThreadingHTTPServer`` so the
+whole stack needs nothing outside the standard library — the point is the
+architecture (batching, caching, degradation), not the web framework.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..serve import RecommenderService
+from .admission import AdmissionController, PopularityFallback
+from .batcher import DeadlineExceededError, MicroBatcher, QueueFullError
+from .cache import ScoreCache
+from .metrics import MetricsRegistry
+
+__all__ = ["ServingGateway", "GatewayConfig"]
+
+
+class GatewayConfig:
+    """Tunable knobs of the serving stack, with production-ish defaults."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,  # 0 = ephemeral, read the bound port from .port
+        max_batch_size: int = 32,
+        max_wait_ms: float = 5.0,
+        max_queue_depth: int = 256,
+        deadline_ms: float = 250.0,
+        cache_ttl: float = 30.0,
+        cache_entries: int = 4096,
+    ):
+        self.host = host
+        self.port = port
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self.deadline_ms = deadline_ms
+        self.cache_ttl = cache_ttl
+        self.cache_entries = cache_entries
+
+
+class ServingGateway:
+    """Bundle service + batcher + cache + admission behind an HTTP server.
+
+    The request operations (:meth:`ingest`, :meth:`recommend`) are plain
+    methods so tests and in-process callers can drive the full stack
+    without sockets; the HTTP layer is a thin JSON shim over them.
+    """
+
+    def __init__(
+        self,
+        service: RecommenderService,
+        config: GatewayConfig | None = None,
+        fallback: PopularityFallback | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.service = service
+        self.config = config or GatewayConfig()
+        self.registry = registry or MetricsRegistry()
+        self.service_lock = threading.Lock()  # serializes record() vs scoring
+        self.cache = ScoreCache(
+            max_entries=self.config.cache_entries, ttl=self.config.cache_ttl
+        )
+        self.batcher = MicroBatcher(
+            service,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue_depth=self.config.max_queue_depth,
+            registry=self.registry,
+            lock=self.service_lock,
+        )
+        self.admission = AdmissionController(
+            self.batcher,
+            deadline_ms=self.config.deadline_ms,
+            fallback=fallback,
+            registry=self.registry,
+        )
+        self._server: ThreadingHTTPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        r = self.registry
+        self._events = r.counter("events_total", "micro-behavior events ingested")
+        self._events_dropped = r.counter("events_dropped_total", "events outside the vocabulary")
+        self._recommends = r.counter("requests_recommend_total", "recommendation requests")
+        self._cache_hits = r.counter("cache_hits_total", "recommendations served from cache")
+        self._cache_misses = r.counter("cache_misses_total", "cache lookups that missed")
+        self._cache_hit_rate = r.gauge("cache_hit_rate", "hits / lookups since boot")
+        self._active = r.gauge("active_sessions", "live session-table size")
+        self._latency = r.histogram("request_latency_ms", "recommend latency, milliseconds")
+
+    # ------------------------------------------------------------------ ops
+    def ingest(self, session_id: str, item: int, operation: int) -> dict:
+        """Apply one event; bumps the session's cache generation."""
+        with self.service_lock:
+            applied = self.service.record(session_id, item, operation)
+            session = self.service.session(session_id)
+            steps = session.num_macro_steps if session else 0
+        self._events.inc()
+        if applied:
+            self.cache.invalidate(session_id)
+        else:
+            self._events_dropped.inc()
+        self._active.set(self.service.active_sessions)
+        return {"applied": applied, "session_steps": steps}
+
+    def end_session(self, session_id: str) -> None:
+        """Drop a session and its cache bookkeeping."""
+        with self.service_lock:
+            self.service.end_session(session_id)
+        self.cache.forget(session_id)
+        self._active.set(self.service.active_sessions)
+
+    def recommend(self, session_id: str, k: int = 10, exclude_seen: bool = False) -> dict:
+        """Full request path: cache → admission → batcher → fallback.
+
+        Raises :class:`QueueFullError` / :class:`DeadlineExceededError` for
+        the HTTP layer to map onto 429 / 504.
+        """
+        started = time.perf_counter()
+        self._recommends.inc()
+        with self.service_lock:
+            session = self.service.session(session_id)
+            if session is not None and session.num_macro_steps > 0:
+                fingerprint = session.fingerprint(self.service.max_macro_len)
+                window_items, _ = session.window(self.service.max_macro_len)
+                raw_seen = tuple(self.service.vocab.decode(i) for i in window_items)
+            else:
+                fingerprint = None
+                raw_seen = ()
+
+        if fingerprint is None:
+            # Cold start: nothing scoreable yet — popularity if we have it.
+            fb = self.admission.fallback
+            items = fb.top_k(k) if fb is not None else []
+            result = {"session_id": session_id, "items": items, "source": "cold_start", "cached": False}
+            self._observe_latency(started)
+            return result
+
+        cached = self.cache.get(session_id, fingerprint, k, exclude_seen)
+        if cached is not None:
+            self._cache_hits.inc()
+            self._update_hit_rate()
+            result = {"session_id": session_id, "items": cached, "source": "cache", "cached": True}
+            self._observe_latency(started)
+            return result
+        self._cache_misses.inc()
+        self._update_hit_rate()
+
+        try:
+            rec = self.admission.recommend(
+                session_id, k=k, exclude_seen=exclude_seen, exclude_raw=raw_seen
+            )
+        finally:
+            self._observe_latency(started)
+        if rec.source == "model":
+            self.cache.put(session_id, fingerprint, k, rec.items, exclude_seen)
+        return {
+            "session_id": session_id,
+            "items": rec.items,
+            "source": rec.source,
+            "cached": False,
+        }
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "active_sessions": self.service.active_sessions,
+            "queue_depth": self.batcher.queue_depth,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def _observe_latency(self, started: float) -> None:
+        self._latency.observe((time.perf_counter() - started) * 1000.0)
+
+    def _update_hit_rate(self) -> None:
+        self._cache_hit_rate.set(self.cache.hit_rate)
+
+    # ------------------------------------------------------------------ http
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("gateway is not started")
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "ServingGateway":
+        """Bind the server, start the batcher and the accept loop."""
+        if self._server is not None:
+            return self
+        self.batcher.start()
+        handler = type("GatewayHandler", (_Handler,), {"gateway": self})
+        self._server = ThreadingHTTPServer((self.config.host, self.config.port), handler)
+        self._server.daemon_threads = True
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever, name="gateway-http", daemon=True
+        )
+        self._started_at = time.monotonic()
+        self._server_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._server_thread = None
+        self.batcher.stop()
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the gateway's request operations."""
+
+    gateway: ServingGateway  # bound via subclassing in ServingGateway.start
+    protocol_version = "HTTP/1.1"
+    # Small request/response pairs on keep-alive connections hit the classic
+    # Nagle + delayed-ACK 40ms stall without this.
+    disable_nagle_algorithm = True
+
+    # Silence per-request stderr logging; metrics are the observability story.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    def _reply(self, status: int, body: bytes, content_type: str, headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        self._reply(status, json.dumps(payload).encode(), "application/json", headers)
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        url = urlparse(self.path)
+        try:
+            if url.path == "/healthz":
+                self._json(200, self.gateway.health())
+            elif url.path == "/metrics":
+                self._reply(200, self.gateway.registry.render_text().encode(), "text/plain; version=0.0.4")
+            elif url.path == "/recommend":
+                self._recommend(parse_qs(url.query))
+            else:
+                self._json(404, {"error": f"no route for {url.path}"})
+        except BrokenPipeError:
+            pass
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._json(500, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        try:
+            if url.path == "/events":
+                self._events()
+            elif url.path == "/sessions/end":
+                payload = self._body()
+                self.gateway.end_session(str(payload["session_id"]))
+                self._json(200, {"ended": True})
+            else:
+                self._json(404, {"error": f"no route for {url.path}"})
+        except (KeyError, ValueError, json.JSONDecodeError) as error:
+            self._json(400, {"error": f"bad request: {error}"})
+        except BrokenPipeError:
+            pass
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._json(500, {"error": str(error)})
+
+    # ------------------------------------------------------------------
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        return json.loads(self.rfile.read(length) or b"{}")
+
+    def _events(self) -> None:
+        payload = self._body()
+        result = self.gateway.ingest(
+            str(payload["session_id"]), int(payload["item"]), int(payload["operation"])
+        )
+        self._json(200, result)
+
+    def _recommend(self, query: dict[str, list[str]]) -> None:
+        if "session_id" not in query:
+            self._json(400, {"error": "session_id query parameter is required"})
+            return
+        session_id = query["session_id"][0]
+        k = int(query.get("k", ["10"])[0])
+        exclude_seen = query.get("exclude_seen", ["0"])[0] in ("1", "true", "yes")
+        try:
+            self._json(200, self.gateway.recommend(session_id, k=k, exclude_seen=exclude_seen))
+        except QueueFullError:
+            self._json(429, {"error": "overloaded, try again"}, headers={"Retry-After": "1"})
+        except DeadlineExceededError:
+            self._json(504, {"error": "deadline exceeded and no fallback configured"})

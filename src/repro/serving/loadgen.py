@@ -1,0 +1,145 @@
+"""Closed-loop load generator for the serving gateway.
+
+``workers`` threads each own a persistent HTTP connection and loop:
+POST an event for one of their sessions, then GET a recommendation —
+issuing the next request only after the previous response lands (closed
+loop), so concurrency is exactly ``workers`` and measured throughput is
+the system's, not the generator's. Per-request latencies and status
+counts aggregate into a :class:`LoadReport`; ``benchmarks/bench_serving.py``
+and the slow gateway tests both drive it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    requests: int = 0
+    errors: int = 0
+    status_counts: dict[int, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact sample quantile of observed latencies (0 when empty)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "throughput_rps": round(self.throughput_rps, 1),
+            "p50_ms": round(self.percentile(0.50), 3),
+            "p95_ms": round(self.percentile(0.95), 3),
+            "p99_ms": round(self.percentile(0.99), 3),
+            "duration_s": round(self.duration_s, 3),
+        }
+
+
+def _worker(
+    host: str,
+    port: int,
+    worker_id: int,
+    items: list[int],
+    num_ops: int,
+    requests_per_worker: int,
+    k: int,
+    report: LoadReport,
+    lock: threading.Lock,
+    event_every: int,
+) -> None:
+    rng = random.Random(worker_id)
+    conn = http.client.HTTPConnection(host, port, timeout=10.0)
+    session_id = f"load-{worker_id}"
+    local_latencies: list[float] = []
+    local_status: dict[int, int] = {}
+    local_requests = 0
+    local_errors = 0
+    try:
+        for i in range(requests_per_worker):
+            try:
+                if i % event_every == 0:
+                    body = json.dumps(
+                        {
+                            "session_id": session_id,
+                            "item": rng.choice(items),
+                            "operation": rng.randrange(num_ops),
+                        }
+                    )
+                    conn.request("POST", "/events", body=body, headers={"Content-Type": "application/json"})
+                    conn.getresponse().read()
+                started = time.perf_counter()
+                conn.request("GET", f"/recommend?session_id={session_id}&k={k}")
+                response = conn.getresponse()
+                response.read()
+                local_latencies.append((time.perf_counter() - started) * 1000.0)
+                local_status[response.status] = local_status.get(response.status, 0) + 1
+                local_requests += 1
+            except (OSError, http.client.HTTPException):
+                local_errors += 1
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=10.0)
+    finally:
+        conn.close()
+    with lock:
+        report.requests += local_requests
+        report.errors += local_errors
+        report.latencies_ms.extend(local_latencies)
+        for status, n in local_status.items():
+            report.status_counts[status] = report.status_counts.get(status, 0) + n
+
+
+def run_load(
+    host: str,
+    port: int,
+    items: list[int],
+    num_ops: int,
+    workers: int = 16,
+    requests_per_worker: int = 50,
+    k: int = 10,
+    event_every: int = 5,
+) -> LoadReport:
+    """Drive the gateway with ``workers`` closed-loop clients.
+
+    ``items`` are raw (decodable) item ids to sample events from;
+    ``event_every`` controls the event:recommend mix (an event before every
+    N-th recommend keeps sessions growing, so caches must reprove
+    themselves rather than serve one ranking forever).
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(host, port, w, items, num_ops, requests_per_worker, k, report, lock, event_every),
+            daemon=True,
+        )
+        for w in range(workers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - started
+    return report

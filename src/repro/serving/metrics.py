@@ -1,0 +1,205 @@
+"""Observability primitives for the serving gateway.
+
+A tiny, thread-safe, dependency-free metrics registry in the spirit of the
+Prometheus client: monotonically increasing :class:`Counter`\\ s,
+set-to-current :class:`Gauge`\\ s, and fixed-bucket :class:`Histogram`\\ s
+whose p50/p95/p99 summaries are interpolated from bucket counts (constant
+memory regardless of request volume). :meth:`MetricsRegistry.render_text`
+produces the exposition format served at ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS_MS"]
+
+# Request latencies in milliseconds: sub-ms cache hits up to multi-second
+# stragglers, roughly logarithmic.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+)
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache hits, ...)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, active sessions)."""
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``buckets`` are upper bounds (``le``); observations beyond the last
+    bound land in a +Inf overflow bucket. Percentiles assume observations
+    are uniform within a bucket — exact enough for latency dashboards while
+    keeping ``observe`` O(log buckets) and memory O(buckets).
+    """
+
+    def __init__(self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.bounds) + 1)  # +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Interpolated ``q``-quantile (``q`` in [0, 1]); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for idx, n in enumerate(counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = 0.0 if idx == 0 else self.bounds[idx - 1]
+                hi = self.bounds[idx] if idx < len(self.bounds) else lo
+                fraction = (rank - cumulative) / n
+                return lo + (hi - lo) * fraction
+            cumulative += n
+        return self.bounds[-1]
+
+    def summary(self) -> dict[str, float]:
+        """The dashboard quartet: count, p50, p95, p99."""
+        return {
+            "count": float(self.count),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metric factory + text renderer for the ``/metrics`` endpoint.
+
+    ``counter``/``gauge``/``histogram`` are idempotent get-or-create calls,
+    so any component can grab its instruments by name without coordinating
+    registration order.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-friendly dump of every metric (benchmarks persist this)."""
+        out: dict[str, object] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary() | {"sum": metric.sum}
+            else:
+                out[name] = metric.value
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition (counters, gauges, bucket counts)."""
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {metric.value:g}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {metric.value:g}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                with metric._lock:
+                    counts = list(metric._counts)
+                    total, total_sum = metric._count, metric._sum
+                for bound, n in zip(metric.bounds, counts):
+                    cumulative += n
+                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+                lines.append(f"{name}_sum {total_sum:g}")
+                lines.append(f"{name}_count {total}")
+                for q in (0.50, 0.95, 0.99):
+                    lines.append(f'{name}_quantile{{q="{q:g}"}} {metric.percentile(q):g}')
+        return "\n".join(lines) + "\n"

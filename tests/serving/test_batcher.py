@@ -1,0 +1,135 @@
+"""Deterministic tests for the micro-batching scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import DeadlineExceededError, MetricsRegistry, MicroBatcher, QueueFullError
+
+
+class StubService:
+    """Records every top_k_batch call; ranks are the session id repeated."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.calls: list[tuple[tuple[str, ...], int, bool]] = []
+        self.delay_s = delay_s
+
+    def top_k_batch(self, session_ids, k=10, exclude_seen=False):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        self.calls.append((tuple(session_ids), k, exclude_seen))
+        return {sid: [hash(sid) % 97] * k for sid in session_ids}
+
+
+class TestFlushSynchronous:
+    """Drive _collect/flush by hand — no worker thread, no timing races."""
+
+    def test_size_triggered_single_flush(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, max_batch_size=3, max_wait_ms=10_000)
+        futures = [batcher.submit(f"s{i}", k=4) for i in range(3)]
+        batch = batcher._collect()  # 3 queued >= max_batch_size: returns without waiting
+        assert len(batch) == 3
+        batcher.flush(batch)
+        assert [f.result(0) for f in futures] == [[hash(f"s{i}") % 97] * 4 for i in range(3)]
+        assert stub.calls == [(("s0", "s1", "s2"), 4, False)]
+
+    def test_groups_by_request_shape(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, max_batch_size=3, max_wait_ms=10_000)
+        batcher.submit("a", k=2)
+        batcher.submit("b", k=2)
+        batcher.submit("c", k=5, exclude_seen=True)
+        batcher.flush(batcher._collect())
+        assert sorted(stub.calls) == [(("a", "b"), 2, False), (("c",), 5, True)]
+
+    def test_expired_requests_never_scored(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, max_batch_size=2, max_wait_ms=10_000)
+        dead = batcher.submit("dead", deadline_s=-0.001)  # already expired
+        live = batcher.submit("live")
+        batcher.flush(batcher._collect())
+        with pytest.raises(DeadlineExceededError):
+            dead.result(0)
+        assert live.result(0)
+        assert stub.calls == [(("live",), 10, False)]
+
+    def test_scoring_error_propagates_to_waiters(self):
+        class Exploding:
+            def top_k_batch(self, session_ids, k=10, exclude_seen=False):
+                raise RuntimeError("model fell over")
+
+        batcher = MicroBatcher(Exploding(), max_batch_size=2, max_wait_ms=10_000)
+        future = batcher.submit("s")
+        batcher.flush(batcher._collect())
+        with pytest.raises(RuntimeError, match="fell over"):
+            future.result(0)
+
+
+class TestBackpressure:
+    def test_queue_full_sheds(self):
+        batcher = MicroBatcher(StubService(), max_queue_depth=2)  # worker not started
+        batcher.submit("a")
+        batcher.submit("b")
+        with pytest.raises(QueueFullError):
+            batcher.submit("c")
+
+
+class TestThreaded:
+    """The real worker thread: size and timeout triggers end to end."""
+
+    def test_size_triggered_flush(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, max_batch_size=4, max_wait_ms=60_000).start()
+        try:
+            futures = [batcher.submit(f"s{i}") for i in range(4)]
+            results = [f.result(timeout=5.0) for f in futures]
+            assert all(len(r) == 10 for r in results)
+            # One flush of exactly max_batch_size despite the 60s window.
+            assert len(stub.calls) == 1
+            assert len(stub.calls[0][0]) == 4
+        finally:
+            batcher.stop()
+
+    def test_timeout_triggered_flush(self):
+        stub = StubService()
+        batcher = MicroBatcher(stub, max_batch_size=100, max_wait_ms=30).start()
+        try:
+            future = batcher.submit("lonely")
+            assert future.result(timeout=5.0)  # resolves long before 100 requests arrive
+            assert len(stub.calls) == 1
+        finally:
+            batcher.stop()
+
+    def test_concurrent_submitters_coalesce(self):
+        stub = StubService(delay_s=0.01)
+        batcher = MicroBatcher(stub, max_batch_size=8, max_wait_ms=20).start()
+        try:
+            results = {}
+
+            def one(i):
+                results[i] = batcher.submit(f"s{i}").result(timeout=5.0)
+
+            threads = [threading.Thread(target=one, args=(i,)) for i in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 16
+            scored = sum(len(call[0]) for call in stub.calls)
+            assert scored == 16
+            assert len(stub.calls) < 16  # coalescing actually happened
+        finally:
+            batcher.stop()
+
+    def test_metrics_reported(self):
+        registry = MetricsRegistry()
+        batcher = MicroBatcher(StubService(), max_batch_size=2, max_wait_ms=10_000, registry=registry)
+        batcher.submit("a")
+        batcher.submit("b")
+        batcher.flush(batcher._collect())
+        snap = registry.snapshot()
+        assert snap["batcher_flushes_total"] == 1
+        assert snap["batcher_requests_total"] == 2
+        assert snap["batcher_batch_size"]["count"] == 1

@@ -1,0 +1,95 @@
+"""Unit tests for the generation-aware TTL score cache."""
+
+from repro.serving import ScoreCache
+
+FP_A = ((1, 2), ((0,), (1, 1)))
+FP_B = ((1, 2, 3), ((0,), (1, 1), (0,)))
+
+
+def make_cache(**kwargs):
+    clock = {"t": 0.0}
+    cache = ScoreCache(clock=lambda: clock["t"], **kwargs)
+    return cache, clock
+
+
+class TestHitMiss:
+    def test_roundtrip_hit(self):
+        cache, _ = make_cache()
+        cache.put("s", FP_A, 5, [10, 20, 30])
+        assert cache.get("s", FP_A, 5) == [10, 20, 30]
+        assert cache.hits == 1
+
+    def test_fingerprint_mismatch_misses(self):
+        cache, _ = make_cache()
+        cache.put("s", FP_A, 5, [10])
+        assert cache.get("s", FP_B, 5) is None
+
+    def test_request_shape_is_part_of_key(self):
+        cache, _ = make_cache()
+        cache.put("s", FP_A, 5, [10])
+        assert cache.get("s", FP_A, 10) is None
+        assert cache.get("s", FP_A, 5, exclude_seen=True) is None
+
+    def test_returns_copy(self):
+        cache, _ = make_cache()
+        cache.put("s", FP_A, 5, [10, 20])
+        cache.get("s", FP_A, 5).append(99)
+        assert cache.get("s", FP_A, 5) == [10, 20]
+
+
+class TestInvalidation:
+    def test_invalidate_on_event_kills_entry(self):
+        cache, _ = make_cache()
+        cache.put("s", FP_A, 5, [10])
+        cache.invalidate("s")  # the session ingested a new event
+        assert cache.get("s", FP_A, 5) is None
+
+    def test_invalidate_is_per_session(self):
+        cache, _ = make_cache()
+        cache.put("a", FP_A, 5, [1])
+        cache.put("b", FP_A, 5, [2])
+        cache.invalidate("a")
+        assert cache.get("a", FP_A, 5) is None
+        assert cache.get("b", FP_A, 5) == [2]
+
+    def test_put_after_invalidate_is_fresh(self):
+        cache, _ = make_cache()
+        cache.put("s", FP_A, 5, [1])
+        cache.invalidate("s")
+        cache.put("s", FP_B, 5, [2])
+        assert cache.get("s", FP_B, 5) == [2]
+
+    def test_forget_drops_generation_tracking(self):
+        cache, _ = make_cache()
+        cache.invalidate("s")
+        cache.forget("s")
+        assert cache.generation("s") == 0
+
+
+class TestTTLAndLRU:
+    def test_ttl_expiry(self):
+        cache, clock = make_cache(ttl=10.0)
+        cache.put("s", FP_A, 5, [1])
+        clock["t"] = 9.0
+        assert cache.get("s", FP_A, 5) == [1]
+        clock["t"] = 11.0
+        assert cache.get("s", FP_A, 5) is None
+
+    def test_lru_eviction_order(self):
+        cache, _ = make_cache(max_entries=2)
+        cache.put("a", FP_A, 5, [1])
+        cache.put("b", FP_A, 5, [2])
+        cache.get("a", FP_A, 5)  # refresh "a"
+        cache.put("c", FP_A, 5, [3])  # evicts "b", the least recently used
+        assert cache.get("a", FP_A, 5) == [1]
+        assert cache.get("b", FP_A, 5) is None
+        assert cache.get("c", FP_A, 5) == [3]
+        assert len(cache) == 2
+
+    def test_hit_rate(self):
+        cache, _ = make_cache()
+        assert cache.hit_rate == 0.0
+        cache.put("s", FP_A, 5, [1])
+        cache.get("s", FP_A, 5)
+        cache.get("s", FP_B, 5)
+        assert cache.hit_rate == 0.5

@@ -1,0 +1,107 @@
+"""Unit tests for the serving metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.serving import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("x")
+        threads = [threading.Thread(target=lambda: [c.inc() for _ in range(1000)]) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_counts_and_sum(self):
+        h = Histogram("lat", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+
+    def test_percentiles_bracket_observations(self):
+        h = Histogram("lat", buckets=(1, 2, 4, 8, 16))
+        for _ in range(100):
+            h.observe(3.0)  # everything lands in the (2, 4] bucket
+        assert 2.0 <= h.percentile(0.50) <= 4.0
+        assert 2.0 <= h.percentile(0.99) <= 4.0
+
+    def test_empty_percentile_zero(self):
+        assert Histogram("lat").percentile(0.5) == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert set(h.summary()) == {"count", "p50", "p95", "p99"}
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(10, 1))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_render_text_exposition(self):
+        r = MetricsRegistry()
+        r.counter("requests_total", "served").inc(3)
+        r.gauge("queue_depth").set(2)
+        h = r.histogram("latency_ms", buckets=(1, 10))
+        h.observe(0.5)
+        h.observe(5)
+        text = r.render_text()
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "queue_depth 2" in text
+        assert 'latency_ms_bucket{le="1"} 1' in text
+        assert 'latency_ms_bucket{le="+Inf"} 2' in text
+        assert 'latency_ms_quantile{q="0.5"}' in text
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.histogram("h").observe(2.0)
+        snap = r.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["a"] == 1
+        assert snap["h"]["count"] == 1

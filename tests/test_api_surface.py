@@ -16,6 +16,13 @@ PACKAGES = [
     "repro.eval",
     "repro.utils",
     "repro.serve",
+    "repro.serving",
+    "repro.serving.metrics",
+    "repro.serving.cache",
+    "repro.serving.batcher",
+    "repro.serving.admission",
+    "repro.serving.gateway",
+    "repro.serving.loadgen",
     "repro.cli",
 ]
 

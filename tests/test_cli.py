@@ -36,6 +36,15 @@ class TestParser:
         assert args.config == "trivago"
         assert args.sessions == 2000
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "STAMP", "--port", "0", "--max-batch-size", "16"]
+        )
+        assert args.config == "jd-appliances"
+        assert args.port == 0
+        assert args.max_batch_size == 16
+        assert args.deadline_ms == 250.0
+
 
 class TestPipeline:
     def test_artifacts_created(self, pipeline_files):
@@ -76,6 +85,19 @@ class TestPipeline:
             "--checkpoint", str(root / "nope.npz"),
         ])
         assert code == 1
+
+    @pytest.mark.slow
+    def test_serve_smoke(self, capsys):
+        """Train-and-serve end to end: boots, prints the address, exits."""
+        code = main([
+            "serve", "--config", "jd-appliances", "--sessions", "150",
+            "--model", "STAMP", "--dim", "8", "--epochs", "1",
+            "--port", "0", "--duration", "0.3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving STAMP on http://127.0.0.1:" in out
+        assert "/metrics" in out
 
     def test_compare(self, pipeline_files, capsys):
         _root, _sessions, dataset = pipeline_files

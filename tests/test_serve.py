@@ -71,10 +71,20 @@ class TestRecording:
             service.record("u", it, 0)
         assert service.session("u").num_macro_steps == 3
 
-    def test_unknown_item_dropped_and_counted(self, service):
+    def test_unknown_item_never_creates_session(self, service):
+        """A visitor whose first event is out-of-vocab must not grow the table."""
+        applied = service.record("u", item=10**9, operation=0)
+        assert not applied
+        assert service.session("u") is None
+        assert service.active_sessions == 0
+        assert service.vocab_misses == 1
+
+    def test_unknown_item_counted_on_existing_session(self, service, dataset):
+        service.record("u", raw_item(dataset, 1), 0)
         applied = service.record("u", item=10**9, operation=0)
         assert not applied
         assert service.session("u").dropped_events == 1
+        assert service.vocab_misses == 0
 
     def test_invalid_operation_rejected(self, service, dataset):
         with pytest.raises(ValueError):
@@ -105,6 +115,49 @@ class TestTopK:
         service.record("u", raw_item(dataset, 7), 0)
         for rid in service.top_k("u", k=5):
             assert rid in dataset.vocab
+
+    def test_exclude_seen_masks_only_scored_window(self, dataset):
+        """Regression: sessions longer than max_macro_len must not mask
+        items that already scrolled out of the scored window."""
+        svc = RecommenderService(
+            EchoLast(dataset.num_items), dataset.vocab,
+            num_ops=dataset.num_operations, max_macro_len=3,
+        )
+        for dense in (1, 2, 3, 4, 5):
+            svc.record("u", raw_item(dataset, dense), 0)
+        top = svc.top_k("u", k=3, exclude_seen=True)
+        # Window is [3, 4, 5]; those must be excluded...
+        for dense in (3, 4, 5):
+            assert raw_item(dataset, dense) not in top
+        # ...but 1 and 2 fell out of the window and are recommendable again.
+        # EchoLast gives every unmasked zero-scored item a stable-order rank,
+        # so dense ids 1 and 2 follow the single positively scored item.
+        assert top[1] == raw_item(dataset, 1)
+        assert top[2] == raw_item(dataset, 2)
+
+
+class TestWindowFingerprint:
+    def test_window_matches_to_example(self, service, dataset):
+        for dense in (1, 2, 2, 3):
+            service.record("u", raw_item(dataset, dense), 0)
+        session = service.session("u")
+        items, ops = session.window(2)
+        example = session.to_example(2)
+        assert list(items) == example.macro_items
+        assert [list(o) for o in ops] == example.op_sequences
+
+    def test_fingerprint_changes_with_events(self, service, dataset):
+        service.record("u", raw_item(dataset, 1), 0)
+        before = service.session("u").fingerprint(20)
+        service.record("u", raw_item(dataset, 1), 1)  # merged op still changes state
+        after = service.session("u").fingerprint(20)
+        assert before != after
+
+    def test_fingerprint_is_hashable_and_stable(self, service, dataset):
+        service.record("u", raw_item(dataset, 1), 0)
+        assert hash(service.session("u").fingerprint(20)) == hash(
+            service.session("u").fingerprint(20)
+        )
 
 
 class TestLifecycle:
