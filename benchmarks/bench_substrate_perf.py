@@ -88,6 +88,20 @@ def test_perf_embsr_train_step(benchmark, rng):
     benchmark(step)
 
 
+def test_perf_failpoint_disarmed(benchmark):
+    """A disarmed failpoint is one falsy dict check — the trainer pays one
+    per batch, so it must stay indistinguishable from a no-op."""
+    from repro.reliability import disarm_all, failpoint
+
+    disarm_all()
+
+    def step():
+        for _ in range(1000):
+            failpoint("trainer.after_batch")
+
+    benchmark(step)
+
+
 def test_perf_batch_graph_construction(benchmark, rng):
     examples = []
     for _ in range(B):

@@ -7,6 +7,7 @@ Usage (after ``python setup.py develop``):
     python -m repro.cli generate --config jd-appliances --sessions 2000 --out sessions.jsonl
     python -m repro.cli prepare  --config jd-appliances --input sessions.jsonl --out dataset.json
     python -m repro.cli train    --dataset dataset.json --model EMBSR --epochs 8 --checkpoint embsr.npz
+    python -m repro.cli train    --dataset dataset.json --model EMBSR --resume embsr.npz.state.npz
     python -m repro.cli evaluate --dataset dataset.json --model EMBSR --checkpoint embsr.npz
     python -m repro.cli compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR
     python -m repro.cli serve    --config jd-appliances --model STAMP --port 8080
@@ -74,6 +75,25 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--lr", type=float, default=0.005)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--checkpoint", default=None, help="save parameters here (.npz)")
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also write the full training state every N batches (enables kill -9 safe runs)",
+    )
+    p.add_argument(
+        "--train-state",
+        default=None,
+        metavar="PATH",
+        help="training-state file (default: <checkpoint>.state.npz, or train_state.npz)",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="STATE",
+        help="continue an interrupted run from this training-state file",
+    )
 
 
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
@@ -160,25 +180,39 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
         epochs=epochs if epochs is not None else getattr(args, "epochs", 10),
         lr=getattr(args, "lr", 0.005),
         seed=args.seed,
+        checkpoint_path=getattr(args, "train_state_path", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+        resume_from=getattr(args, "resume", None),
     )
     return ExperimentRunner(dataset, config)
 
 
 def _cmd_train(args) -> int:
+    import pathlib
+
     from .eval.trainer import NeuralRecommender
     from .nn import save_checkpoint
 
+    # Crash safety: state writes are on unless explicitly disabled — they go
+    # next to the parameter checkpoint (or train_state.npz) atomically.
+    if args.checkpoint_every or args.resume or args.train_state or args.checkpoint:
+        state = args.train_state or args.resume or (
+            f"{args.checkpoint}.state.npz" if args.checkpoint else "train_state.npz"
+        )
+        args.train_state_path = str(pathlib.Path(state).resolve())
     runner = _runner(args)
     result = runner.run(args.model, verbose=True)
     pretty = ", ".join(f"{k}={v:.2f}" for k, v in result.metrics.items())
     print(f"{args.model} test metrics: {pretty}")
+    if getattr(args, "train_state_path", None):
+        print(f"training state saved to {args.train_state_path}")
     if args.checkpoint:
         recommender = result.recommender
         if not isinstance(recommender, NeuralRecommender):
             print(f"{args.model} has no parameters to checkpoint", file=sys.stderr)
             return 1
-        save_checkpoint(recommender.model, args.checkpoint)
-        print(f"checkpoint saved to {args.checkpoint}")
+        saved = save_checkpoint(recommender.model, args.checkpoint)
+        print(f"checkpoint saved to {pathlib.Path(saved).resolve()}")
     return 0
 
 

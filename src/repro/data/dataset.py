@@ -133,7 +133,14 @@ def collate(examples: Sequence[MacroSession], max_ops_per_item: int | None = Non
 
 
 class DataLoader:
-    """Iterates over examples in (optionally shuffled) padded batches."""
+    """Iterates over examples in (optionally shuffled) padded batches.
+
+    The shuffle order is a pure function of ``(seed, epoch)``: each pass
+    reseeds a generator with ``seed`` and fast-forwards it by ``epoch``
+    shuffles before permuting, which reproduces exactly the orders the old
+    single-mutating-stream loader emitted (epoch 0 included) while letting
+    a resumed run replay any epoch's order via :meth:`set_epoch`.
+    """
 
     def __init__(
         self,
@@ -148,16 +155,46 @@ class DataLoader:
         self.examples = list(examples)
         self.batch_size = batch_size
         self.shuffle = shuffle
+        self.seed = seed
+        self.epoch = 0  # epoch of the *next* pass; auto-advances per __iter__
         self.max_ops_per_item = max_ops_per_item
-        self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
         return (len(self.examples) + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[SessionBatch]:
+    def set_epoch(self, epoch: int) -> None:
+        """Position the loader so the next pass replays ``epoch``'s order."""
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        self.epoch = epoch
+
+    def state_dict(self) -> dict:
+        """The two integers that fully determine every future batch order."""
+        return {"seed": self.seed, "epoch": self.epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.seed = int(state["seed"])
+        self.set_epoch(int(state["epoch"]))
+
+    def permutation(self, epoch: int) -> np.ndarray:
+        """The example order of ``epoch``, derived from ``(seed, epoch)``.
+
+        ``Generator.shuffle`` consumes randomness as a function of array
+        length only, so ``epoch`` scratch shuffles advance the stream to
+        exactly where the old persistent generator stood at that epoch.
+        """
         order = np.arange(len(self.examples))
         if self.shuffle:
-            self._rng.shuffle(order)
+            rng = np.random.default_rng(self.seed)
+            for _ in range(epoch):
+                rng.shuffle(order)
+            order = np.arange(len(self.examples))
+            rng.shuffle(order)
+        return order
+
+    def __iter__(self) -> Iterator[SessionBatch]:
+        order = self.permutation(self.epoch)
+        self.epoch += 1
         for start in range(0, len(order), self.batch_size):
             chunk = [self.examples[i] for i in order[start : start + self.batch_size]]
             yield collate(chunk, max_ops_per_item=self.max_ops_per_item)

@@ -42,6 +42,11 @@ class ExperimentConfig:
     patience: int = 5
     seed: int = 0
     ks: tuple[int, ...] = (5, 10, 20)
+    # Crash-safe training (docs/reliability.md): periodic training-state
+    # checkpoints and resumption, threaded through to Trainer.fit.
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 0
+    resume_from: str | None = None
 
     def train_config(self) -> TrainConfig:
         return TrainConfig(
@@ -50,6 +55,9 @@ class ExperimentConfig:
             lr=self.lr,
             patience=self.patience,
             seed=self.seed,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            resume_from=self.resume_from,
         )
 
 

@@ -4,11 +4,20 @@ Mirrors the paper's protocol (Sec. V-A4): Adam optimizer, mini-batches,
 model selection on the validation split (we track MRR@20), and a bounded
 epoch budget. Gradient clipping and StepLR decay follow the SR-GNN family's
 reference implementations.
+
+Crash safety (``docs/reliability.md``): :meth:`Trainer.fit` periodically
+writes the *full* training state — parameters, Adam moments, StepLR
+position, epoch/batch cursor, loader shuffle epoch, and every model RNG
+stream — through an atomic temp-file+rename, and :meth:`Trainer.resume`
+continues a killed run to results bit-identical with an uninterrupted one.
+A divergence watchdog rolls back NaN/Inf batches, halves the LR, and
+aborts with a clear error once its retry budget is spent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import pathlib
+from dataclasses import asdict, dataclass
 from typing import Callable
 
 import numpy as np
@@ -17,10 +26,33 @@ from ..autograd import no_grad
 from ..data.dataset import DataLoader, SessionBatch
 from ..data.preprocess import PreparedDataset
 from ..nn import Adam, Module, StepLR, clip_grad_norm, cross_entropy
+from ..reliability import (
+    DivergenceWatchdog,
+    TrainingState,
+    capture_rng_states,
+    failpoint,
+    load_training_state,
+    restore_rng_states,
+    save_training_state,
+)
 from .metrics import evaluate_scores
 from .recommender import Recommender
 
 __all__ = ["TrainConfig", "Trainer", "NeuralRecommender"]
+
+# Resuming with any of these changed would silently train a different run;
+# epochs/patience/verbose may legitimately differ (e.g. extending a run).
+_RESUME_CRITICAL_FIELDS = (
+    "batch_size",
+    "lr",
+    "weight_decay",
+    "grad_clip",
+    "lr_step",
+    "lr_gamma",
+    "selection_metric",
+    "max_ops_per_item",
+    "seed",
+)
 
 
 @dataclass
@@ -39,6 +71,13 @@ class TrainConfig:
     max_ops_per_item: int = 6
     seed: int = 0
     verbose: bool = False
+    # -- reliability knobs (docs/reliability.md) ---------------------------
+    checkpoint_path: str | None = None   # training-state file; None disables
+    checkpoint_every: int = 0            # also save every N batches (0 = epoch ends only)
+    resume_from: str | None = None       # continue fit() from this state file
+    watchdog: bool = True                # NaN/Inf rollback + LR halving
+    watchdog_retries: int = 3
+    watchdog_grad_limit: float | None = None  # extra ceiling on pre-clip grad norm
 
 
 @dataclass
@@ -56,7 +95,39 @@ class Trainer:
         self.config = config
         self.history: list[EpochStats] = []
 
+    # ------------------------------------------------------------------
     def fit(self, dataset: PreparedDataset) -> "Trainer":
+        if self.config.resume_from:
+            return self.resume(dataset, self.config.resume_from)
+        return self._run(dataset, state=None)
+
+    def resume(self, dataset: PreparedDataset, path: str | pathlib.Path) -> "Trainer":
+        """Continue an interrupted :meth:`fit` from a training-state file.
+
+        The model must be freshly constructed with the same architecture
+        switches; optimization-critical config fields are validated against
+        the saved run so a resumed run cannot silently diverge from it.
+        """
+        state = load_training_state(path)
+        self._validate_resume_config(state.config, path)
+        return self._run(dataset, state=state)
+
+    def _validate_resume_config(self, saved: dict, path) -> None:
+        current = asdict(self.config)
+        mismatched = {
+            name: (saved.get(name), current[name])
+            for name in _RESUME_CRITICAL_FIELDS
+            if saved.get(name) != current[name]
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{name}: saved={was!r} != current={now!r}"
+                for name, (was, now) in sorted(mismatched.items())
+            )
+            raise ValueError(f"cannot resume from {path}: config mismatch ({detail})")
+
+    # ------------------------------------------------------------------
+    def _run(self, dataset: PreparedDataset, state: TrainingState | None) -> "Trainer":
         cfg = self.config
         optimizer = Adam(self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step, gamma=cfg.lr_gamma)
@@ -71,19 +142,72 @@ class Trainer:
         best_metric = -np.inf
         best_state: dict[str, np.ndarray] | None = None
         stale = 0
-        for epoch in range(cfg.epochs):
-            self.model.train()
-            losses = []
-            for batch in train_loader:
-                optimizer.zero_grad()
-                logits = self.model(batch)
-                loss = cross_entropy(logits, batch.target_classes)
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                losses.append(loss.item())
-            scheduler.step()
+        start_epoch = start_batch = global_step = 0
+        epoch_losses: list[float] = []
+        if state is not None:
+            self.model.load_state_dict(state.model_state)
+            optimizer.load_state_dict(state.optimizer_state)
+            scheduler.load_state_dict(state.scheduler_state)
+            restore_rng_states(self.model, state.rng_states)
+            start_epoch, start_batch = state.epoch, state.batch_index
+            global_step = state.global_step
+            best_metric, best_state, stale = state.best_metric, state.best_state, state.stale
+            self.history = [EpochStats(**h) for h in state.history]
+            epoch_losses = list(state.epoch_losses)
 
+        watchdog = (
+            DivergenceWatchdog(
+                self.model,
+                optimizer,
+                max_retries=cfg.watchdog_retries,
+                grad_limit=cfg.watchdog_grad_limit,
+                on_lr_change=scheduler.scale_lr,
+            )
+            if cfg.watchdog
+            else None
+        )
+
+        def checkpoint(epoch: int, next_batch: int, losses: list[float]) -> None:
+            if cfg.checkpoint_path is None:
+                return
+            save_training_state(
+                cfg.checkpoint_path,
+                TrainingState(
+                    epoch=epoch,
+                    batch_index=next_batch,
+                    global_step=global_step,
+                    model_state=self.model.state_dict(),
+                    optimizer_state=optimizer.state_dict(),
+                    scheduler_state=scheduler.state_dict(),
+                    loader_state={"seed": cfg.seed, "epoch": epoch},
+                    rng_states=capture_rng_states(self.model),
+                    best_metric=float(best_metric),
+                    best_state=best_state,
+                    stale=stale,
+                    history=[asdict(h) for h in self.history],
+                    epoch_losses=[float(x) for x in losses],
+                    config=asdict(self.config),
+                ),
+            )
+
+        for epoch in range(start_epoch, cfg.epochs):
+            self.model.train()
+            train_loader.set_epoch(epoch)
+            losses = epoch_losses if epoch == start_epoch else []
+            skip = start_batch if epoch == start_epoch else 0
+            for batch_index, batch in enumerate(train_loader):
+                if batch_index < skip:
+                    continue  # replaying a resumed epoch up to the cursor
+                loss_value = self._train_batch(
+                    batch, optimizer, watchdog, epoch=epoch, batch_index=batch_index
+                )
+                global_step += 1
+                losses.append(loss_value)
+                if cfg.checkpoint_every and global_step % cfg.checkpoint_every == 0:
+                    checkpoint(epoch, batch_index + 1, losses)
+                failpoint("trainer.after_batch", {"epoch": epoch, "batch": batch_index})
+
+            scheduler.step()
             valid = self.evaluate(dataset.validation, batch_size=cfg.batch_size)
             metric = valid[cfg.selection_metric]
             self.history.append(EpochStats(epoch, float(np.mean(losses)), metric))
@@ -98,12 +222,44 @@ class Trainer:
                 stale = 0
             else:
                 stale += 1
-                if stale >= cfg.patience:
-                    break
+            checkpoint(epoch + 1, 0, [])
+            failpoint("trainer.after_epoch", {"epoch": epoch})
+            if stale >= self.config.patience:
+                break
         if best_state is not None:
             self.model.load_state_dict(best_state)
         return self
 
+    def _train_batch(
+        self,
+        batch: SessionBatch,
+        optimizer: Adam,
+        watchdog: DivergenceWatchdog | None,
+        epoch: int,
+        batch_index: int,
+    ) -> float:
+        """One optimization step, retried under the divergence watchdog."""
+        cfg = self.config
+        while True:
+            optimizer.zero_grad()
+            logits = self.model(batch)
+            loss = cross_entropy(logits, batch.target_classes)
+            failpoint("trainer.loss", loss)
+            loss_value = float(loss.item())
+            loss.backward()
+            grad_norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+            if watchdog is None or watchdog.healthy(loss_value, grad_norm):
+                optimizer.step()
+                if watchdog is not None:
+                    watchdog.record_good()
+                return loss_value
+            watchdog.recover(
+                where=f"epoch {epoch}, batch {batch_index}",
+                loss=loss_value,
+                grad_norm=grad_norm,
+            )
+
+    # ------------------------------------------------------------------
     def evaluate(
         self,
         examples,

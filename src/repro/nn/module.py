@@ -80,6 +80,18 @@ class Module:
                     if isinstance(item, Module):
                         yield from item.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_path, module)`` pairs; the root's path is ``""``."""
+        yield prefix, self
+        for name, value in self.__dict__.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=child_prefix)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_modules(prefix=f"{child_prefix}.{i}")
+
     # -- training state -----------------------------------------------------
     @property
     def training(self) -> bool:

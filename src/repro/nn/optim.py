@@ -47,6 +47,25 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- (de)serialization: everything a resumed run must replay exactly ----
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's mutable state (subclasses extend)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
+    def _check_arrays(self, name: str, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Validate per-parameter array lists against the parameter shapes."""
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"{name}: expected {len(self.parameters)} arrays, got {len(arrays)}"
+            )
+        for array, p in zip(arrays, self.parameters):
+            if array.shape != p.data.shape:
+                raise ValueError(f"{name}: shape mismatch {array.shape} != {p.data.shape}")
+        return [np.array(a, copy=True) for a in arrays]
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -55,6 +74,13 @@ class SGD(Optimizer):
         super().__init__(parameters, lr, weight_decay)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict:
+        return super().state_dict() | {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._check_arrays("velocity", state["velocity"])
 
     def step(self) -> None:
         for p, v in zip(self.parameters, self._velocity):
@@ -88,6 +114,20 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def state_dict(self) -> dict:
+        """Step count plus both moment estimates — Adam's full memory."""
+        return super().state_dict() | {
+            "step": self._step,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._m = self._check_arrays("m", state["m"])
+        self._v = self._check_arrays("v", state["v"])
+
     def step(self) -> None:
         self._step += 1
         t = self._step
@@ -120,5 +160,24 @@ class StepLR:
 
     def step(self) -> None:
         self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma**decays)
+
+    def scale_lr(self, factor: float) -> None:
+        """Permanently scale the schedule (divergence-watchdog cooldowns).
+
+        Scaling only ``optimizer.lr`` would be undone at the next epoch
+        boundary when :meth:`step` recomputes from the base rate, so the
+        base is scaled too.
+        """
+        self._base_lr *= factor
+        self.optimizer.lr *= factor
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch, "base_lr": self._base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])
+        self._base_lr = float(state["base_lr"])
         decays = self._epoch // self.step_size
         self.optimizer.lr = self._base_lr * (self.gamma**decays)

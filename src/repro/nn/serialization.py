@@ -3,6 +3,11 @@
 The dotted parameter names from :meth:`Module.named_parameters` become the
 archive keys, so checkpoints are portable across processes as long as the
 model is constructed with the same architecture switches.
+
+Saves go through :func:`repro.reliability.atomic_save_npz` — a temp file
+in the destination directory renamed into place with ``os.replace`` — so
+a crash mid-save (see the ``serialization.mid_write`` failpoint) leaves
+the previous checkpoint intact instead of a truncated archive.
 """
 
 from __future__ import annotations
@@ -11,17 +16,18 @@ import pathlib
 
 import numpy as np
 
+from ..reliability import atomic_save_npz
 from .module import Module
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
 
-def save_checkpoint(model: Module, path: str | pathlib.Path) -> None:
-    """Write every parameter of ``model`` to a compressed ``.npz`` archive."""
+def save_checkpoint(model: Module, path: str | pathlib.Path) -> pathlib.Path:
+    """Atomically write every parameter of ``model`` to a ``.npz`` archive."""
     state = model.state_dict()
     if not state:
         raise ValueError("model has no parameters to save")
-    np.savez_compressed(pathlib.Path(path), **state)
+    return atomic_save_npz(pathlib.Path(path), state)
 
 
 def load_checkpoint(model: Module, path: str | pathlib.Path) -> Module:

@@ -1,0 +1,64 @@
+"""Crash-safe file writes: temp file in the target directory + ``os.replace``.
+
+A checkpoint that is overwritten in place is a time bomb — a crash midway
+through ``np.savez`` leaves a truncated archive and the *previous* good
+checkpoint is already gone. The atomic protocol writes to a uniquely named
+temp file next to the destination (same filesystem, so the final rename is
+atomic), fsyncs, then ``os.replace``\\ s into place. At every instant the
+destination path holds either the complete old file or the complete new
+one.
+
+The ``serialization.mid_write`` failpoint sits between the payload write
+and the rename: arming it proves that a crash at the worst moment leaves
+the old file untouched and no temp debris behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import IO, Callable, Mapping
+
+import numpy as np
+
+from .failpoints import failpoint
+
+__all__ = ["atomic_write", "atomic_save_npz"]
+
+
+def atomic_write(path: str | pathlib.Path, writer: Callable[[IO[bytes]], None]) -> pathlib.Path:
+    """Run ``writer(file)`` against a temp file, then rename it onto ``path``.
+
+    The temp file is removed on any failure, so aborted saves leave no
+    ``.tmp`` litter next to the checkpoint.
+    """
+    path = pathlib.Path(path)
+    directory = path.parent if str(path.parent) else pathlib.Path(".")
+    fd, tmp_name = tempfile.mkstemp(dir=directory, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+            failpoint("serialization.mid_write", path)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_save_npz(
+    path: str | pathlib.Path, arrays: Mapping[str, np.ndarray], compressed: bool = True
+) -> pathlib.Path:
+    """Atomically write ``arrays`` as an ``.npz`` archive at ``path``.
+
+    Writing through a file handle (not a path) stops NumPy from appending
+    its own ``.npz`` suffix, so the destination name is exactly ``path``.
+    """
+    save = np.savez_compressed if compressed else np.savez
+    return atomic_write(path, lambda handle: save(handle, **arrays))

@@ -1,0 +1,181 @@
+"""Named fault-injection sites (failpoints).
+
+Production code sprinkles ``failpoint("trainer.after_batch")`` at the
+places where a crash, an exception, or a stall would be most damaging;
+tests and chaos harnesses *arm* those names with an action (raise, sleep,
+simulate a process kill, or any callable). Disarmed sites cost one falsy
+check on a module-level dict — the registry is empty in production, so
+the hot path never pays for the instrumentation.
+
+Arming supports the standard chaos-testing selectors:
+
+* ``times=N``  — fire at most ``N`` times, then become a no-op;
+* ``skip=K``   — let the first ``K`` hits pass untouched (fail the K+1st);
+* ``every=M``  — fire on every ``M``-th eligible hit (``every=5`` is a
+  deterministic 20% fault rate).
+
+:class:`SimulatedCrash` deliberately derives from ``BaseException`` so the
+usual ``except Exception`` recovery paths cannot swallow it — exactly like
+a SIGKILL, the only thing that survives is what was already on disk.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = [
+    "SimulatedCrash",
+    "failpoint",
+    "arm",
+    "disarm",
+    "disarm_all",
+    "armed",
+    "is_armed",
+    "stats",
+    "raising",
+    "sleeping",
+    "crashing",
+]
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process kill: uncatchable by ``except Exception``."""
+
+
+class _Arming:
+    """One armed site: the action plus its times/skip/every selectors."""
+
+    def __init__(
+        self,
+        action: Callable[[object], None],
+        times: int | None = None,
+        skip: int = 0,
+        every: int = 1,
+    ):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        self.action = action
+        self.times = times
+        self.skip = skip
+        self.every = every
+        self.hits = 0
+        self.fires = 0
+        self._lock = threading.Lock()
+
+    def trigger(self, payload: object) -> None:
+        with self._lock:
+            self.hits += 1
+            eligible = self.hits - self.skip
+            if eligible <= 0:
+                return
+            if eligible % self.every != 0:
+                return
+            if self.times is not None and self.fires >= self.times:
+                return
+            self.fires += 1
+        self.action(payload)
+
+
+_registry: dict[str, _Arming] = {}
+_registry_lock = threading.Lock()
+
+
+def failpoint(name: str, payload: object = None) -> None:
+    """Instrumentation site: a no-op unless ``name`` is armed.
+
+    ``payload`` is handed to the armed action, letting chaos tests mutate
+    in-flight values (e.g. corrupt a loss tensor) rather than only raise.
+    """
+    if not _registry:  # fast path: nothing armed anywhere
+        return
+    arming = _registry.get(name)
+    if arming is None:
+        return
+    arming.trigger(payload)
+
+
+def arm(
+    name: str,
+    action: Callable[[object], None],
+    *,
+    times: int | None = None,
+    skip: int = 0,
+    every: int = 1,
+) -> None:
+    """Arm ``name`` with ``action`` (replacing any previous arming)."""
+    with _registry_lock:
+        _registry[name] = _Arming(action, times=times, skip=skip, every=every)
+
+
+def disarm(name: str) -> None:
+    """Disarm one site (idempotent)."""
+    with _registry_lock:
+        _registry.pop(name, None)
+
+
+def disarm_all() -> None:
+    """Disarm every site — test teardown's safety net."""
+    with _registry_lock:
+        _registry.clear()
+
+
+def is_armed(name: str) -> bool:
+    return name in _registry
+
+
+def stats(name: str) -> tuple[int, int]:
+    """``(hits, fires)`` of an armed site; ``(0, 0)`` when disarmed."""
+    arming = _registry.get(name)
+    return (arming.hits, arming.fires) if arming is not None else (0, 0)
+
+
+@contextmanager
+def armed(
+    name: str,
+    action: Callable[[object], None],
+    *,
+    times: int | None = None,
+    skip: int = 0,
+    every: int = 1,
+) -> Iterator[None]:
+    """Scoped arming: ``with armed("batcher.score", raising(...)): ...``."""
+    arm(name, action, times=times, skip=skip, every=every)
+    try:
+        yield
+    finally:
+        disarm(name)
+
+
+# ---------------------------------------------------------------- actions
+def raising(error: BaseException | type[BaseException]) -> Callable[[object], None]:
+    """Action that raises ``error`` (an instance or an exception class)."""
+
+    def action(payload: object) -> None:
+        raise error if isinstance(error, BaseException) else error()
+
+    return action
+
+
+def sleeping(seconds: float) -> Callable[[object], None]:
+    """Action that stalls the caller for ``seconds`` (a wedged dependency)."""
+
+    def action(payload: object) -> None:
+        time.sleep(seconds)
+
+    return action
+
+
+def crashing() -> Callable[[object], None]:
+    """Action that raises :class:`SimulatedCrash` (process-kill simulation)."""
+
+    def action(payload: object) -> None:
+        raise SimulatedCrash("failpoint simulated a process kill")
+
+    return action

@@ -1,0 +1,190 @@
+"""Full-fidelity training state: everything a bit-identical resume needs.
+
+A resumable run must capture more than model weights — Adam's moment
+estimates, the LR schedule position, the epoch/batch cursor, the shuffle
+epoch of the :class:`~repro.data.dataset.DataLoader`, and the state of
+every ``np.random.Generator`` the model consults during forward passes
+(dropout masks!). :class:`TrainingState` bundles all of it;
+:func:`save_training_state` / :func:`load_training_state` round-trip it
+through a single atomically-written ``.npz`` archive.
+
+Layout inside the archive: arrays live under reserved key prefixes
+(``model/``, ``best/``, and ``opt/<field>/<i>`` for the optimizer's
+per-parameter array lists); every scalar/structured field rides in one
+JSON document under the ``__meta__`` key. RNG states are JSON-able
+because numpy bit generators expose their state as plain dicts (PCG64's
+128-bit integers serialize losslessly through Python's arbitrary-precision
+JSON ints).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .atomic import atomic_save_npz
+
+__all__ = [
+    "TrainingState",
+    "save_training_state",
+    "load_training_state",
+    "capture_rng_states",
+    "restore_rng_states",
+]
+
+_META_KEY = "__meta__"
+
+
+@dataclass
+class TrainingState:
+    """Snapshot of a training run, positioned *between* two batches.
+
+    ``epoch``/``batch_index`` point at the **next** batch to run; a state
+    written after the last batch of an epoch has ``batch_index`` equal to
+    the epoch's batch count and resumes directly into validation.
+    """
+
+    epoch: int
+    batch_index: int
+    global_step: int
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict
+    scheduler_state: dict
+    loader_state: dict
+    rng_states: dict[str, dict]
+    best_metric: float
+    best_state: dict[str, np.ndarray] | None
+    stale: int
+    history: list[dict] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+
+
+def _json_safe(value):
+    """Recursively convert numpy scalars/arrays into JSON-able builtins."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _json_restore(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+        return {k: _json_restore(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_json_restore(v) for v in value]
+    return value
+
+
+def save_training_state(path: str | pathlib.Path, state: TrainingState) -> pathlib.Path:
+    """Atomically persist ``state`` as one ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, array in state.model_state.items():
+        arrays[f"model/{name}"] = array
+    if state.best_state is not None:
+        for name, array in state.best_state.items():
+            arrays[f"best/{name}"] = array
+
+    optimizer_meta: dict = {}
+    for key, value in state.optimizer_state.items():
+        if isinstance(value, (list, tuple)) and value and isinstance(value[0], np.ndarray):
+            for i, array in enumerate(value):
+                arrays[f"opt/{key}/{i}"] = array
+            optimizer_meta[key] = {"__arrays__": len(value)}
+        else:
+            optimizer_meta[key] = _json_safe(value)
+
+    meta = {
+        "epoch": state.epoch,
+        "batch_index": state.batch_index,
+        "global_step": state.global_step,
+        "optimizer": optimizer_meta,
+        "scheduler": _json_safe(state.scheduler_state),
+        "loader": _json_safe(state.loader_state),
+        "rng_states": _json_safe(state.rng_states),
+        "best_metric": state.best_metric,
+        "has_best": state.best_state is not None,
+        "stale": state.stale,
+        "history": _json_safe(state.history),
+        "epoch_losses": [float(x) for x in state.epoch_losses],
+        "config": _json_safe(state.config),
+    }
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    return atomic_save_npz(path, arrays)
+
+
+def load_training_state(path: str | pathlib.Path) -> TrainingState:
+    """Load a state written by :func:`save_training_state`."""
+    with np.load(pathlib.Path(path)) as archive:
+        data = {name: archive[name] for name in archive.files}
+    if _META_KEY not in data:
+        raise ValueError(f"{path} is not a training-state archive (missing {_META_KEY})")
+    meta = json.loads(data.pop(_META_KEY).tobytes().decode())
+
+    model_state = {k[len("model/") :]: v for k, v in data.items() if k.startswith("model/")}
+    best_state = (
+        {k[len("best/") :]: v for k, v in data.items() if k.startswith("best/")}
+        if meta["has_best"]
+        else None
+    )
+    optimizer_state: dict = {}
+    for key, value in meta["optimizer"].items():
+        if isinstance(value, dict) and "__arrays__" in value:
+            optimizer_state[key] = [data[f"opt/{key}/{i}"] for i in range(value["__arrays__"])]
+        else:
+            optimizer_state[key] = _json_restore(value)
+
+    return TrainingState(
+        epoch=int(meta["epoch"]),
+        batch_index=int(meta["batch_index"]),
+        global_step=int(meta["global_step"]),
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        scheduler_state=_json_restore(meta["scheduler"]),
+        loader_state=_json_restore(meta["loader"]),
+        rng_states=_json_restore(meta["rng_states"]),
+        best_metric=float(meta["best_metric"]),
+        best_state=best_state,
+        stale=int(meta["stale"]),
+        history=_json_restore(meta["history"]),
+        epoch_losses=[float(x) for x in meta["epoch_losses"]],
+        config=_json_restore(meta["config"]),
+    )
+
+
+# ---------------------------------------------------------------- RNG capture
+def capture_rng_states(model) -> dict[str, dict]:
+    """Bit-generator states of every ``rng`` a module tree holds.
+
+    Dropout layers (and any module with an ``rng`` attribute) consume
+    randomness during *training forwards*, so replaying batches after a
+    resume only matches the uninterrupted run if these streams restart
+    from the captured position. Modules sharing one generator are each
+    recorded (and later restored to the same state), which is idempotent.
+    """
+    states: dict[str, dict] = {}
+    for path, module in model.named_modules():
+        rng = getattr(module, "rng", None)
+        if isinstance(rng, np.random.Generator):
+            states[path] = rng.bit_generator.state
+    return states
+
+
+def restore_rng_states(model, states: dict[str, dict]) -> None:
+    """Restore generator states captured by :func:`capture_rng_states`."""
+    modules = dict(model.named_modules())
+    for path, state in states.items():
+        module = modules.get(path)
+        rng = getattr(module, "rng", None) if module is not None else None
+        if isinstance(rng, np.random.Generator):
+            rng.bit_generator.state = state

@@ -1,0 +1,119 @@
+"""Divergence watchdog: detect NaN/Inf, roll back, cool the LR, retry.
+
+A single NaN batch poisons every parameter it touches through Adam's
+moments, and the run keeps "training" on garbage for hours. The watchdog
+snapshots model + optimizer state after healthy steps, checks each batch's
+loss and pre-clip gradient norm *before* the optimizer applies it, and on
+divergence restores the last good snapshot, halves the learning rate, and
+lets the trainer retry. ``max_retries`` consecutive failures abort with a
+:class:`DivergenceError` that says exactly where and why, instead of
+silently emitting a NaN checkpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["DivergenceError", "DivergenceWatchdog"]
+
+
+class DivergenceError(RuntimeError):
+    """Training diverged and retries were exhausted."""
+
+
+class DivergenceWatchdog:
+    """Guards one training run.
+
+    Parameters
+    ----------
+    model / optimizer:
+        Anything exposing ``state_dict()`` / ``load_state_dict()``.
+    max_retries:
+        Consecutive recoveries allowed before :class:`DivergenceError`;
+        the counter resets whenever a healthy step lands.
+    grad_limit:
+        Optional finite ceiling on the pre-clip gradient norm; ``None``
+        flags only non-finite losses/norms.
+    lr_backoff:
+        Multiplier applied to the learning rate at each recovery (0.5 =
+        the classic halving).
+    snapshot_every:
+        Refresh the good snapshot every N healthy steps; 1 keeps rollback
+        losses to a single batch at the cost of copying state per step.
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        max_retries: int = 3,
+        grad_limit: float | None = None,
+        lr_backoff: float = 0.5,
+        snapshot_every: int = 1,
+        on_lr_change: Callable[[float], None] | None = None,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < lr_backoff < 1.0:
+            raise ValueError("lr_backoff must be in (0, 1)")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.max_retries = max_retries
+        self.grad_limit = grad_limit
+        self.lr_backoff = lr_backoff
+        self.snapshot_every = snapshot_every
+        self.on_lr_change = on_lr_change
+        self.retries = 0  # consecutive, reset by record_good
+        self.total_recoveries = 0
+        self._good_steps = 0
+        self._snapshot: tuple[dict, dict] | None = None
+        self.snapshot()
+
+    # ------------------------------------------------------------------
+    def healthy(self, loss: float, grad_norm: float) -> bool:
+        """Is this batch safe to apply?"""
+        if not (math.isfinite(loss) and math.isfinite(grad_norm)):
+            return False
+        if self.grad_limit is not None and grad_norm > self.grad_limit:
+            return False
+        return True
+
+    def snapshot(self) -> None:
+        """Record the current model + optimizer state as known-good."""
+        self._snapshot = (self.model.state_dict(), self.optimizer.state_dict())
+
+    def record_good(self) -> None:
+        """A healthy step was applied: reset the retry budget, re-snapshot."""
+        self.retries = 0
+        self._good_steps += 1
+        if self._good_steps % self.snapshot_every == 0:
+            self.snapshot()
+
+    def recover(self, *, where: str, loss: float, grad_norm: float) -> None:
+        """Roll back to the last good state and halve the LR.
+
+        Raises :class:`DivergenceError` once ``max_retries`` consecutive
+        recoveries have not produced a healthy step.
+        """
+        if self.retries >= self.max_retries:
+            raise DivergenceError(
+                f"training diverged at {where} (loss={loss!r}, grad_norm={grad_norm!r}) "
+                f"and did not recover after {self.max_retries} rollback+LR-halving "
+                f"retries; last LR was {self.optimizer.lr:g}. Lower the learning rate "
+                "or raise grad_clip, then restart from the last checkpoint."
+            )
+        self.retries += 1
+        self.total_recoveries += 1
+        assert self._snapshot is not None
+        model_state, optimizer_state = self._snapshot
+        self.model.load_state_dict(model_state)
+        self.optimizer.load_state_dict(optimizer_state)
+        self.model.zero_grad()
+        # The restore reset optimizer.lr to the snapshot's value, so the
+        # cooldown compounds across consecutive retries of one incident.
+        self.optimizer.lr = self.optimizer.lr * (self.lr_backoff**self.retries)
+        if self.on_lr_change is not None:
+            self.on_lr_change(self.lr_backoff)

@@ -9,6 +9,9 @@ this package wraps it in the machinery a real deployment needs:
   invalidated the moment a session ingests a new event;
 * :mod:`~repro.serving.admission` — bounded-queue load shedding,
   per-request deadlines, popularity fallback (graceful degradation);
+  model-call failures surfaced by the resilient scoring path
+  (:mod:`repro.reliability`: retry, per-call timeout, circuit breaker)
+  degrade to the same fallback instead of erroring;
 * :mod:`~repro.serving.metrics` — counters / gauges / latency histograms
   rendered at ``/metrics``;
 * :mod:`~repro.serving.gateway` — the stdlib JSON-over-HTTP front end;

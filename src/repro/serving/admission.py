@@ -7,7 +7,10 @@ Three independent safety valves keep the gateway responsive under stress:
    HTTP layer answers 429 in microseconds instead of queueing unboundedly.
 2. **Deadlines** — every admitted request carries a wall-clock budget; a
    request still unanswered when it expires stops waiting on the model.
-3. **Fallback** — expired requests are answered from
+3. **Fallback** — expired requests, and requests whose model call failed
+   through the resilient scoring path (retries exhausted, per-call
+   timeout, or an open circuit breaker — any
+   :class:`~repro.reliability.ReliabilityError`), are answered from
    :class:`PopularityFallback`, a precomputed global-popularity ranking
    (the classic "most popular" degraded mode: worse, but instant and never
    empty), and flagged ``degraded`` so callers/metrics can see it.
@@ -19,6 +22,7 @@ from collections import Counter as TallyCounter
 from dataclasses import dataclass
 
 from ..data.preprocess import PreparedDataset
+from ..reliability import ReliabilityError
 from .batcher import DeadlineExceededError, MicroBatcher, QueueFullError
 from .metrics import MetricsRegistry
 
@@ -95,6 +99,9 @@ class AdmissionController:
         self._fallbacks = registry.counter(
             "requests_fallback_total", "answered by popularity after deadline miss"
         )
+        self._degraded = registry.counter(
+            "requests_degraded_total", "answered by popularity after a model failure"
+        )
 
     def recommend(
         self,
@@ -105,9 +112,9 @@ class AdmissionController:
     ) -> Recommendation:
         """Admit one request end-to-end.
 
-        Raises :class:`QueueFullError` when shed (HTTP 429) and
-        :class:`DeadlineExceededError` when the deadline passes with no
-        fallback configured (HTTP 504).
+        Raises :class:`QueueFullError` when shed (HTTP 429); re-raises a
+        deadline miss or a resilient-scoring failure when no fallback is
+        configured (HTTP 504 / 503).
         """
         deadline_s = self.deadline_ms / 1000.0
         try:
@@ -119,8 +126,11 @@ class AdmissionController:
             raise
         try:
             return Recommendation(items=future.result(timeout=deadline_s), source="model")
-        except DeadlineExceededError:
-            self._fallbacks.inc()
+        except (DeadlineExceededError, ReliabilityError) as error:
+            if isinstance(error, DeadlineExceededError):
+                self._fallbacks.inc()
+            else:
+                self._degraded.inc()
             if self.fallback is None:
                 raise
             return Recommendation(

@@ -19,6 +19,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..reliability import ResilientCaller, failpoint
 from .metrics import MetricsRegistry
 
 __all__ = ["BatchFuture", "MicroBatcher", "QueueFullError", "DeadlineExceededError"]
@@ -91,6 +92,12 @@ class MicroBatcher:
     lock:
         Optional lock held around every ``top_k_batch`` call, shared with
         whatever mutates the service (the gateway's ingest path).
+    caller:
+        Optional :class:`~repro.reliability.ResilientCaller` wrapping each
+        model call in retry-with-backoff, a per-call timeout, and a
+        circuit breaker. ``None`` calls the model directly (the pre-PR-2
+        behavior). The ``batcher.score`` failpoint fires before every
+        attempt, so chaos tests can inject intermittent faults and stalls.
     """
 
     def __init__(
@@ -101,12 +108,14 @@ class MicroBatcher:
         max_queue_depth: int = 256,
         registry: MetricsRegistry | None = None,
         lock: threading.Lock | None = None,
+        caller: ResilientCaller | None = None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         self.service = service
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.caller = caller
         self.lock = lock or threading.Lock()
         self._queue: queue.Queue[_Request | None] = queue.Queue(maxsize=max_queue_depth)
         self._thread: threading.Thread | None = None
@@ -200,11 +209,19 @@ class MicroBatcher:
         for request in live:
             groups.setdefault((request.k, request.exclude_seen), []).append(request)
         for (k, exclude_seen), members in groups.items():
-            try:
+            session_ids = [m.session_id for m in members]
+
+            def score(session_ids=session_ids, k=k, exclude_seen=exclude_seen):
+                # The failpoint sits outside the lock so injected stalls
+                # simulate a slow model without freezing the ingest path.
+                failpoint("batcher.score", session_ids)
                 with self.lock:
-                    results = self.service.top_k_batch(
-                        [m.session_id for m in members], k=k, exclude_seen=exclude_seen
+                    return self.service.top_k_batch(
+                        session_ids, k=k, exclude_seen=exclude_seen
                     )
+
+            try:
+                results = self.caller.call(score) if self.caller is not None else score()
             except BaseException as error:  # propagate to every waiter
                 for member in members:
                     member.future.set_error(error)

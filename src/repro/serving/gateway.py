@@ -8,9 +8,11 @@ Request path for ``GET /recommend``::
     AdmissionController ──queue full──▶ 429 (shed)
            │ admitted
            ▼
-    MicroBatcher queue ──▶ scorer thread ──▶ top_k_batch (one model call
-           │                                 for up to max_batch_size
-           │ deadline miss                   concurrent requests)
+    MicroBatcher queue ──▶ scorer thread ──▶ ResilientCaller (retry +
+           │                                 timeout + circuit breaker)
+           │ deadline miss /                 ──▶ top_k_batch (one model
+           │ breaker open /                      call for up to
+           │ retries exhausted                   max_batch_size requests)
            ▼
     PopularityFallback ──▶ 200 (degraded)
 
@@ -29,6 +31,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from ..reliability import CircuitBreaker, ReliabilityError, ResilientCaller, RetryPolicy
 from ..serve import RecommenderService
 from .admission import AdmissionController, PopularityFallback
 from .batcher import DeadlineExceededError, MicroBatcher, QueueFullError
@@ -36,6 +39,13 @@ from .cache import ScoreCache
 from .metrics import MetricsRegistry
 
 __all__ = ["ServingGateway", "GatewayConfig"]
+
+# breaker_state gauge encoding (docs/reliability.md)
+_BREAKER_STATE_CODES = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.OPEN: 1,
+    CircuitBreaker.HALF_OPEN: 2,
+}
 
 
 class GatewayConfig:
@@ -51,6 +61,12 @@ class GatewayConfig:
         deadline_ms: float = 250.0,
         cache_ttl: float = 30.0,
         cache_entries: int = 4096,
+        retry_attempts: int = 3,
+        retry_backoff_ms: float = 5.0,
+        score_timeout_ms: float | None = None,  # per-call budget; None = unbounded
+        breaker_threshold: int = 8,          # consecutive failures before opening
+        breaker_reset_s: float = 2.0,        # open -> half-open probe delay
+        breaker_half_open_successes: int = 2,  # probe successes to close
     ):
         self.host = host
         self.port = port
@@ -60,6 +76,12 @@ class GatewayConfig:
         self.deadline_ms = deadline_ms
         self.cache_ttl = cache_ttl
         self.cache_entries = cache_entries
+        self.retry_attempts = retry_attempts
+        self.retry_backoff_ms = retry_backoff_ms
+        self.score_timeout_ms = score_timeout_ms
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.breaker_half_open_successes = breaker_half_open_successes
 
 
 class ServingGateway:
@@ -84,6 +106,40 @@ class ServingGateway:
         self.cache = ScoreCache(
             max_entries=self.config.cache_entries, ttl=self.config.cache_ttl
         )
+        # Resilient scoring path: retry + timeout + circuit breaker, with
+        # every state transition and retry visible at /metrics.
+        r = self.registry
+        breaker_state = r.gauge("breaker_state", "0=closed, 1=open, 2=half-open")
+        breaker_transitions = r.counter("breaker_transitions_total", "breaker state changes")
+        breaker_opens = r.counter("breaker_open_total", "times the breaker opened")
+        self._retries = r.counter("scoring_retries_total", "model-call retry attempts")
+        self._score_timeouts = r.counter("scoring_timeouts_total", "model calls over budget")
+        self._score_failures = r.counter("scoring_failures_total", "failed model-call attempts")
+
+        def on_transition(old: str, new: str) -> None:
+            breaker_state.set(_BREAKER_STATE_CODES[new])
+            breaker_transitions.inc()
+            if new == CircuitBreaker.OPEN:
+                breaker_opens.inc()
+
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+            half_open_successes=self.config.breaker_half_open_successes,
+            on_transition=on_transition,
+        )
+        timeout_ms = self.config.score_timeout_ms
+        self.caller = ResilientCaller(
+            retry=RetryPolicy(
+                max_attempts=self.config.retry_attempts,
+                backoff_base_s=self.config.retry_backoff_ms / 1000.0,
+                timeout_s=timeout_ms / 1000.0 if timeout_ms is not None else None,
+            ),
+            breaker=self.breaker,
+            on_retry=self._retries.inc,
+            on_timeout=self._score_timeouts.inc,
+            on_failure=self._score_failures.inc,
+        )
         self.batcher = MicroBatcher(
             service,
             max_batch_size=self.config.max_batch_size,
@@ -91,6 +147,7 @@ class ServingGateway:
             max_queue_depth=self.config.max_queue_depth,
             registry=self.registry,
             lock=self.service_lock,
+            caller=self.caller,
         )
         self.admission = AdmissionController(
             self.batcher,
@@ -155,7 +212,13 @@ class ServingGateway:
             # Cold start: nothing scoreable yet — popularity if we have it.
             fb = self.admission.fallback
             items = fb.top_k(k) if fb is not None else []
-            result = {"session_id": session_id, "items": items, "source": "cold_start", "cached": False}
+            result = {
+                "session_id": session_id,
+                "items": items,
+                "source": "cold_start",
+                "cached": False,
+                "degraded": False,
+            }
             self._observe_latency(started)
             return result
 
@@ -163,7 +226,13 @@ class ServingGateway:
         if cached is not None:
             self._cache_hits.inc()
             self._update_hit_rate()
-            result = {"session_id": session_id, "items": cached, "source": "cache", "cached": True}
+            result = {
+                "session_id": session_id,
+                "items": cached,
+                "source": "cache",
+                "cached": True,
+                "degraded": False,
+            }
             self._observe_latency(started)
             return result
         self._cache_misses.inc()
@@ -182,6 +251,7 @@ class ServingGateway:
             "items": rec.items,
             "source": rec.source,
             "cached": False,
+            "degraded": rec.source != "model",
         }
 
     def health(self) -> dict:
@@ -189,6 +259,7 @@ class ServingGateway:
             "status": "ok",
             "active_sessions": self.service.active_sessions,
             "queue_depth": self.batcher.queue_depth,
+            "breaker": self.breaker.state,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
 
@@ -323,3 +394,6 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(429, {"error": "overloaded, try again"}, headers={"Retry-After": "1"})
         except DeadlineExceededError:
             self._json(504, {"error": "deadline exceeded and no fallback configured"})
+        except ReliabilityError as error:
+            # Breaker open / retries exhausted with no fallback configured.
+            self._json(503, {"error": str(error)}, headers={"Retry-After": "1"})

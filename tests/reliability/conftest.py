@@ -1,0 +1,22 @@
+"""Shared fixtures for the reliability / chaos suite."""
+
+import pytest
+
+from repro import reliability as rel
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    """No armed failpoint may leak into (or out of) any test."""
+    rel.disarm_all()
+    yield
+    rel.disarm_all()
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 200, seed=7), cfg.operations, min_support=2, name="jd"
+    )

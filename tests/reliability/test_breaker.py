@@ -1,0 +1,251 @@
+"""Retry policy, per-call timeout, circuit breaker, and their composition."""
+
+import time
+
+import pytest
+
+from repro.reliability import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ReliabilityError,
+    ResilientCaller,
+    RetriesExhaustedError,
+    RetryPolicy,
+    ScoringTimeoutError,
+    call_with_timeout,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    transitions = []
+    breaker = CircuitBreaker(
+        clock=clock, on_transition=lambda old, new: transitions.append((old, new)), **kwargs
+    )
+    return breaker, clock, transitions
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.01, backoff_max_s=0.05)
+        assert policy.backoff_s(1) == pytest.approx(0.01)
+        assert policy.backoff_s(2) == pytest.approx(0.02)
+        assert policy.backoff_s(3) == pytest.approx(0.04)
+        assert policy.backoff_s(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.05)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCallWithTimeout:
+    def test_fast_call_returns(self):
+        assert call_with_timeout(lambda: 42, timeout_s=1.0) == 42
+
+    def test_none_budget_runs_inline(self):
+        assert call_with_timeout(lambda: 42, timeout_s=None) == 42
+
+    def test_slow_call_raises(self):
+        with pytest.raises(ScoringTimeoutError):
+            call_with_timeout(lambda: time.sleep(0.5), timeout_s=0.02)
+
+    def test_timeout_error_is_both_reliability_and_timeout(self):
+        error = ScoringTimeoutError("x")
+        assert isinstance(error, ReliabilityError)
+        assert isinstance(error, TimeoutError)
+
+    def test_callee_error_propagates(self):
+        def explode():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError, match="inner"):
+            call_with_timeout(explode, timeout_s=1.0)
+
+
+class TestCircuitBreakerStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _, _ = make_breaker(failure_threshold=3)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_consecutive_failure_threshold(self):
+        breaker, _, transitions = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert transitions == [(CircuitBreaker.CLOSED, CircuitBreaker.OPEN)]
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _, _ = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_opens_after_reset_timeout(self):
+        breaker, clock, transitions = make_breaker(failure_threshold=1, reset_timeout_s=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert transitions[-1] == (CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN)
+
+    def test_half_open_admits_one_probe_at_a_time(self):
+        breaker, clock, _ = make_breaker(failure_threshold=1, reset_timeout_s=1.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # probe already in flight
+        breaker.record_success()
+        assert breaker.allow()  # probe resolved: next probe may go
+
+    def test_probe_successes_close(self):
+        breaker, clock, transitions = make_breaker(
+            failure_threshold=1, reset_timeout_s=1.0, half_open_successes=2
+        )
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN  # one success is not enough
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert transitions[-1] == (CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED)
+
+    def test_probe_failure_reopens(self):
+        breaker, clock, transitions = make_breaker(failure_threshold=1, reset_timeout_s=1.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()  # the reset clock restarted
+        assert transitions[-1] == (CircuitBreaker.HALF_OPEN, CircuitBreaker.OPEN)
+
+    def test_seconds_until_probe(self):
+        breaker, clock, _ = make_breaker(failure_threshold=1, reset_timeout_s=10.0)
+        assert breaker.seconds_until_probe() == 0.0
+        breaker.record_failure()
+        assert breaker.seconds_until_probe() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.seconds_until_probe() == pytest.approx(6.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_successes=0)
+
+
+class TestResilientCaller:
+    def flaky(self, failures):
+        """A callable that fails ``failures`` times, then returns 'ok'."""
+        state = {"left": failures, "calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise RuntimeError("transient")
+            return "ok"
+
+        return fn, state
+
+    def test_success_passes_through(self):
+        caller = ResilientCaller(retry=RetryPolicy(max_attempts=3), sleep=lambda s: None)
+        assert caller.call(lambda: "ok") == "ok"
+
+    def test_transient_failures_are_retried(self):
+        fn, state = self.flaky(failures=2)
+        retries = []
+        caller = ResilientCaller(
+            retry=RetryPolicy(max_attempts=3),
+            sleep=lambda s: None,
+            on_retry=lambda: retries.append(1),
+        )
+        assert caller.call(fn) == "ok"
+        assert state["calls"] == 3
+        assert len(retries) == 2
+
+    def test_backoff_schedule_is_honored(self):
+        fn, _ = self.flaky(failures=2)
+        sleeps = []
+        caller = ResilientCaller(
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_max_s=1.0),
+            sleep=sleeps.append,
+        )
+        caller.call(fn)
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_exhausted_retries_chain_the_cause(self):
+        fn, state = self.flaky(failures=99)
+        caller = ResilientCaller(retry=RetryPolicy(max_attempts=3), sleep=lambda s: None)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            caller.call(fn)
+        assert state["calls"] == 3
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "3 attempt(s)" in str(excinfo.value)
+
+    def test_open_breaker_fails_fast_without_calling(self):
+        breaker, _, _ = make_breaker(failure_threshold=1)
+        breaker.record_failure()
+        calls = []
+        caller = ResilientCaller(
+            retry=RetryPolicy(max_attempts=3), breaker=breaker, sleep=lambda s: None
+        )
+        with pytest.raises(CircuitOpenError):
+            caller.call(lambda: calls.append(1))
+        assert calls == []
+
+    def test_stops_retrying_when_breaker_opens_mid_call(self):
+        breaker, _, _ = make_breaker(failure_threshold=2)
+        fn, state = self.flaky(failures=99)
+        caller = ResilientCaller(
+            retry=RetryPolicy(max_attempts=10), breaker=breaker, sleep=lambda s: None
+        )
+        with pytest.raises(RetriesExhaustedError):
+            caller.call(fn)
+        assert state["calls"] == 2  # opened after the 2nd failure: stop hammering
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_success_heals_the_breaker_count(self):
+        breaker, _, _ = make_breaker(failure_threshold=2)
+        caller = ResilientCaller(
+            retry=RetryPolicy(max_attempts=1), breaker=breaker, sleep=lambda s: None
+        )
+        for _ in range(3):  # alternating failure/success never opens
+            with pytest.raises(RetriesExhaustedError):
+                caller.call(self.flaky(failures=99)[0])
+            caller.call(lambda: "ok")
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_timeout_hook_fires(self):
+        timeouts = []
+        caller = ResilientCaller(
+            retry=RetryPolicy(max_attempts=1, timeout_s=0.02),
+            sleep=lambda s: None,
+            on_timeout=lambda: timeouts.append(1),
+        )
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            caller.call(lambda: time.sleep(0.5))
+        assert isinstance(excinfo.value.__cause__, ScoringTimeoutError)
+        assert timeouts == [1]

@@ -1,0 +1,152 @@
+"""Failpoint registry semantics: arming, selectors, payloads, stats."""
+
+import time
+
+import pytest
+
+from repro import reliability as rel
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestDisarmed:
+    def test_disarmed_site_is_a_noop(self):
+        rel.failpoint("nothing.armed.here")  # must not raise
+
+    def test_stats_of_disarmed_site(self):
+        assert rel.stats("nothing.armed.here") == (0, 0)
+
+    def test_is_armed(self):
+        assert not rel.is_armed("site")
+        rel.arm("site", rel.raising(Boom))
+        assert rel.is_armed("site")
+
+
+class TestArming:
+    def test_armed_site_fires(self):
+        rel.arm("site", rel.raising(Boom))
+        with pytest.raises(Boom):
+            rel.failpoint("site")
+
+    def test_only_the_armed_name_fires(self):
+        rel.arm("site.a", rel.raising(Boom))
+        rel.failpoint("site.b")  # different name: untouched
+
+    def test_disarm_is_idempotent(self):
+        rel.arm("site", rel.raising(Boom))
+        rel.disarm("site")
+        rel.disarm("site")
+        rel.failpoint("site")
+
+    def test_disarm_all(self):
+        rel.arm("a", rel.raising(Boom))
+        rel.arm("b", rel.raising(Boom))
+        rel.disarm_all()
+        rel.failpoint("a")
+        rel.failpoint("b")
+
+    def test_rearming_replaces_selectors(self):
+        rel.arm("site", rel.raising(Boom), times=1)
+        with pytest.raises(Boom):
+            rel.failpoint("site")
+        rel.arm("site", rel.raising(Boom), times=1)  # fresh budget
+        with pytest.raises(Boom):
+            rel.failpoint("site")
+
+    def test_payload_reaches_the_action(self):
+        seen = []
+        rel.arm("site", seen.append)
+        rel.failpoint("site", {"batch": 3})
+        assert seen == [{"batch": 3}]
+
+
+class TestSelectors:
+    def test_times_caps_fires(self):
+        rel.arm("site", rel.raising(Boom), times=2)
+        for _ in range(2):
+            with pytest.raises(Boom):
+                rel.failpoint("site")
+        rel.failpoint("site")  # budget spent: no-op
+        assert rel.stats("site") == (3, 2)
+
+    def test_skip_passes_first_hits(self):
+        rel.arm("site", rel.raising(Boom), skip=3)
+        for _ in range(3):
+            rel.failpoint("site")
+        with pytest.raises(Boom):
+            rel.failpoint("site")
+
+    def test_every_is_a_deterministic_fault_rate(self):
+        rel.arm("site", rel.raising(Boom), every=5)
+        outcomes = []
+        for _ in range(20):
+            try:
+                rel.failpoint("site")
+                outcomes.append("ok")
+            except Boom:
+                outcomes.append("boom")
+        assert outcomes.count("boom") == 4  # exactly 20% of hits
+        assert outcomes[4] == "boom" and outcomes[9] == "boom"
+
+    def test_skip_every_times_compose(self):
+        rel.arm("site", rel.raising(Boom), skip=2, every=3, times=2)
+        fired = []
+        for hit in range(1, 13):
+            try:
+                rel.failpoint("site")
+            except Boom:
+                fired.append(hit)
+        # eligible hits start at 3; every 3rd eligible = hits 5, 8; times=2 stops there
+        assert fired == [5, 8]
+
+    def test_invalid_selectors_rejected(self):
+        with pytest.raises(ValueError):
+            rel.arm("site", rel.raising(Boom), every=0)
+        with pytest.raises(ValueError):
+            rel.arm("site", rel.raising(Boom), skip=-1)
+        with pytest.raises(ValueError):
+            rel.arm("site", rel.raising(Boom), times=0)
+
+
+class TestContextManager:
+    def test_armed_scope(self):
+        with rel.armed("site", rel.raising(Boom)):
+            with pytest.raises(Boom):
+                rel.failpoint("site")
+        rel.failpoint("site")  # disarmed on exit
+
+    def test_armed_disarms_on_error(self):
+        with pytest.raises(Boom):
+            with rel.armed("site", rel.raising(Boom)):
+                rel.failpoint("site")
+        assert not rel.is_armed("site")
+
+
+class TestActions:
+    def test_raising_accepts_instance(self):
+        error = Boom("specific")
+        rel.arm("site", rel.raising(error))
+        with pytest.raises(Boom, match="specific"):
+            rel.failpoint("site")
+
+    def test_sleeping_stalls(self):
+        rel.arm("site", rel.sleeping(0.05))
+        started = time.perf_counter()
+        rel.failpoint("site")
+        assert time.perf_counter() - started >= 0.045
+
+    def test_crashing_is_uncatchable_by_except_exception(self):
+        rel.arm("site", rel.crashing())
+        with pytest.raises(rel.SimulatedCrash):
+            try:
+                rel.failpoint("site")
+            except Exception:  # the point: ordinary recovery can't swallow it
+                pytest.fail("SimulatedCrash must not be an Exception")
+
+    def test_mutating_action(self):
+        payload = {"loss": 1.0}
+        rel.arm("site", lambda p: p.__setitem__("loss", float("nan")))
+        rel.failpoint("site", payload)
+        assert payload["loss"] != payload["loss"]  # NaN

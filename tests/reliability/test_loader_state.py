@@ -1,0 +1,81 @@
+"""DataLoader shuffle order as a pure function of ``(seed, epoch)``."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DataLoader
+
+
+def targets_of_pass(loader):
+    """Concatenated target classes of one full pass — fingerprints the order."""
+    return np.concatenate([batch.target_classes for batch in loader])
+
+
+class TestPermutation:
+    def test_epoch0_matches_legacy_single_shuffle(self, dataset):
+        """Backward compat: epoch 0 must reproduce the old loader's first
+        pass — one ``default_rng(seed)`` shuffle of ``arange(n)``."""
+        loader = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=0)
+        expected = np.arange(len(dataset.train))
+        np.random.default_rng(0).shuffle(expected)
+        assert np.array_equal(loader.permutation(0), expected)
+
+    def test_later_epochs_match_legacy_mutating_stream(self, dataset):
+        """Epoch k must reproduce what the old persistent-generator loader
+        emitted on its (k+1)-th pass."""
+        n = len(dataset.train)
+        rng = np.random.default_rng(3)  # the old loader's persistent stream
+        loader = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=3)
+        for epoch in range(4):
+            legacy = np.arange(n)
+            rng.shuffle(legacy)
+            assert np.array_equal(loader.permutation(epoch), legacy), epoch
+
+    def test_pure_function_of_seed_and_epoch(self, dataset):
+        loader = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=5)
+        assert np.array_equal(loader.permutation(2), loader.permutation(2))
+        assert not np.array_equal(loader.permutation(1), loader.permutation(2))
+
+    def test_no_shuffle_is_identity(self, dataset):
+        loader = DataLoader(dataset.train, batch_size=32, shuffle=False, seed=5)
+        identity = np.arange(len(dataset.train))
+        assert np.array_equal(loader.permutation(0), identity)
+        assert np.array_equal(loader.permutation(7), identity)
+
+
+class TestEpochReplay:
+    def test_set_epoch_replays_an_interrupted_pass(self, dataset):
+        first = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=1)
+        pass0 = targets_of_pass(first)  # auto-advances to epoch 1
+        pass1 = targets_of_pass(first)
+        assert not np.array_equal(pass0, pass1)
+
+        replay = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=1)
+        replay.set_epoch(1)
+        assert np.array_equal(targets_of_pass(replay), pass1)
+
+    def test_iter_auto_advances_epoch(self, dataset):
+        loader = DataLoader(dataset.train, batch_size=64, shuffle=True, seed=1)
+        assert loader.epoch == 0
+        for _ in loader:
+            pass
+        assert loader.epoch == 1
+
+    def test_set_epoch_rejects_negative(self, dataset):
+        loader = DataLoader(dataset.train, batch_size=32, shuffle=True)
+        with pytest.raises(ValueError):
+            loader.set_epoch(-1)
+
+
+class TestStateDict:
+    def test_roundtrip(self, dataset):
+        loader = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=9)
+        loader.set_epoch(4)
+        state = loader.state_dict()
+        assert state == {"seed": 9, "epoch": 4}
+
+        restored = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=0)
+        restored.load_state_dict(state)
+        original = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=9)
+        original.set_epoch(4)
+        assert np.array_equal(targets_of_pass(restored), targets_of_pass(original))

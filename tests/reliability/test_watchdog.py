@@ -1,0 +1,165 @@
+"""Divergence watchdog: rollback, LR cooling, and bounded retries."""
+
+import numpy as np
+import pytest
+
+from repro import reliability as rel
+from repro.core import EMBSRConfig, build_sgnn_self
+from repro.eval import TrainConfig, Trainer
+from repro.reliability import DivergenceError, DivergenceWatchdog
+
+
+class ToyModel:
+    def __init__(self):
+        self.params = {"w": np.ones(3)}
+        self.zero_grad_calls = 0
+
+    def state_dict(self):
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def load_state_dict(self, state):
+        self.params = {k: v.copy() for k, v in state.items()}
+
+    def zero_grad(self):
+        self.zero_grad_calls += 1
+
+
+class ToyOptimizer:
+    def __init__(self, lr=0.1):
+        self.lr = lr
+
+    def state_dict(self):
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state):
+        self.lr = state["lr"]
+
+
+def make(**kwargs):
+    model, optimizer = ToyModel(), ToyOptimizer(lr=0.1)
+    return model, optimizer, DivergenceWatchdog(model, optimizer, **kwargs)
+
+
+class TestHealthCheck:
+    def test_finite_is_healthy(self):
+        _, _, dog = make()
+        assert dog.healthy(1.5, 3.0)
+
+    @pytest.mark.parametrize("loss,norm", [(np.nan, 1.0), (np.inf, 1.0), (1.0, np.nan), (1.0, -np.inf)])
+    def test_non_finite_is_unhealthy(self, loss, norm):
+        _, _, dog = make()
+        assert not dog.healthy(loss, norm)
+
+    def test_grad_limit_ceiling(self):
+        _, _, dog = make(grad_limit=100.0)
+        assert dog.healthy(1.0, 100.0)
+        assert not dog.healthy(1.0, 101.0)
+
+    def test_no_grad_limit_by_default(self):
+        _, _, dog = make()
+        assert dog.healthy(1.0, 1e30)
+
+
+class TestRecovery:
+    def test_rollback_restores_snapshot(self):
+        model, optimizer, dog = make()
+        model.params["w"] += 42.0  # the divergent update
+        dog.recover(where="epoch 0, batch 1", loss=float("nan"), grad_norm=1.0)
+        assert np.array_equal(model.params["w"], np.ones(3))
+        assert model.zero_grad_calls == 1
+
+    def test_lr_halved_on_recovery(self):
+        _, optimizer, dog = make()
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_consecutive_recoveries_compound_the_cooldown(self):
+        """Restoring the snapshot resets lr, so the backoff must compound:
+        0.1 -> 0.05 -> 0.025 across retries of one incident."""
+        _, optimizer, dog = make()
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        assert optimizer.lr == pytest.approx(0.05)
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        assert optimizer.lr == pytest.approx(0.025)
+
+    def test_good_step_resets_retry_budget(self):
+        model, optimizer, dog = make(max_retries=1)
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        dog.record_good()  # budget back to full, snapshot refreshed
+        model.params["w"] *= 7.0
+        dog.record_good()
+        dog.recover(where="y", loss=float("nan"), grad_norm=1.0)
+        assert np.array_equal(model.params["w"], np.full(3, 7.0))
+
+    def test_exhausted_retries_raise_descriptive_error(self):
+        _, _, dog = make(max_retries=2)
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        with pytest.raises(DivergenceError) as excinfo:
+            dog.recover(where="epoch 3, batch 11", loss=float("nan"), grad_norm=2.5)
+        message = str(excinfo.value)
+        assert "epoch 3, batch 11" in message
+        assert "nan" in message and "2.5" in message
+        assert "checkpoint" in message  # tells the operator what to do
+
+    def test_on_lr_change_hook(self):
+        factors = []
+        _, _, dog = make(on_lr_change=factors.append)
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        assert factors == [0.5]
+
+    def test_snapshot_every(self):
+        model, _, dog = make(snapshot_every=2)
+        model.params["w"] *= 3.0
+        dog.record_good()  # 1 good step: snapshot NOT refreshed yet
+        model.params["w"] *= 5.0
+        dog.recover(where="x", loss=float("nan"), grad_norm=1.0)
+        assert np.array_equal(model.params["w"], np.ones(3))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make(max_retries=-1)
+        with pytest.raises(ValueError):
+            make(lr_backoff=1.0)
+        with pytest.raises(ValueError):
+            make(snapshot_every=0)
+
+
+def poison_loss(loss):
+    """Failpoint action: corrupt the in-flight loss tensor to NaN."""
+    loss.data = np.full_like(loss.data, np.nan)
+
+
+class TestTrainerIntegration:
+    """The watchdog wired into ``Trainer`` via the ``trainer.loss`` failpoint."""
+
+    def model(self, dataset):
+        cfg = EMBSRConfig(
+            num_items=dataset.num_items, num_ops=dataset.num_operations, dim=12, seed=0
+        )
+        return build_sgnn_self(cfg)
+
+    def test_single_nan_batch_recovers(self, dataset):
+        trainer = Trainer(self.model(dataset), TrainConfig(epochs=1, lr=0.01, seed=1))
+        rel.arm("trainer.loss", poison_loss, times=1)
+        trainer.fit(dataset)
+        assert rel.stats("trainer.loss")[1] == 1  # the poison fired
+        assert len(trainer.history) == 1
+        for name, array in trainer.model.state_dict().items():
+            assert np.isfinite(array).all(), name
+
+    def test_persistent_divergence_aborts_with_context(self, dataset):
+        cfg = TrainConfig(epochs=1, lr=0.01, seed=1, watchdog_retries=2)
+        trainer = Trainer(self.model(dataset), cfg)
+        rel.arm("trainer.loss", poison_loss)  # every batch, forever
+        with pytest.raises(DivergenceError, match="epoch 0, batch 0"):
+            trainer.fit(dataset)
+
+    def test_watchdog_can_be_disabled(self, dataset):
+        """Same persistent poison that aborts above trains through silently
+        with the watchdog off — NaN losses and all."""
+        cfg = TrainConfig(epochs=1, lr=0.01, seed=1, watchdog=False)
+        trainer = Trainer(self.model(dataset), cfg)
+        rel.arm("trainer.loss", poison_loss)
+        trainer.fit(dataset)  # no DivergenceError: nobody is watching
+        assert np.isnan(trainer.history[0].train_loss)
