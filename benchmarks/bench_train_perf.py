@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Training-throughput benchmark: steps/sec and tokens/sec per model.
+
+Unlike the paper-figure benches (which measure recommendation *quality*),
+this script measures how fast the pure-NumPy substrate can push trainer
+steps for EMBSR and two representative baselines (NARM, SR-GNN) on the
+synthetic JD-like data. It is the repo's training-perf trajectory: CI runs
+it with ``--smoke`` and uploads the JSON, and ``docs/performance.md``
+explains how to read the output.
+
+Modes
+-----
+``fused``
+    The default code path: fused kernels (``repro.perf.fused``) on.
+``unfused``
+    Fusion disabled via ``repro.perf.set_fusion(False)`` — the op-by-op
+    composition the substrate used before the perf PR. On a tree that
+    predates ``repro.perf`` only this mode exists (used to record the
+    committed ``train_perf_baseline.json``).
+
+The timed region replicates ``Trainer._train_batch`` without the
+watchdog: zero_grad -> forward -> cross-entropy -> backward -> clip ->
+Adam step. ``tokens/sec`` counts valid *micro-behavior events*
+(``micro_mask.sum()``) so the number is comparable across models.
+
+A convergence check trains the same model for a fixed number of steps in
+both modes (same seed, same batches, float64) and records the absolute
+final-loss difference; the acceptance bar is <= 1e-6.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_train_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_train_perf.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_train_perf.py \
+        --out benchmarks/results/train_perf_baseline.json           # seed tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+if not any((pathlib.Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro import nn
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.data.dataset import DataLoader
+from repro.eval import ExperimentConfig, ExperimentRunner
+
+try:  # absent on the pre-optimization tree that records the baseline
+    from repro import perf
+except ImportError:  # pragma: no cover - exercised only on the seed tree
+    perf = None
+
+MODELS = ("EMBSR", "NARM", "SR-GNN")
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _set_fusion(enabled: bool) -> None:
+    if perf is not None:
+        perf.set_fusion(enabled)
+
+
+def build_batches(sessions: int, batch_size: int, seed: int = 0):
+    cfg = jd_appliances_config()
+    raw = generate_dataset(cfg, sessions, seed=seed)
+    dataset = prepare_dataset(raw, cfg.operations, name="bench", min_support=3, seed=seed)
+    loader = DataLoader(
+        dataset.train, batch_size=batch_size, shuffle=True, seed=seed, max_ops_per_item=6
+    )
+    return dataset, list(loader)
+
+
+def build_model(dataset, name: str, dim: int, seed: int) -> nn.Module:
+    runner = ExperimentRunner(
+        dataset, ExperimentConfig(dim=dim, dropout=0.1, seed=seed)
+    )
+    recommender = runner.build(name)
+    return recommender._factory(dataset)
+
+
+def train_steps(model, batches, steps: int, lr: float = 0.003, grad_clip: float = 5.0):
+    """Run ``steps`` trainer steps; returns (elapsed_seconds, losses)."""
+    optimizer = nn.Adam(model.parameters(), lr=lr)
+    model.train()
+    losses = []
+    start = time.perf_counter()
+    for i in range(steps):
+        batch = batches[i % len(batches)]
+        optimizer.zero_grad()
+        logits = model(batch)
+        loss = nn.cross_entropy(logits, batch.target_classes)
+        loss.backward()
+        nn.clip_grad_norm(model.parameters(), grad_clip)
+        optimizer.step()
+        losses.append(float(loss.item()))
+    return time.perf_counter() - start, losses
+
+
+def measure(name: str, dataset, batches, dim: int, steps: int, warmup: int, seed: int):
+    model = build_model(dataset, name, dim, seed)
+    train_steps(model, batches, warmup)  # warm caches / amortize first-touch
+    elapsed, losses = train_steps(model, batches, steps)
+    tokens = sum(float(batches[i % len(batches)].micro_mask.sum()) for i in range(steps))
+    return {
+        "steps_per_sec": steps / elapsed,
+        "tokens_per_sec": tokens / elapsed,
+        "elapsed_sec": elapsed,
+        "steps": steps,
+        "final_loss": losses[-1],
+    }
+
+
+def convergence_check(name: str, dataset, batches, dim: int, steps: int, seed: int):
+    """Same seed + batches, fused vs unfused: final losses must agree."""
+    results = {}
+    for mode, enabled in (("fused", True), ("unfused", False)):
+        _set_fusion(enabled)
+        model = build_model(dataset, name, dim, seed)
+        _, losses = train_steps(model, batches, steps)
+        results[mode] = losses
+    _set_fusion(True)
+    diff = abs(results["fused"][-1] - results["unfused"][-1])
+    return {
+        "steps": steps,
+        "final_loss_fused": results["fused"][-1],
+        "final_loss_unfused": results["unfused"][-1],
+        "abs_final_loss_diff": diff,
+        "identical_convergence": bool(diff <= 1e-6),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--models", nargs="+", default=list(MODELS))
+    parser.add_argument("--skip-convergence", action="store_true")
+    parser.add_argument(
+        "--out", default=str(RESULTS_DIR / "train_perf.json"), help="output JSON path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(RESULTS_DIR / "train_perf_baseline.json"),
+        help="committed pre-optimization baseline to diff against",
+    )
+    args = parser.parse_args(argv)
+
+    sessions = args.sessions or (300 if args.smoke else 1500)
+    steps = args.steps or (6 if args.smoke else 25)
+    warmup = args.warmup if args.warmup is not None else (1 if args.smoke else 4)
+    dim = args.dim or (16 if args.smoke else 32)
+
+    dataset, batches = build_batches(sessions, args.batch_size, seed=args.seed)
+    print(
+        f"dataset: {len(dataset.train)} train examples, {dataset.num_items} items; "
+        f"{len(batches)} batches of {args.batch_size}"
+    )
+
+    modes = ["fused", "unfused"] if perf is not None else ["unfused"]
+    results: dict[str, dict] = {name: {} for name in args.models}
+    for name in args.models:
+        for mode in modes:
+            _set_fusion(mode == "fused")
+            stats = measure(name, dataset, batches, dim, steps, warmup, args.seed)
+            results[name][mode] = stats
+            print(
+                f"{name:8s} [{mode:7s}] {stats['steps_per_sec']:8.2f} steps/s "
+                f"{stats['tokens_per_sec']:10.0f} tokens/s"
+            )
+        if len(modes) == 2:
+            ratio = (
+                results[name]["fused"]["steps_per_sec"]
+                / results[name]["unfused"]["steps_per_sec"]
+            )
+            results[name]["fused_over_unfused"] = ratio
+            print(f"{name:8s} fused/unfused speedup: {ratio:.2f}x")
+    _set_fusion(True)
+
+    convergence = {}
+    if perf is not None and not args.skip_convergence:
+        conv_steps = 5 if args.smoke else 20
+        for name in args.models:
+            convergence[name] = convergence_check(
+                name, dataset, batches, dim, conv_steps, args.seed
+            )
+            print(
+                f"{name:8s} convergence: |Δloss|={convergence[name]['abs_final_loss_diff']:.2e} "
+                f"({'ok' if convergence[name]['identical_convergence'] else 'DIVERGED'})"
+            )
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "smoke": args.smoke,
+            "sessions": sessions,
+            "steps": steps,
+            "dim": dim,
+            "batch_size": args.batch_size,
+            "seed": args.seed,
+            "has_perf_package": perf is not None,
+        },
+        "results": results,
+        "convergence": convergence,
+    }
+
+    baseline_path = pathlib.Path(args.baseline)
+    out_path = pathlib.Path(args.out)
+    if baseline_path.exists() and baseline_path.resolve() != out_path.resolve():
+        baseline = json.loads(baseline_path.read_text())
+        speedups = {}
+        for name in args.models:
+            base = baseline.get("results", {}).get(name, {})
+            base_mode = "fused" if "fused" in base else "unfused"
+            here = results[name].get("fused") or results[name].get("unfused")
+            if base.get(base_mode) and here and baseline["meta"]["smoke"] == args.smoke:
+                speedups[name] = here["steps_per_sec"] / base[base_mode]["steps_per_sec"]
+                print(f"{name:8s} speedup vs committed baseline: {speedups[name]:.2f}x")
+        payload["speedup_vs_baseline"] = speedups
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,8 @@ Subpackages
 ``repro.eval``
     HR@K / MRR@K metrics, trainer, evaluator, experiment runner,
     significance testing.
+``repro.perf``
+    Op-level profiler and the fused-kernel fast path (docs/performance.md).
 """
 
 __version__ = "1.0.0"

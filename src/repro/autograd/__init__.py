@@ -6,15 +6,19 @@ Public surface:
 - :func:`no_grad` — disable graph construction
 - :func:`concat`, :func:`stack`, :func:`where`, :func:`maximum` — multi-input ops
 - :func:`check_gradients` — finite-difference verification
+- :func:`set_default_dtype` / :func:`default_dtype` — float32/float64 policy
 """
 
 from .gradcheck import check_gradients, numerical_gradient
 from .tensor import (
     Tensor,
     concat,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     maximum,
     no_grad,
+    set_default_dtype,
     stack,
     where,
 )
@@ -29,4 +33,7 @@ __all__ = [
     "maximum",
     "check_gradients",
     "numerical_gradient",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
 ]

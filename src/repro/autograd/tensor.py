@@ -9,9 +9,23 @@ records its parents and a closure that accumulates gradients into them.
 Calling :meth:`Tensor.backward` runs a topological sort and replays the
 closures in reverse order.
 
+Performance notes (docs/performance.md):
+
+- Every operation checks the grad mode *before* constructing its backward
+  closure, so inference under :func:`no_grad` allocates zero graph state.
+- Gradient accumulation is in place: the first contribution is borrowed
+  (never mutated), the second allocates a buffer this tensor owns, and all
+  later ones are ``+=`` into it. Ownership tracking makes this safe when a
+  tensor feeds multiple consumers that hand down the same gradient array.
+- The element dtype is configurable (:func:`set_default_dtype`); float32
+  halves memory traffic for training runs that do not need float64.
+- ``softmax`` / ``log_softmax`` are single fused nodes with hand-written
+  backward rules rather than compositions of five primitive ops.
+
 Only the operations the models need are implemented, but each supports full
 NumPy broadcasting, and every backward rule is verified against central
-finite differences in ``tests/autograd``.
+finite differences in ``tests/autograd`` (and the fused kernels in
+``tests/perf``).
 """
 
 from __future__ import annotations
@@ -29,9 +43,22 @@ __all__ = [
     "stack",
     "where",
     "maximum",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
 ]
 
 _GRAD_ENABLED = True
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+# Active profiler (repro.perf.profiler.OpProfiler) or None; assigned via
+# _set_profiler so the hot path pays a single global load when disabled.
+_PROFILER = None
+
+
+def _set_profiler(profiler) -> None:
+    global _PROFILER
+    _PROFILER = profiler
 
 
 @contextlib.contextmanager
@@ -51,12 +78,52 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value, dtype=np.float64) -> np.ndarray:
+def get_default_dtype() -> np.dtype:
+    """Element dtype used for new tensors (float64 unless reconfigured)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the element dtype for new tensors; returns the previous dtype.
+
+    ``float32`` mode halves memory traffic and roughly doubles large-matmul
+    throughput; ``float64`` is required for finite-difference gradchecks.
+    """
+    global _DEFAULT_DTYPE
+    new = np.dtype(dtype)
+    if new not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"default dtype must be float32 or float64, got {new}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = new
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Scoped :func:`set_default_dtype` (restores the previous dtype on exit)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    dtype = dtype or _DEFAULT_DTYPE
     if isinstance(value, np.ndarray):
         if value.dtype != dtype:
             return value.astype(dtype)
         return value
     return np.asarray(value, dtype=dtype)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function (shared with repro.perf.fused)."""
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x, -500, None))),
+        np.exp(np.clip(x, None, 500)) / (1.0 + np.exp(np.clip(x, None, 500))),
+    )
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -80,13 +147,23 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64``.
+        Array-like payload; converted to the default dtype
+        (:func:`get_default_dtype`, float64 unless reconfigured).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_owned",
+        "_grad_buffer",
+        "_topo_cache",
+    )
 
     def __init__(self, data, requires_grad: bool = False):
         self.data: np.ndarray = _as_array(data)
@@ -94,6 +171,13 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        # True once self.grad is a buffer only this tensor references, so
+        # further contributions may be accumulated with an in-place `+=`.
+        self._grad_owned: bool = False
+        # Reusable scatter buffer for fused embedding backward (repro.perf):
+        # avoids a fresh zeros(num_embeddings, dim) allocation every step.
+        self._grad_buffer: np.ndarray | None = None
+        self._topo_cache: list[Tensor] | None = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -134,6 +218,7 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -142,26 +227,48 @@ class Tensor:
     def _make(
         data: np.ndarray,
         parents: Sequence["Tensor"],
-        backward: Callable[["Tensor"], None] | None,
+        backward: Callable[[], None],
     ) -> "Tensor":
-        """Create a result tensor, wiring the graph only when grads are on."""
+        """Create a result tensor wired into the graph.
+
+        Callers are responsible for checking the grad mode first (every op
+        early-exits with a plain ``Tensor`` when gradients are off), so a
+        ``_make`` call always allocates a backward node.
+        """
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = tuple(parents)
-            out._backward = backward
+        out.requires_grad = True
+        out._parents = tuple(parents)
+        out._backward = backward
+        if _PROFILER is not None:
+            _PROFILER._record_node(backward)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        """Add a gradient contribution.
+
+        The first contribution is *borrowed* (stored by reference, never
+        written through) because backward rules routinely hand the same
+        array to several parents. The second contribution allocates a
+        buffer owned by this tensor; every later one is an in-place ``+=``
+        into it — one allocation total no matter how many consumers.
+        """
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+            self.grad = grad
+            self._grad_owned = False
+        elif self._grad_owned:
+            self.grad += grad
         else:
             self.grad = self.grad + grad
+            self._grad_owned = True
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None, retain_graph: bool = False) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to 1 for scalar outputs (the usual loss case).
+        With ``retain_graph=True`` the graph (and the topological order,
+        cached on this tensor) survives for repeated backward passes, e.g.
+        gradient accumulation over micro-batches; by default the graph is
+        freed node by node to keep memory bounded across training loops.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -169,35 +276,61 @@ class Tensor:
             if self.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
+            seed_owned = True
         else:
             grad = _as_array(grad)
             if grad.shape != self.shape:
                 raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.shape}")
+            seed_owned = False
 
-        order: list[Tensor] = []
-        seen: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in seen:
-                    stack.append((parent, False))
+        order = self._topo_cache
+        if order is None:
+            order = []
+            seen: set[int] = set()
+            stack: list[tuple[Tensor, bool]] = [(self, False)]
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    order.append(node)
+                    continue
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                stack.append((node, True))
+                for parent in node._parents:
+                    if parent.requires_grad and id(parent) not in seen:
+                        stack.append((parent, False))
+            if retain_graph:
+                self._topo_cache = order
 
-        self.grad = grad if self.grad is None else self.grad + grad
+        if self.grad is None:
+            self.grad = grad
+            self._grad_owned = seed_owned
+        elif self._grad_owned:
+            self.grad += grad
+        else:
+            self.grad = self.grad + grad
+            self._grad_owned = True
+
+        profiler = _PROFILER
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
-                node._backward()
-                # Free intermediate graph state once consumed; keeps memory
-                # bounded across long training loops.
-                node._backward = None
-                node._parents = ()
+                if profiler is not None:
+                    profiler._run_backward(node._backward)
+                else:
+                    node._backward()
+                if not retain_graph:
+                    # Free intermediate graph state once consumed; keeps
+                    # memory bounded across long training loops.
+                    node._backward = None
+                    node._parents = ()
+                else:
+                    # Clear interior grads so a later pass re-seeds them;
+                    # leaves keep accumulating. This also prevents a later
+                    # pass from mutating an owned buffer that a leaf still
+                    # borrows from this pass.
+                    node.grad = None
+                    node._grad_owned = False
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
@@ -205,6 +338,8 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out_data = self.data + other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
 
         def backward() -> None:
             if self.requires_grad:
@@ -218,9 +353,11 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(-self.data)
+
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(-out.grad)
+            self._accumulate(-out.grad)
 
         out = Tensor._make(-self.data, (self,), backward)
         return out
@@ -228,6 +365,8 @@ class Tensor:
     def __sub__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out_data = self.data - other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
 
         def backward() -> None:
             if self.requires_grad:
@@ -244,6 +383,8 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out_data = self.data * other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
 
         def backward() -> None:
             if self.requires_grad:
@@ -259,6 +400,8 @@ class Tensor:
     def __truediv__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out_data = self.data / other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
 
         def backward() -> None:
             if self.requires_grad:
@@ -277,10 +420,11 @@ class Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
 
         out = Tensor._make(out_data, (self,), backward)
         return out
@@ -290,76 +434,81 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * out_data)
+            self._accumulate(out.grad * out_data)
 
         out = Tensor._make(out_data, (self,), backward)
         return out
 
     def log(self) -> "Tensor":
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad / self.data)
+        out_data = np.log(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
-        out = Tensor._make(np.log(self.data), (self,), backward)
+        def backward() -> None:
+            self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * 0.5 / out_data)
+            self._accumulate(out.grad * 0.5 / out_data)
 
         out = Tensor._make(out_data, (self,), backward)
         return out
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * (1.0 - out_data**2))
+            self._accumulate(out.grad * (1.0 - out_data**2))
 
         out = Tensor._make(out_data, (self,), backward)
         return out
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic function.
-        out_data = np.where(
-            self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, None))),
-            np.exp(np.clip(self.data, None, 500))
-            / (1.0 + np.exp(np.clip(self.data, None, 500))),
-        )
+        out_data = _stable_sigmoid(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * out_data * (1.0 - out_data))
+            self._accumulate(out.grad * out_data * (1.0 - out_data))
 
         out = Tensor._make(out_data, (self,), backward)
         return out
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
+        out_data = self.data * mask
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * mask)
 
-        out = Tensor._make(self.data * mask, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
         sign = np.sign(self.data)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * sign)
+            self._accumulate(out.grad * sign)
 
-        out = Tensor._make(np.abs(self.data), (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     # ------------------------------------------------------------------
@@ -368,6 +517,8 @@ class Tensor:
     def matmul(self, other: "Tensor") -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
         out_data = np.matmul(self.data, other.data)
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
 
         def backward() -> None:
             grad = out.grad
@@ -406,10 +557,10 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if not self.requires_grad:
-                return
             grad = out.grad
             if axis is None:
                 grad = np.broadcast_to(grad, self.shape)
@@ -433,10 +584,10 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if not self.requires_grad:
-                return
             grad = out.grad
             expanded = out_data
             if axis is not None and not keepdims:
@@ -460,13 +611,15 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
         original = self.shape
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad.reshape(original))
+            self._accumulate(out.grad.reshape(original))
 
-        out = Tensor._make(self.data.reshape(shape), (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -474,13 +627,15 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
         inverse = np.argsort(axes)
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad.transpose(inverse))
+            self._accumulate(out.grad.transpose(inverse))
 
-        out = Tensor._make(self.data.transpose(axes), (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
@@ -489,75 +644,117 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def unsqueeze(self, axis: int) -> "Tensor":
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(np.squeeze(out.grad, axis=axis))
+        out_data = np.expand_dims(self.data, axis)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
-        out = Tensor._make(np.expand_dims(self.data, axis), (self,), backward)
+        def backward() -> None:
+            self._accumulate(np.squeeze(out.grad, axis=axis))
+
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def squeeze(self, axis: int) -> "Tensor":
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(np.expand_dims(out.grad, axis))
+        out_data = np.squeeze(self.data, axis=axis)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
-        out = Tensor._make(np.squeeze(self.data, axis=axis), (self,), backward)
+        def backward() -> None:
+            self._accumulate(np.expand_dims(out.grad, axis))
+
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        out_data = np.broadcast_to(self.data, shape).copy()
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
         original = self.shape
 
         def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad, original))
+            self._accumulate(_unbroadcast(out.grad, original))
 
-        out = Tensor._make(np.broadcast_to(self.data, shape).copy(), (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     # ------------------------------------------------------------------
     # Indexing (slicing and integer-array gather)
     # ------------------------------------------------------------------
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
+        out_data = np.array(self.data[index], copy=True)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                grad = np.zeros_like(self.data)
-                np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
 
-        out = Tensor._make(np.array(out_data, copy=True), (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
         return out
 
     def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
         """Gather along ``axis`` (used for embedding lookups when axis=0)."""
         indices = np.asarray(indices)
         out_data = np.take(self.data, indices, axis=axis)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
 
         def backward() -> None:
-            if self.requires_grad:
-                grad = np.zeros_like(self.data)
-                if axis == 0:
-                    np.add.at(grad, indices, out.grad)
-                else:
-                    moved = np.moveaxis(grad, axis, 0)
-                    np.add.at(moved, indices, np.moveaxis(out.grad, axis, 0))
-                self._accumulate(grad)
+            grad = np.zeros_like(self.data)
+            if axis == 0:
+                np.add.at(grad, indices, out.grad)
+            else:
+                moved = np.moveaxis(grad, axis, 0)
+                np.add.at(moved, indices, np.moveaxis(out.grad, axis, 0))
+            self._accumulate(grad)
 
         out = Tensor._make(out_data, (self,), backward)
         return out
 
     # ------------------------------------------------------------------
-    # Composite helpers
+    # Fused composite ops (single node, hand-written backward)
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        exp = shifted.exp()
-        return exp / exp.sum(axis=axis, keepdims=True)
+        """Softmax along ``axis`` as one graph node.
+
+        Backward uses the Jacobian-vector product
+        ``p * (g - sum(g * p))`` instead of replaying the exp/sum/div
+        composition (five nodes and three temporaries in the old form).
+        """
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out_data = e / e.sum(axis=axis, keepdims=True)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward() -> None:
+            g = out.grad
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (g - dot))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
-        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+        """Log-softmax along ``axis`` as one graph node.
+
+        Backward is ``g - softmax * sum(g)`` — the softmax is recovered by
+        exponentiating the (already max-shifted) output, so no extra
+        stabilization pass is needed.
+        """
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - lse
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward() -> None:
+            g = out.grad
+            self._accumulate(g - np.exp(out_data) * g.sum(axis=axis, keepdims=True))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
 
     def l2_normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
         norm = ((self * self).sum(axis=axis, keepdims=True) + eps).sqrt()
@@ -568,6 +765,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+        return Tensor(out_data)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -586,6 +785,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new ``axis``."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+        return Tensor(out_data)
 
     def backward() -> None:
         for i, t in enumerate(tensors):
@@ -602,6 +803,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     out_data = np.where(condition, a.data, b.data)
+    if not (_GRAD_ENABLED and (a.requires_grad or b.requires_grad)):
+        return Tensor(out_data)
 
     def backward() -> None:
         if a.requires_grad:
@@ -618,6 +821,8 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     out_data = np.maximum(a.data, b.data)
+    if not (_GRAD_ENABLED and (a.requires_grad or b.requires_grad)):
+        return Tensor(out_data)
     a_wins = a.data > b.data
     tie = a.data == b.data
 

@@ -10,10 +10,13 @@ Usage (after ``python setup.py develop``):
     python -m repro.cli train    --dataset dataset.json --model EMBSR --resume embsr.npz.state.npz
     python -m repro.cli evaluate --dataset dataset.json --model EMBSR --checkpoint embsr.npz
     python -m repro.cli compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR
+    python -m repro.cli profile  --dataset dataset.json --model EMBSR --steps 5
     python -m repro.cli serve    --config jd-appliances --model STAMP --port 8080
 
 The ``compare`` command reproduces a slice of the paper's Table III for any
-subset of the twelve systems. ``serve`` trains (or loads) a model on a
+subset of the twelve systems. ``profile`` runs a few training steps under
+the op-level profiler (``repro.perf.OpProfiler``) and prints where forward
+and backward time goes (see ``docs/performance.md``). ``serve`` trains (or loads) a model on a
 synthetic dataset and exposes it through the micro-batching HTTP gateway
 (``repro.serving``): ``POST /events``, ``GET /recommend``, ``GET /healthz``,
 ``GET /metrics``.
@@ -74,6 +77,7 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--lr", type=float, default=0.005)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dtype", choices=["float32", "float64"], default="float64")
     p.add_argument("--checkpoint", default=None, help="save parameters here (.npz)")
     p.add_argument(
         "--checkpoint-every",
@@ -113,6 +117,21 @@ def _add_compare(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--epochs", type=int, default=10)
     p.add_argument("--lr", type=float, default=0.005)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dtype", choices=["float32", "float64"], default="float64")
+
+
+def _add_profile(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("profile", help="profile a few training steps op by op")
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--model", default="EMBSR")
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--batch-size", type=int, default=64)
+    p.add_argument("--lr", type=float, default=0.003)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dtype", choices=["float32", "float64"], default="float64")
+    p.add_argument("--no-fusion", action="store_true", help="profile the unfused composed ops")
+    p.add_argument("--json", default=None, metavar="PATH", help="also dump the profile as JSON")
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -141,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(sub)
     _add_evaluate(sub)
     _add_compare(sub)
+    _add_profile(sub)
     _add_serve(sub)
     return parser
 
@@ -180,6 +200,7 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
         epochs=epochs if epochs is not None else getattr(args, "epochs", 10),
         lr=getattr(args, "lr", 0.005),
         seed=args.seed,
+        dtype=getattr(args, "dtype", "float64"),
         checkpoint_path=getattr(args, "train_state_path", None),
         checkpoint_every=getattr(args, "checkpoint_every", 0),
         resume_from=getattr(args, "resume", None),
@@ -252,6 +273,53 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import time
+
+    from .autograd import default_dtype
+    from .data.dataset import DataLoader
+    from .eval.trainer import NeuralRecommender
+    from .nn import Adam, clip_grad_norm, cross_entropy
+    from .perf import OpProfiler, fusion
+
+    runner = _runner(args, epochs=0)
+    recommender = runner.build(args.model)
+    if not isinstance(recommender, NeuralRecommender):
+        print(f"{args.model} is not a neural model", file=sys.stderr)
+        return 1
+    with default_dtype(args.dtype), fusion(not args.no_fusion):
+        model = recommender._factory(runner.dataset)
+        optimizer = Adam(model.parameters(), lr=args.lr)
+        loader = DataLoader(
+            runner.dataset.train, batch_size=args.batch_size, shuffle=True, seed=args.seed
+        )
+        batches = list(loader)
+        model.train()
+        profiler = OpProfiler()
+        start = time.perf_counter()
+        with profiler:
+            for step in range(args.steps):
+                batch = batches[step % len(batches)]
+                optimizer.zero_grad()
+                loss = cross_entropy(model(batch), batch.target_classes)
+                loss.backward()
+                clip_grad_norm(model.parameters(), 5.0)
+                optimizer.step()
+        elapsed = time.perf_counter() - start
+    mode = "unfused" if args.no_fusion else "fused"
+    print(
+        f"{args.model} ({mode}, {args.dtype}): {args.steps} steps in {elapsed:.3f}s "
+        f"({args.steps / elapsed:.2f} steps/s), "
+        f"{profiler.backward_nodes} backward nodes"
+    )
+    print()
+    print(profiler.table())
+    if args.json:
+        path = profiler.dump_json(args.json)
+        print(f"\nprofile written to {path}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import time
 
@@ -320,6 +388,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "compare": _cmd_compare,
+    "profile": _cmd_profile,
     "serve": _cmd_serve,
 }
 

@@ -54,5 +54,5 @@ class MicroOpEncoder(Module):
         htilde = final.reshape(B, n, self.dim)
         # Zero out padded macro positions (their GRU state is h0 = 0 already,
         # but the mask keeps this explicit and robust to future h0 changes).
-        macro_mask = (op_mask.sum(axis=2) > 0).astype(np.float64)[..., None]
+        macro_mask = (op_mask.sum(axis=2) > 0).astype(htilde.data.dtype)[..., None]
         return htilde * Tensor(macro_mask)

@@ -41,6 +41,7 @@ class ExperimentConfig:
     w_k: float = 12.0
     patience: int = 5
     seed: int = 0
+    dtype: str = "float64"
     ks: tuple[int, ...] = (5, 10, 20)
     # Crash-safe training (docs/reliability.md): periodic training-state
     # checkpoints and resumption, threaded through to Trainer.fit.
@@ -55,6 +56,7 @@ class ExperimentConfig:
             lr=self.lr,
             patience=self.patience,
             seed=self.seed,
+            dtype=self.dtype,
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             resume_from=self.resume_from,

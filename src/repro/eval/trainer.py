@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..autograd import no_grad
+from ..autograd import default_dtype, no_grad
 from ..data.dataset import DataLoader, SessionBatch
 from ..data.preprocess import PreparedDataset
 from ..nn import Adam, Module, StepLR, clip_grad_norm, cross_entropy
@@ -52,6 +52,7 @@ _RESUME_CRITICAL_FIELDS = (
     "selection_metric",
     "max_ops_per_item",
     "seed",
+    "dtype",
 )
 
 
@@ -70,6 +71,7 @@ class TrainConfig:
     selection_metric: str = "M@20"
     max_ops_per_item: int = 6
     seed: int = 0
+    dtype: str = "float64"     # "float32" halves memory traffic (docs/performance.md)
     verbose: bool = False
     # -- reliability knobs (docs/reliability.md) ---------------------------
     checkpoint_path: str | None = None   # training-state file; None disables
@@ -306,9 +308,12 @@ class NeuralRecommender(Recommender):
         return self.trainer.model
 
     def fit(self, dataset: PreparedDataset) -> "NeuralRecommender":
-        model = self._factory(dataset)
-        self.trainer = Trainer(model, self.train_config)
-        self.trainer.fit(dataset)
+        # Build AND train under the configured dtype so parameters and every
+        # intermediate share it (mixing dtypes silently upcasts to float64).
+        with default_dtype(self.train_config.dtype):
+            model = self._factory(dataset)
+            self.trainer = Trainer(model, self.train_config)
+            self.trainer.fit(dataset)
         return self
 
     def save(self, path) -> None:
@@ -326,8 +331,9 @@ class NeuralRecommender(Recommender):
         """
         from ..nn import load_checkpoint
 
-        model = self._factory(dataset)
-        load_checkpoint(model, path)
+        with default_dtype(self.train_config.dtype):
+            model = self._factory(dataset)
+            load_checkpoint(model, path)
         self.trainer = Trainer(model, self.train_config)
         return self
 

@@ -9,27 +9,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..autograd import get_default_dtype
+
 __all__ = ["scaled_uniform", "xavier_uniform", "normal", "zeros"]
 
 
 def scaled_uniform(rng: np.random.Generator, shape: tuple[int, ...], scale_dim: int) -> np.ndarray:
     """Uniform in ``[-1/sqrt(scale_dim), 1/sqrt(scale_dim)]`` (MKM-SR style)."""
     bound = 1.0 / np.sqrt(scale_dim)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
     """Glorot/Xavier uniform for 2-D weights."""
     fan_in, fan_out = shape[0], shape[-1]
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02) -> np.ndarray:
     """Gaussian init (BERT-style)."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zero init (biases and gate offsets)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..perf import fused as _fused
 from .init import scaled_uniform, zeros
 from .module import Module, Parameter
 
@@ -33,6 +34,8 @@ class Linear(Module):
         self.bias = Parameter(zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if _fused.fusion_enabled():
+            return _fused.addmm(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -61,6 +64,8 @@ class Embedding(Module):
 
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
+        if _fused.fusion_enabled():
+            return _fused.embedding_lookup(self.weight, indices)
         return self.weight.take(indices, axis=0)
 
 

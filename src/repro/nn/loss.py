@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..perf import fused as _fused
 
 __all__ = ["cross_entropy"]
 
@@ -31,6 +32,8 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
     if targets.shape[0] != logits.shape[0]:
         raise ValueError("batch size mismatch between logits and targets")
+    if _fused.fusion_enabled():
+        return _fused.log_softmax_nll(logits, targets)
     log_probs = logits.log_softmax(axis=-1)
     picked = log_probs[np.arange(targets.shape[0]), targets]
     return -picked.mean()

@@ -12,6 +12,7 @@ from typing import Iterator
 import numpy as np
 
 from ..autograd import Tensor
+from ..perf import profiler as _profiler
 
 __all__ = ["Parameter", "Module"]
 
@@ -130,11 +131,16 @@ class Module:
         for name, array in state.items():
             if params[name].data.shape != array.shape:
                 raise ValueError(f"shape mismatch for {name}: {params[name].data.shape} != {array.shape}")
-            params[name].data = array.copy()
+            # Cast to the parameter's dtype so a float64 checkpoint loads
+            # cleanly into a model built under float32 training mode.
+            params[name].data = array.astype(params[name].data.dtype, copy=True)
 
     # -- call protocol --------------------------------------------------------
     def forward(self, *args, **kwargs):
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        profiler = _profiler._ACTIVE
+        if profiler is not None:
+            return profiler._call_module(self, args, kwargs)
         return self.forward(*args, **kwargs)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, stack
+from ..perf import fused as _fused
 from .init import scaled_uniform, zeros
 from .module import Module, Parameter
 
@@ -31,6 +32,8 @@ class GRUCell(Module):
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         """Advance one step: ``x`` is [B, input_dim], ``h`` is [B, hidden_dim]."""
+        if _fused.fusion_enabled():
+            return _fused.gru_cell(x, h, self.w_ih, self.w_hh, self.b_ih, self.b_hh)
         d = self.hidden_dim
         gi = x @ self.w_ih + self.b_ih
         gh = h @ self.w_hh + self.b_hh
@@ -72,14 +75,22 @@ class GRU(Module):
         (outputs, final_state):
             ``outputs`` is [B, T, hidden_dim], ``final_state`` is [B, hidden_dim].
         """
+        if _fused.fusion_enabled():
+            cell = self.cell
+            outputs = _fused.gru_sequence(
+                x, cell.w_ih, cell.w_hh, cell.b_ih, cell.b_hh, mask=mask, h0=h0
+            )
+            # Padded steps carry the state forward, so the last column IS the
+            # final state even for sequences that end before step T.
+            return outputs, outputs[:, -1, :]
         batch, steps, _ = x.shape
-        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim)))
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_dim), dtype=x.data.dtype))
         outputs = []
         for t in range(steps):
             x_t = x[:, t, :]
             h_new = self.cell(x_t, h)
             if mask is not None:
-                m = Tensor(mask[:, t : t + 1].astype(np.float64))
+                m = Tensor(mask[:, t : t + 1].astype(x.data.dtype))
                 h = m * h_new + (1.0 - m) * h
             else:
                 h = h_new

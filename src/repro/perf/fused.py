@@ -1,0 +1,452 @@
+"""Fused autograd kernels: single graph nodes with hand-written backwards.
+
+The generic ops in ``repro.autograd.tensor`` compose beautifully but pay
+per-op Python overhead (closure allocation, Tensor wrapping, temporary
+arrays) that dominates training wall-clock at the batch sizes the paper
+uses. Each kernel here replaces a whole composition with ONE graph node:
+
+======================  ====================================================
+``addmm``               ``x @ W + b`` (3 nodes -> 1)
+``gru_cell``            one GRU timestep incl. mask update (~20 nodes -> 1)
+``gru_sequence``        a whole [B, T] GRU unroll (~20*T nodes -> 1)
+``embedding_lookup``    gather with scatter-add backward into a buffer the
+                        parameter reuses across steps (no fresh
+                        ``zeros(num_embeddings, dim)`` per step)
+``relation_scores``     dyadic-attention score term ``q_i . e_{r_ij}``
+                        without materializing [B, T, T, d]
+``relation_values``     dyadic-attention value term
+                        ``sum_j alpha_ij e_{r_ij}``, same trick
+``log_softmax_nll``     log-softmax + NLL loss (softmax cross-entropy)
+======================  ====================================================
+
+Every kernel is verified two ways in ``tests/perf``: against central
+finite differences (``repro.autograd.gradcheck``) and against the unfused
+composition, in float32 and float64, batched and length-1.
+
+Fusion is globally toggleable (:func:`set_fusion`) so benchmarks can
+measure honest before/after numbers and parity tests can compare both
+paths; the ``nn`` layers consult :func:`fusion_enabled` on every forward.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from ..autograd import tensor as _tensor
+from ..autograd.tensor import Tensor, _stable_sigmoid
+
+__all__ = [
+    "fusion_enabled",
+    "set_fusion",
+    "fusion",
+    "addmm",
+    "gru_cell",
+    "gru_sequence",
+    "embedding_lookup",
+    "relation_scores",
+    "relation_values",
+    "log_softmax_nll",
+]
+
+_FUSION_ENABLED = True
+
+
+def fusion_enabled() -> bool:
+    """Whether the ``nn`` layers should route through the fused kernels."""
+    return _FUSION_ENABLED
+
+
+def set_fusion(enabled: bool) -> bool:
+    """Globally enable/disable the fused fast path; returns the old value."""
+    global _FUSION_ENABLED
+    previous = _FUSION_ENABLED
+    _FUSION_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fusion(enabled: bool):
+    """Scoped :func:`set_fusion` (restores the previous setting on exit)."""
+    previous = set_fusion(enabled)
+    try:
+        yield
+    finally:
+        set_fusion(previous)
+
+
+def _tracking(*tensors: Tensor) -> bool:
+    if not _tensor._GRAD_ENABLED:
+        return False
+    return any(t is not None and t.requires_grad for t in tensors)
+
+
+# ----------------------------------------------------------------------
+# addmm
+# ----------------------------------------------------------------------
+def addmm(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight + bias`` as a single node.
+
+    ``x`` is [..., in], ``weight`` is [in, out], ``bias`` is [out] or None.
+    The weight gradient is one GEMM over the flattened leading dims instead
+    of a matmul-backward plus an unbroadcast reduction for the bias.
+    """
+    x_data, w_data = x.data, weight.data
+    out_data = np.matmul(x_data, w_data)
+    if bias is not None:
+        out_data += bias.data
+    if not _tracking(x, weight, bias):
+        return Tensor(out_data)
+
+    def backward() -> None:
+        g = out.grad
+        if x.requires_grad:
+            x._accumulate(np.matmul(g, w_data.T))
+        if weight.requires_grad or (bias is not None and bias.requires_grad):
+            g2 = g.reshape(-1, g.shape[-1])
+            if weight.requires_grad:
+                x2 = x_data.reshape(-1, x_data.shape[-1])
+                weight._accumulate(x2.T @ g2)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(g2.sum(axis=0))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor._make(out_data, parents, backward)
+    return out
+
+
+# ----------------------------------------------------------------------
+# GRU
+# ----------------------------------------------------------------------
+def _gru_forward_step(x_t, h_prev, w_ih, w_hh, b_ih, b_hh, d):
+    """One raw-NumPy GRU step; returns (h_new, z, r, n, gh_n).
+
+    Matches the unfused composition bit for bit: same gate layout
+    [update | reset | candidate], same stable sigmoid, same update order.
+    """
+    gi = np.matmul(x_t, w_ih) + b_ih
+    gh = np.matmul(h_prev, w_hh) + b_hh
+    z = _stable_sigmoid(gi[:, :d] + gh[:, :d])
+    r = _stable_sigmoid(gi[:, d : 2 * d] + gh[:, d : 2 * d])
+    gh_n = gh[:, 2 * d :]
+    n = np.tanh(gi[:, 2 * d :] + r * gh_n)
+    h_new = (1.0 - z) * n + z * h_prev
+    return h_new, z, r, n, gh_n
+
+
+def _gru_backward_step(g, h_prev, x_t, z, r, n, gh_n, w_ih, w_hh, mask_col):
+    """Backprop one step; returns (dgi, dgh, dh_prev_partial).
+
+    ``g`` is the gradient into the (possibly mask-updated) output state;
+    ``dh_prev_partial`` excludes the ``dgh @ w_hh.T`` term, which the
+    caller adds (it needs ``dgh`` anyway for the weight gradients).
+    """
+    if mask_col is not None:
+        g_new = g * mask_col
+        dh_prev = g * (1.0 - mask_col)
+    else:
+        g_new = g
+        dh_prev = 0.0
+    dz = g_new * (h_prev - n)
+    dn = g_new * (1.0 - z)
+    dh_prev = dh_prev + g_new * z
+    dn_pre = dn * (1.0 - n * n)
+    dr = dn_pre * gh_n
+    dgh_n = dn_pre * r
+    dz_pre = dz * z * (1.0 - z)
+    dr_pre = dr * r * (1.0 - r)
+    dgi = np.concatenate([dz_pre, dr_pre, dn_pre], axis=1)
+    dgh = np.concatenate([dz_pre, dr_pre, dgh_n], axis=1)
+    return dgi, dgh, dh_prev
+
+
+def gru_cell(
+    x: Tensor,
+    h: Tensor,
+    w_ih: Tensor,
+    w_hh: Tensor,
+    b_ih: Tensor,
+    b_hh: Tensor,
+    mask_col: np.ndarray | None = None,
+) -> Tensor:
+    """One GRU timestep as a single node (Cho et al., 2014).
+
+    ``x`` is [B, in], ``h`` is [B, d]; gates are fused
+    [update | reset | candidate] exactly like :class:`repro.nn.GRUCell`.
+    ``mask_col`` ([B, 1], constant) folds the padded-step state carry
+    ``m * h_new + (1 - m) * h`` into the same node.
+    """
+    d = h.data.shape[-1]
+    h_new, z, r, n, gh_n = _gru_forward_step(
+        x.data, h.data, w_ih.data, w_hh.data, b_ih.data, b_hh.data, d
+    )
+    out_data = mask_col * h_new + (1.0 - mask_col) * h.data if mask_col is not None else h_new
+    if not _tracking(x, h, w_ih, w_hh, b_ih, b_hh):
+        return Tensor(out_data)
+    x_data, h_data = x.data, h.data
+
+    def backward() -> None:
+        dgi, dgh, dh_prev = _gru_backward_step(
+            out.grad, h_data, x_data, z, r, n, gh_n, w_ih.data, w_hh.data, mask_col
+        )
+        if x.requires_grad:
+            x._accumulate(np.matmul(dgi, w_ih.data.T))
+        if h.requires_grad:
+            h._accumulate(dh_prev + np.matmul(dgh, w_hh.data.T))
+        if w_ih.requires_grad:
+            w_ih._accumulate(x_data.T @ dgi)
+        if w_hh.requires_grad:
+            w_hh._accumulate(h_data.T @ dgh)
+        if b_ih.requires_grad:
+            b_ih._accumulate(dgi.sum(axis=0))
+        if b_hh.requires_grad:
+            b_hh._accumulate(dgh.sum(axis=0))
+
+    out = Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
+    return out
+
+
+def gru_sequence(
+    x: Tensor,
+    w_ih: Tensor,
+    w_hh: Tensor,
+    b_ih: Tensor,
+    b_hh: Tensor,
+    mask: np.ndarray | None = None,
+    h0: Tensor | None = None,
+) -> Tensor:
+    """A full masked GRU unroll over [B, T, in] as ONE graph node.
+
+    Returns the per-step hidden states [B, T, d]; because padded steps
+    carry the state unchanged, ``outputs[:, -1]`` is the final state (this
+    is what :class:`repro.nn.GRU` returns as ``final_state``).
+
+    The backward pass replays the T steps in reverse, accumulating the
+    weight gradients in place into four preallocated buffers — the
+    allocation count is O(1) in T instead of O(T * ops_per_step).
+    """
+    B, T, _ = x.data.shape
+    d = w_hh.data.shape[0]
+    x_data = x.data
+    w_ih_d, w_hh_d, b_ih_d, b_hh_d = w_ih.data, w_hh.data, b_ih.data, b_hh.data
+    h_prev = h0.data if h0 is not None else np.zeros((B, d), dtype=x_data.dtype)
+    h0_data = h_prev
+
+    out_data = np.empty((B, T, d), dtype=x_data.dtype)
+    zs = np.empty((T, B, d), dtype=x_data.dtype)
+    rs = np.empty_like(zs)
+    ns = np.empty_like(zs)
+    gh_ns = np.empty_like(zs)
+    m_cols = None
+    if mask is not None:
+        m_cols = mask.astype(x_data.dtype)[..., None]  # [B, T, 1]
+
+    for t in range(T):
+        h_new, z, r, n, gh_n = _gru_forward_step(
+            x_data[:, t, :], h_prev, w_ih_d, w_hh_d, b_ih_d, b_hh_d, d
+        )
+        if m_cols is not None:
+            m = m_cols[:, t, :]
+            h_prev = m * h_new + (1.0 - m) * h_prev
+        else:
+            h_prev = h_new
+        out_data[:, t, :] = h_prev
+        zs[t], rs[t], ns[t], gh_ns[t] = z, r, n, gh_n
+
+    if not _tracking(x, h0, w_ih, w_hh, b_ih, b_hh):
+        return Tensor(out_data)
+
+    def backward() -> None:
+        g_out = out.grad  # [B, T, d]
+        need_w = w_ih.requires_grad or w_hh.requires_grad
+        need_b = b_ih.requires_grad or b_hh.requires_grad
+        d_w_ih = np.zeros_like(w_ih_d) if w_ih.requires_grad else None
+        d_w_hh = np.zeros_like(w_hh_d) if w_hh.requires_grad else None
+        d_b_ih = np.zeros_like(b_ih_d) if b_ih.requires_grad else None
+        d_b_hh = np.zeros_like(b_hh_d) if b_hh.requires_grad else None
+        d_x = np.empty_like(x_data) if x.requires_grad else None
+        dh = np.zeros((B, d), dtype=x_data.dtype)
+        for t in range(T - 1, -1, -1):
+            g = g_out[:, t, :] + dh
+            h_before = out_data[:, t - 1, :] if t > 0 else h0_data
+            m = m_cols[:, t, :] if m_cols is not None else None
+            dgi, dgh, dh = _gru_backward_step(
+                g, h_before, x_data[:, t, :], zs[t], rs[t], ns[t], gh_ns[t], w_ih_d, w_hh_d, m
+            )
+            dh = dh + np.matmul(dgh, w_hh_d.T)
+            if d_x is not None:
+                d_x[:, t, :] = np.matmul(dgi, w_ih_d.T)
+            if need_w:
+                x_t = x_data[:, t, :]
+                if d_w_ih is not None:
+                    d_w_ih += x_t.T @ dgi
+                if d_w_hh is not None:
+                    d_w_hh += h_before.T @ dgh
+            if need_b:
+                if d_b_ih is not None:
+                    d_b_ih += dgi.sum(axis=0)
+                if d_b_hh is not None:
+                    d_b_hh += dgh.sum(axis=0)
+        if d_x is not None:
+            x._accumulate(d_x)
+        if h0 is not None and h0.requires_grad:
+            h0._accumulate(dh)
+        if d_w_ih is not None:
+            w_ih._accumulate(d_w_ih)
+        if d_w_hh is not None:
+            w_hh._accumulate(d_w_hh)
+        if d_b_ih is not None:
+            b_ih._accumulate(d_b_ih)
+        if d_b_hh is not None:
+            b_hh._accumulate(d_b_hh)
+
+    parents = [x, w_ih, w_hh, b_ih, b_hh]
+    if h0 is not None:
+        parents.append(h0)
+    out = Tensor._make(out_data, tuple(parents), backward)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Embedding
+# ----------------------------------------------------------------------
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather with a vectorized ``np.add.at`` scatter backward.
+
+    Unlike the generic ``Tensor.take`` backward (which allocates a fresh
+    ``zeros(num_embeddings, dim)`` per lookup per step), the scatter target
+    is a buffer cached on the parameter (``weight._grad_buffer``) and
+    reused across steps — embedding tables are the largest tensors in
+    every model here, so this is the single biggest allocation saved.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = np.take(weight.data, indices, axis=0)
+    if not _tracking(weight):
+        return Tensor(out_data)
+
+    def backward() -> None:
+        g = out.grad
+        if weight.grad is None:
+            buffer = weight._grad_buffer
+            if (
+                buffer is None
+                or buffer.shape != weight.data.shape
+                or buffer.dtype != weight.data.dtype
+            ):
+                buffer = np.zeros_like(weight.data)
+                weight._grad_buffer = buffer
+            else:
+                buffer.fill(0.0)
+            weight.grad = buffer
+            weight._grad_owned = True
+        elif not weight._grad_owned:
+            weight.grad = weight.grad.copy()
+            weight._grad_owned = True
+        np.add.at(weight.grad, indices, g)
+
+    out = Tensor._make(out_data, (weight,), backward)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dyadic relation attention (Shaw-style gather-free rewrite)
+# ----------------------------------------------------------------------
+def _scatter_relations(values: np.ndarray, rel_ids: np.ndarray, R: int) -> np.ndarray:
+    """Sum [B, T, T] ``values`` into [B, T, R] buckets keyed by ``rel_ids``.
+
+    One vectorized ``bincount`` over flattened (b, i, r) keys — the scalar
+    analogue of the [B, T, T, d] embedding scatter it replaces.
+    """
+    B, T, _ = values.shape
+    flat_keys = (np.arange(B * T)[:, None] * R + rel_ids.reshape(B * T, T)).ravel()
+    out = np.bincount(flat_keys, weights=values.ravel(), minlength=B * T * R)
+    return out.reshape(B, T, R).astype(values.dtype, copy=False)
+
+
+def relation_scores(q: Tensor, table: Tensor, rel_ids: np.ndarray) -> Tensor:
+    """``out[b,i,j] = q[b,i] . table[rel_ids[b,i,j]]`` as one node.
+
+    The naive composition gathers a [B, T, T, d] tensor of relation
+    embeddings and reduces it against ``q``; since the relation vocabulary
+    ``R`` is tiny ((num_ops+1)^2), it is far cheaper to project ``q`` onto
+    ALL relations at once (``q @ table.T`` -> [B, T, R]) and gather
+    scalars. Same math, different summation order — parity with the
+    composed version holds to roundoff, not bit-exactly.
+    """
+    rel_ids = np.asarray(rel_ids, dtype=np.int64)
+    q_data, table_data = q.data, table.data
+    R = table_data.shape[0]
+    projected = np.matmul(q_data, table_data.T)  # [B, T, R]
+    out_data = np.take_along_axis(projected, rel_ids, axis=2)
+    if not _tracking(q, table):
+        return Tensor(out_data)
+
+    def backward() -> None:
+        d_projected = _scatter_relations(out.grad, rel_ids, R)  # [B, T, R]
+        if q.requires_grad:
+            q._accumulate(np.matmul(d_projected, table_data))
+        if table.requires_grad:
+            flat = d_projected.reshape(-1, R)
+            table._accumulate(flat.T @ q_data.reshape(-1, q_data.shape[-1]))
+
+    out = Tensor._make(out_data, (q, table), backward)
+    return out
+
+
+def relation_values(alpha: Tensor, table: Tensor, rel_ids: np.ndarray) -> Tensor:
+    """``out[b,i] = sum_j alpha[b,i,j] * table[rel_ids[b,i,j]]`` as one node.
+
+    Buckets the attention weights by relation id ([B, T, R] via bincount)
+    and hits the tiny relation table with one matmul — no [B, T, T, d]
+    gather, no giant broadcast multiply, and the backward scatters scalars
+    instead of d-vectors.
+    """
+    rel_ids = np.asarray(rel_ids, dtype=np.int64)
+    alpha_data, table_data = alpha.data, table.data
+    R = table_data.shape[0]
+    bucketed = _scatter_relations(alpha_data, rel_ids, R)  # [B, T, R]
+    out_data = np.matmul(bucketed, table_data)  # [B, T, d]
+    if not _tracking(alpha, table):
+        return Tensor(out_data)
+
+    def backward() -> None:
+        g = out.grad  # [B, T, d]
+        if alpha.requires_grad:
+            d_bucketed = np.matmul(g, table_data.T)  # [B, T, R]
+            alpha._accumulate(np.take_along_axis(d_bucketed, rel_ids, axis=2))
+        if table.requires_grad:
+            table._accumulate(bucketed.reshape(-1, R).T @ g.reshape(-1, g.shape[-1]))
+
+    out = Tensor._make(out_data, (alpha, table), backward)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Loss
+# ----------------------------------------------------------------------
+def log_softmax_nll(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of ``targets`` under softmax(logits).
+
+    Fuses the max-shift, log-sum-exp, gather, and mean into one node; the
+    backward is the textbook ``(softmax - onehot) / batch`` — no [B, C]
+    temporaries beyond the cached probabilities.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = logits.data.shape[0]
+    rows = np.arange(batch)
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs_at_target = shifted[rows, targets] - lse[:, 0]
+    out_data = -log_probs_at_target.mean()
+    if not _tracking(logits):
+        return Tensor(out_data)
+
+    def backward() -> None:
+        scale = out.grad / batch  # scalar
+        d_logits = np.exp(shifted - lse) * scale
+        d_logits[rows, targets] -= scale
+        logits._accumulate(d_logits)
+
+    out = Tensor._make(np.asarray(out_data), (logits,), backward)
+    return out

@@ -1,0 +1,90 @@
+"""Gradient-accumulation discipline: in-place `+=` without aliasing bugs.
+
+`Tensor._accumulate` borrows the FIRST gradient contribution by reference
+(avoiding a copy) and only allocates an owned buffer when a second
+contribution arrives. These tests pin down the aliasing hazards that
+discipline must not introduce: backward closures hand the SAME array to
+several parents, and retained graphs replay closures over the same seed.
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def test_first_contribution_is_borrowed_then_copied_on_second():
+    t = Tensor(np.zeros(3), requires_grad=True)
+    first = np.ones(3)
+    t._accumulate(first)
+    assert t.grad is first and not t._grad_owned  # borrowed, no copy yet
+    t._accumulate(np.full(3, 2.0))
+    assert t.grad is not first and t._grad_owned  # copy-on-second-write
+    np.testing.assert_allclose(first, np.ones(3))  # donor untouched
+    np.testing.assert_allclose(t.grad, np.full(3, 3.0))
+    t._accumulate(np.ones(3))  # third contribution is in-place
+    owned = t.grad
+    t._accumulate(np.ones(3))
+    assert t.grad is owned
+    np.testing.assert_allclose(t.grad, np.full(3, 5.0))
+
+
+def test_shared_upstream_grad_not_corrupted_between_siblings():
+    """`c = a + b` hands ONE array to both parents; accumulating further
+    gradient into `a` must not leak into `b`."""
+    a = Tensor(np.zeros(2), requires_grad=True)
+    b = Tensor(np.zeros(2), requires_grad=True)
+    loss = (a + b).sum() + a.sum()  # a receives two contributions, b one
+    loss.backward()
+    np.testing.assert_allclose(a.grad, np.full(2, 2.0))
+    np.testing.assert_allclose(b.grad, np.ones(2))
+
+
+def test_diamond_graph_accumulates_exactly_once_per_path():
+    x = Tensor(np.array([1.5, -0.5]), requires_grad=True)
+    y = x * 2.0
+    z = x * 3.0
+    (y + z).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full(2, 5.0))
+
+
+def test_retained_graph_repeated_backward_is_stable():
+    """Repeated backward over a retained graph must give identical leaf
+    grads per pass — interior borrowed/owned buffers must not be reused
+    across passes (the aliasing regression this PR fixes)."""
+    x = Tensor(np.array([0.3, -1.2, 2.0]), requires_grad=True)
+    w = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    h = x * w
+    loss = (h + h.tanh()).sum()
+    loss.backward(retain_graph=True)
+    first_x, first_w = x.grad.copy(), w.grad.copy()
+    loss.backward(retain_graph=True)
+    np.testing.assert_allclose(x.grad, 2.0 * first_x)
+    np.testing.assert_allclose(w.grad, 2.0 * first_w)
+    x.zero_grad()
+    w.zero_grad()
+    loss.backward()
+    np.testing.assert_allclose(x.grad, first_x)
+    np.testing.assert_allclose(w.grad, first_w)
+
+
+def test_leaf_grad_mutation_does_not_corrupt_interior_data():
+    """Optimizer-style in-place updates on `p.grad` after backward must not
+    alias any tensor's forward data."""
+    p = Tensor(np.ones(4), requires_grad=True)
+    out = p * 1.0
+    out.sum().backward()
+    p.grad *= 100.0
+    np.testing.assert_allclose(p.data, np.ones(4))
+    np.testing.assert_allclose(out.data, np.ones(4))
+
+
+def test_zero_grad_resets_ownership():
+    t = Tensor(np.zeros(2), requires_grad=True)
+    donor = np.ones(2)
+    t._accumulate(donor)
+    t.zero_grad()
+    assert t.grad is None and not t._grad_owned
+    t._accumulate(np.full(2, 7.0))
+    t._accumulate(np.full(2, 1.0))
+    np.testing.assert_allclose(donor, np.ones(2))  # old donor never touched
+    np.testing.assert_allclose(t.grad, np.full(2, 8.0))

@@ -1,0 +1,268 @@
+"""Parity + gradcheck suite for every fused kernel (the fusion contract).
+
+Each kernel must agree with the unfused composition it replaces — forward
+values AND gradients — in float32 and float64, batched and length-1, and
+must independently pass central finite differences (float64 only; float32
+rounding drowns the difference quotient).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, perf
+from repro.autograd import Tensor, check_gradients, default_dtype
+
+DTYPES = [np.float32, np.float64]
+TOL = {np.float32: dict(rtol=1e-4, atol=1e-5), np.float64: dict(rtol=1e-10, atol=1e-12)}
+
+
+def _t(rng, shape, dtype, scale=0.5):
+    return Tensor(rng.normal(size=shape).astype(dtype) * dtype(scale), requires_grad=True)
+
+
+def _grads(tensors):
+    return [None if t.grad is None else np.array(t.grad, copy=True) for t in tensors]
+
+
+def _assert_grads_match(fused_out, unfused_out, tensors, dtype):
+    """Backprop both graphs from the same seed and compare every gradient."""
+    tol = TOL[dtype]
+    np.testing.assert_allclose(fused_out.data, unfused_out.data, **tol)
+    fused_out.sum().backward()
+    fused_grads = _grads(tensors)
+    for t in tensors:
+        t.zero_grad()
+    unfused_out.sum().backward()
+    for fused_grad, t in zip(fused_grads, tensors):
+        np.testing.assert_allclose(fused_grad, t.grad, **tol)
+
+
+# ----------------------------------------------------------------------
+# addmm
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("batch", [1, 5])
+def test_addmm_matches_unfused(dtype, batch):
+    rng = np.random.default_rng(0)
+    x, w, b = _t(rng, (batch, 3), dtype), _t(rng, (3, 4), dtype), _t(rng, (4,), dtype)
+    _assert_grads_match(perf.addmm(x, w, b), x.matmul(w) + b, [x, w, b], dtype)
+
+
+def test_addmm_no_bias_and_3d_input():
+    rng = np.random.default_rng(1)
+    x, w = _t(rng, (2, 3, 4), np.float64), _t(rng, (4, 5), np.float64)
+    _assert_grads_match(perf.addmm(x, w, None), x.matmul(w), [x, w], np.float64)
+
+
+def test_addmm_gradcheck():
+    rng = np.random.default_rng(2)
+    inputs = [_t(rng, (2, 3), np.float64), _t(rng, (3, 4), np.float64), _t(rng, (4,), np.float64)]
+    check_gradients(lambda x, w, b: perf.addmm(x, w, b), inputs)
+
+
+# ----------------------------------------------------------------------
+# GRU cell / sequence
+# ----------------------------------------------------------------------
+def _gru_params(rng, input_dim, hidden_dim, dtype):
+    return (
+        _t(rng, (input_dim, 3 * hidden_dim), dtype),
+        _t(rng, (hidden_dim, 3 * hidden_dim), dtype),
+        _t(rng, (3 * hidden_dim,), dtype),
+        _t(rng, (3 * hidden_dim,), dtype),
+    )
+
+
+def _unfused_cell(x, h, w_ih, w_hh, b_ih, b_hh):
+    d = h.shape[-1]
+    gi = x @ w_ih + b_ih
+    gh = h @ w_hh + b_hh
+    z = (gi[:, :d] + gh[:, :d]).sigmoid()
+    r = (gi[:, d : 2 * d] + gh[:, d : 2 * d]).sigmoid()
+    n = (gi[:, 2 * d :] + r * gh[:, 2 * d :]).tanh()
+    return (1.0 - z) * n + z * h
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("batch", [1, 4])
+def test_gru_cell_matches_unfused(dtype, batch):
+    rng = np.random.default_rng(3)
+    x, h = _t(rng, (batch, 3), dtype), _t(rng, (batch, 5), dtype)
+    params = _gru_params(rng, 3, 5, dtype)
+    fused = perf.gru_cell(x, h, *params)
+    unfused = _unfused_cell(x, h, *params)
+    _assert_grads_match(fused, unfused, [x, h, *params], dtype)
+
+
+@pytest.mark.parametrize("masked", [False, True])
+def test_gru_cell_gradcheck(masked):
+    rng = np.random.default_rng(4)
+    x, h = _t(rng, (3, 4), np.float64), _t(rng, (3, 5), np.float64)
+    params = _gru_params(rng, 4, 5, np.float64)
+    mask_col = np.array([[1.0], [0.0], [1.0]]) if masked else None
+    check_gradients(lambda *ts: perf.gru_cell(*ts, mask_col=mask_col), [x, h, *params])
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("batch,steps", [(1, 1), (3, 4)])
+def test_gru_sequence_matches_unfused_layer(dtype, batch, steps):
+    """The fused full-sequence kernel vs the composed GRU layer loop."""
+    rng = np.random.default_rng(5)
+    with default_dtype(dtype):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(7))
+        x = _t(rng, (batch, steps, 3), dtype)
+        mask = (rng.random((batch, steps)) < 0.8).astype(dtype)
+        mask[:, 0] = 1.0  # every session has at least one valid step
+        with perf.fusion(True):
+            fused_outs, fused_final = gru(x, mask=mask)
+        with perf.fusion(False):
+            unfused_outs, _ = gru(x, mask=mask)
+        params = [x, gru.cell.w_ih, gru.cell.w_hh, gru.cell.b_ih, gru.cell.b_hh]
+        _assert_grads_match(fused_outs, unfused_outs, params, dtype)
+        np.testing.assert_allclose(fused_final.data, fused_outs.data[:, -1, :])
+
+
+def test_gru_sequence_gradcheck():
+    rng = np.random.default_rng(6)
+    x = _t(rng, (2, 3, 4), np.float64)
+    params = _gru_params(rng, 4, 3, np.float64)
+    h0 = _t(rng, (2, 3), np.float64)
+    mask = np.array([[1, 1, 0], [1, 1, 1]], dtype=np.float64)
+    check_gradients(
+        lambda *ts: perf.gru_sequence(ts[0], *ts[1:5], mask=mask, h0=ts[5]), [x, *params, h0]
+    )
+
+
+# ----------------------------------------------------------------------
+# Embedding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("shape", [(1,), (4, 3)])
+def test_embedding_lookup_matches_take(dtype, shape):
+    rng = np.random.default_rng(8)
+    weight = _t(rng, (7, 4), dtype)
+    indices = rng.integers(0, 7, size=shape)
+    _assert_grads_match(
+        perf.embedding_lookup(weight, indices), weight.take(indices), [weight], dtype
+    )
+
+
+def test_embedding_lookup_gradcheck_with_repeats():
+    rng = np.random.default_rng(9)
+    weight = _t(rng, (5, 3), np.float64)
+    indices = np.array([[0, 2, 2], [4, 0, 2]])  # repeated rows must accumulate
+    check_gradients(lambda w: perf.embedding_lookup(w, indices), [weight])
+
+
+def test_embedding_grad_buffer_is_reused_across_steps():
+    """The scatter target is cached on the parameter and reused."""
+    rng = np.random.default_rng(10)
+    weight = _t(rng, (6, 3), np.float64)
+    perf.embedding_lookup(weight, np.array([1, 2])).sum().backward()
+    first_buffer = weight.grad
+    weight.zero_grad()
+    perf.embedding_lookup(weight, np.array([3])).sum().backward()
+    assert weight.grad is first_buffer  # same allocation, zero-filled between steps
+    expected = np.zeros_like(weight.data)
+    expected[3] = 1.0
+    np.testing.assert_allclose(weight.grad, expected)
+
+
+def test_embedding_borrowed_grad_not_mutated_by_scatter():
+    """A borrowed gradient array must be copied before np.add.at scatters."""
+    rng = np.random.default_rng(11)
+    weight = _t(rng, (4, 2), np.float64)
+    external = np.ones_like(weight.data)
+    weight._accumulate(external)  # borrowed: grad is external, not owned
+    perf.embedding_lookup(weight, np.array([0])).sum().backward()
+    np.testing.assert_allclose(external, np.ones_like(weight.data))
+    assert weight.grad[0, 0] == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# Dyadic relation attention
+# ----------------------------------------------------------------------
+REL_TOL = {np.float32: dict(rtol=2e-4, atol=1e-5), np.float64: dict(rtol=1e-9, atol=1e-11)}
+
+
+def _rel_setup(rng, B, T, R, d, dtype):
+    q = _t(rng, (B, T, d), dtype)
+    alpha = _t(rng, (B, T, T), dtype)
+    table = _t(rng, (R, d), dtype)
+    rel_ids = rng.integers(0, R, size=(B, T, T))
+    return q, alpha, table, rel_ids
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("B,T", [(1, 1), (3, 5)])
+def test_relation_scores_matches_gathered_composition(dtype, B, T):
+    rng = np.random.default_rng(14)
+    q, _, table, rel_ids = _rel_setup(rng, B, T, 9, 4, dtype)
+    fused = perf.relation_scores(q, table, rel_ids)
+    unfused = (q.unsqueeze(2) * table.take(rel_ids)).sum(axis=3)
+    tol = REL_TOL[dtype]
+    np.testing.assert_allclose(fused.data, unfused.data, **tol)
+    fused.sum().backward()
+    fused_grads = _grads([q, table])
+    q.zero_grad(), table.zero_grad()
+    unfused.sum().backward()
+    np.testing.assert_allclose(fused_grads[0], q.grad, **tol)
+    np.testing.assert_allclose(fused_grads[1], table.grad, **tol)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("B,T", [(1, 1), (3, 5)])
+def test_relation_values_matches_gathered_composition(dtype, B, T):
+    rng = np.random.default_rng(15)
+    _, alpha, table, rel_ids = _rel_setup(rng, B, T, 9, 4, dtype)
+    fused = perf.relation_values(alpha, table, rel_ids)
+    unfused = (alpha.unsqueeze(3) * table.take(rel_ids)).sum(axis=2)
+    tol = REL_TOL[dtype]
+    np.testing.assert_allclose(fused.data, unfused.data, **tol)
+    fused.sum().backward()
+    fused_grads = _grads([alpha, table])
+    alpha.zero_grad(), table.zero_grad()
+    unfused.sum().backward()
+    np.testing.assert_allclose(fused_grads[0], alpha.grad, **tol)
+    np.testing.assert_allclose(fused_grads[1], table.grad, **tol)
+
+
+def test_relation_kernels_gradcheck():
+    rng = np.random.default_rng(16)
+    q, alpha, table, rel_ids = _rel_setup(rng, 2, 3, 5, 4, np.float64)
+    check_gradients(lambda q_, t_: perf.relation_scores(q_, t_, rel_ids), [q, table])
+    check_gradients(lambda a_, t_: perf.relation_values(a_, t_, rel_ids), [alpha, table])
+
+
+# ----------------------------------------------------------------------
+# Loss
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("batch", [1, 6])
+def test_log_softmax_nll_matches_cross_entropy(dtype, batch):
+    rng = np.random.default_rng(12)
+    logits = _t(rng, (batch, 9), dtype, scale=2.0)
+    targets = rng.integers(0, 9, size=batch)
+    fused = perf.log_softmax_nll(logits, targets)
+    with perf.fusion(False):
+        unfused = nn.cross_entropy(logits, targets)
+    _assert_grads_match(fused, unfused, [logits], dtype)
+
+
+def test_log_softmax_nll_gradcheck():
+    rng = np.random.default_rng(13)
+    logits = _t(rng, (4, 5), np.float64, scale=2.0)
+    targets = np.array([0, 4, 2, 2])
+    check_gradients(lambda t: perf.log_softmax_nll(t, targets), [logits])
+
+
+# ----------------------------------------------------------------------
+# End to end: whole models under both paths
+# ----------------------------------------------------------------------
+def test_fusion_toggle_is_scoped():
+    assert perf.fusion_enabled()
+    with perf.fusion(False):
+        assert not perf.fusion_enabled()
+        with perf.fusion(True):
+            assert perf.fusion_enabled()
+        assert not perf.fusion_enabled()
+    assert perf.fusion_enabled()

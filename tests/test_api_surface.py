@@ -14,6 +14,9 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.eval",
+    "repro.perf",
+    "repro.perf.profiler",
+    "repro.perf.fused",
     "repro.utils",
     "repro.serve",
     "repro.serving",
