@@ -22,10 +22,9 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core import EMBSRConfig, build_embsr_weighted_ops, filter_operations
+from repro.core import filter_operations
 from repro.data import JD_OPERATIONS
 from repro.eval import ExperimentRunner
-from repro.eval.trainer import NeuralRecommender
 
 FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
 METRICS = ["H@10", "H@20", "M@10", "M@20"]
@@ -38,19 +37,9 @@ def test_ext_operation_weighting(runners, datasets, report, benchmark):
 
     measured = {"EMBSR": runner.run("EMBSR", verbose=True).metrics}
 
-    # Weighted: EMBSR + learned per-operation importance.
-    def build_weighted(ds):
-        return build_embsr_weighted_ops(
-            EMBSRConfig(
-                num_items=ds.num_items,
-                num_ops=ds.num_operations,
-                dim=runner.config.dim,
-                dropout=runner.config.dropout,
-                seed=runner.config.seed,
-            )
-        )
-
-    weighted = NeuralRecommender("EMBSR-W", build_weighted, runner.config.train_config())
+    # Weighted: EMBSR + learned per-operation importance (registered as
+    # the "EMBSR-W" extension model).
+    weighted = runner.build("EMBSR-W")
     weighted.fit(dataset)
     scores, targets = runner.score_on_test(weighted)
     from repro.eval.metrics import evaluate_scores

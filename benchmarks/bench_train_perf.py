@@ -84,7 +84,7 @@ def build_model(dataset, name: str, dim: int, seed: int) -> nn.Module:
         dataset, ExperimentConfig(dim=dim, dropout=0.1, seed=seed)
     )
     recommender = runner.build(name)
-    return recommender._factory(dataset)
+    return recommender.build_model()
 
 
 def train_steps(model, batches, steps: int, lr: float = 0.003, grad_clip: float = 5.0):

@@ -23,6 +23,12 @@ Subpackages
 ``repro.eval``
     HR@K / MRR@K metrics, trainer, evaluator, experiment runner,
     significance testing.
+``repro.registry``
+    Declarative ``ModelSpec`` + the registered construction path for
+    every system (docs/registry.md).
+``repro.artifacts``
+    Self-describing model bundles: spec + vocabulary + weights +
+    metadata in one atomic ``.npz``.
 ``repro.perf``
     Op-level profiler and the fused-kernel fast path (docs/performance.md).
 """

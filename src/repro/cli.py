@@ -4,22 +4,27 @@ Usage (after ``python setup.py develop``):
 
 .. code-block:: bash
 
-    python -m repro.cli generate --config jd-appliances --sessions 2000 --out sessions.jsonl
-    python -m repro.cli prepare  --config jd-appliances --input sessions.jsonl --out dataset.json
-    python -m repro.cli train    --dataset dataset.json --model EMBSR --epochs 8 --checkpoint embsr.npz
-    python -m repro.cli train    --dataset dataset.json --model EMBSR --resume embsr.npz.state.npz
-    python -m repro.cli evaluate --dataset dataset.json --model EMBSR --checkpoint embsr.npz
-    python -m repro.cli compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR
-    python -m repro.cli profile  --dataset dataset.json --model EMBSR --steps 5
-    python -m repro.cli serve    --config jd-appliances --model STAMP --port 8080
+    repro generate --config jd-appliances --sessions 2000 --out sessions.jsonl
+    repro prepare  --config jd-appliances --input sessions.jsonl --out dataset.json
+    repro models
+    repro train    --dataset dataset.json --model EMBSR --epochs 8 --artifact embsr.npz
+    repro train    --dataset dataset.json --model EMBSR --resume embsr.npz.state.npz
+    repro evaluate --dataset dataset.json --artifact embsr.npz
+    repro compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR --artifact-dir out/
+    repro profile  --dataset dataset.json --model EMBSR --steps 5
+    repro serve    --artifact embsr.npz --port 8080
 
-The ``compare`` command reproduces a slice of the paper's Table III for any
-subset of the twelve systems. ``profile`` runs a few training steps under
-the op-level profiler (``repro.perf.OpProfiler``) and prints where forward
-and backward time goes (see ``docs/performance.md``). ``serve`` trains (or loads) a model on a
-synthetic dataset and exposes it through the micro-batching HTTP gateway
-(``repro.serving``): ``POST /events``, ``GET /recommend``, ``GET /healthz``,
-``GET /metrics``.
+(Also runnable as ``python -m repro.cli ...`` without installing.)
+
+``models`` lists every name the registry resolves. The ``compare`` command
+reproduces a slice of the paper's Table III for any subset of the twelve
+systems. ``profile`` runs a few training steps under the op-level profiler
+(``repro.perf.OpProfiler``) and prints where forward and backward time goes
+(see ``docs/performance.md``). ``serve`` exposes a model through the
+micro-batching HTTP gateway (``repro.serving``): ``POST /events``,
+``GET /recommend``, ``GET /healthz``, ``GET /metrics`` — from a
+self-describing ``--artifact`` bundle (no dataset needed, see
+``docs/registry.md``) or by training on synthetic data first.
 """
 
 from __future__ import annotations
@@ -69,6 +74,10 @@ def _add_prepare(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_models(sub: argparse._SubParsersAction) -> None:
+    sub.add_parser("models", help="list every model name the registry resolves")
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train one system and save a checkpoint")
     p.add_argument("--dataset", required=True)
@@ -78,7 +87,14 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--lr", type=float, default=0.005)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dtype", choices=["float32", "float64"], default="float64")
-    p.add_argument("--checkpoint", default=None, help="save parameters here (.npz)")
+    p.add_argument("--checkpoint", default=None, help="save bare parameters here (.npz)")
+    p.add_argument(
+        "--artifact",
+        default=None,
+        metavar="PATH",
+        help="save a self-describing artifact bundle (spec + vocab + weights); "
+        "serveable with no dataset via `repro serve --artifact`",
+    )
     p.add_argument(
         "--checkpoint-every",
         type=int,
@@ -101,12 +117,16 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
 
 
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("evaluate", help="evaluate a trained checkpoint")
+    p = sub.add_parser("evaluate", help="evaluate a trained checkpoint or artifact")
     p.add_argument("--dataset", required=True)
     p.add_argument("--model", default="EMBSR")
     p.add_argument("--dim", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--checkpoint", required=True)
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--checkpoint", default=None, help="bare parameter .npz (needs --model/--dim)")
+    group.add_argument(
+        "--artifact", default=None, help="self-describing bundle; model/dim come from it"
+    )
 
 
 def _add_compare(sub: argparse._SubParsersAction) -> None:
@@ -118,6 +138,12 @@ def _add_compare(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--lr", type=float, default=0.005)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dtype", choices=["float32", "float64"], default="float64")
+    p.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="save an artifact bundle per trained (neural) model into this directory",
+    )
 
 
 def _add_profile(sub: argparse._SubParsersAction) -> None:
@@ -130,12 +156,24 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--lr", type=float, default=0.003)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dtype", choices=["float32", "float64"], default="float64")
+    p.add_argument(
+        "--artifact",
+        default=None,
+        metavar="PATH",
+        help="profile the model from this artifact (spec + weights) instead of building fresh",
+    )
     p.add_argument("--no-fusion", action="store_true", help="profile the unfused composed ops")
     p.add_argument("--json", default=None, metavar="PATH", help="also dump the profile as JSON")
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("serve", help="train (or load) a model and serve it over HTTP")
+    p = sub.add_parser("serve", help="serve a model over HTTP (artifact, checkpoint, or fresh-trained)")
+    p.add_argument(
+        "--artifact",
+        default=None,
+        metavar="PATH",
+        help="boot the gateway from this artifact bundle — no dataset is generated or loaded",
+    )
     p.add_argument("--config", choices=sorted(_CONFIGS), default="jd-appliances")
     p.add_argument("--sessions", type=int, default=1000, help="synthetic sessions to train on")
     p.add_argument("--model", default="STAMP")
@@ -157,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_generate(sub)
     _add_prepare(sub)
+    _add_models(sub)
     _add_train(sub)
     _add_evaluate(sub)
     _add_compare(sub)
@@ -208,6 +247,18 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
     return ExperimentRunner(dataset, config)
 
 
+def _cmd_models(args) -> int:
+    from .registry import FIXED_BETA_PREFIX, registered_models
+
+    rows = [
+        [entry.name, entry.kind, entry.family, ", ".join(entry.param_fields) or "-", entry.description]
+        for entry in registered_models()
+    ]
+    print(render_table(["name", "kind", "family", "params", "description"], rows))
+    print(f"\npattern: {FIXED_BETA_PREFIX}<float>  (Fig. 6 constant fusion weight)")
+    return 0
+
+
 def _cmd_train(args) -> int:
     import pathlib
 
@@ -227,39 +278,49 @@ def _cmd_train(args) -> int:
     print(f"{args.model} test metrics: {pretty}")
     if getattr(args, "train_state_path", None):
         print(f"training state saved to {args.train_state_path}")
-    if args.checkpoint:
+    if args.checkpoint or args.artifact:
         recommender = result.recommender
         if not isinstance(recommender, NeuralRecommender):
-            print(f"{args.model} has no parameters to checkpoint", file=sys.stderr)
+            print(f"{args.model} has no parameters to persist", file=sys.stderr)
             return 1
-        saved = save_checkpoint(recommender.model, args.checkpoint)
-        print(f"checkpoint saved to {pathlib.Path(saved).resolve()}")
+        if args.checkpoint:
+            saved = save_checkpoint(recommender.model, args.checkpoint)
+            print(f"checkpoint saved to {pathlib.Path(saved).resolve()}")
+        if args.artifact:
+            recommender.save(args.artifact, metrics=result.metrics)
+            print(f"artifact saved to {pathlib.Path(args.artifact).resolve()}")
     return 0
 
 
 def _cmd_evaluate(args) -> int:
     from .eval.metrics import evaluate_scores
     from .eval.trainer import NeuralRecommender
-    from .nn import load_checkpoint
 
-    runner = _runner(args, epochs=0)
-    recommender = runner.build(args.model)
-    if not isinstance(recommender, NeuralRecommender):
-        print(f"{args.model} is not a neural model", file=sys.stderr)
-        return 1
-    # Build the architecture without training, then load the checkpoint.
-    from .eval.trainer import Trainer
-
-    model = recommender._factory(runner.dataset)
-    load_checkpoint(model, args.checkpoint)
-    trainer = Trainer(model, recommender.train_config)
-    scores, targets = trainer.predict(runner.dataset.test)
+    if args.artifact:
+        # The bundle carries model name, dims, and weights; the dataset only
+        # supplies the test examples to score.
+        dataset = load_prepared_dataset(args.dataset)
+        recommender = NeuralRecommender.from_artifact(args.artifact)
+        print(f"loaded {recommender.name} from {args.artifact}")
+    else:
+        runner = _runner(args, epochs=0)
+        dataset = runner.dataset
+        recommender = runner.build(args.model)
+        if not isinstance(recommender, NeuralRecommender):
+            print(f"{args.model} is not a neural model", file=sys.stderr)
+            return 1
+        recommender.load(dataset, args.checkpoint)
+    scores, targets = recommender.trainer.predict(dataset.test)
     metrics = evaluate_scores(scores, targets)
     print(render_table(["metric", "value (%)"], sorted(metrics.items())))
     return 0
 
 
 def _cmd_compare(args) -> int:
+    import pathlib
+
+    from .eval.trainer import NeuralRecommender
+
     runner = _runner(args)
     for name in args.models:
         runner.run(name, verbose=True)
@@ -270,6 +331,17 @@ def _cmd_compare(args) -> int:
         imp = improvement_table(measured, "EMBSR")
         print("\nEMBSR improvement over best competitor (%):")
         print(render_table(["metric", "Imp."], sorted(imp.items())))
+    if args.artifact_dir:
+        out = pathlib.Path(args.artifact_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in args.models:
+            recommender = runner.results[name].recommender
+            if not isinstance(recommender, NeuralRecommender):
+                print(f"{name}: non-parametric, no artifact written")
+                continue
+            path = out / f"{name.replace('=', '_')}.npz"
+            recommender.save(path, metrics=measured[name])
+            print(f"{name}: artifact saved to {path}")
     return 0
 
 
@@ -283,12 +355,17 @@ def _cmd_profile(args) -> int:
     from .perf import OpProfiler, fusion
 
     runner = _runner(args, epochs=0)
-    recommender = runner.build(args.model)
-    if not isinstance(recommender, NeuralRecommender):
-        print(f"{args.model} is not a neural model", file=sys.stderr)
-        return 1
+    if args.artifact:
+        recommender = NeuralRecommender.from_artifact(args.artifact)
+        args.model = recommender.name
+        args.dtype = recommender.spec.dtype
+    else:
+        recommender = runner.build(args.model)
+        if not isinstance(recommender, NeuralRecommender):
+            print(f"{args.model} is not a neural model", file=sys.stderr)
+            return 1
     with default_dtype(args.dtype), fusion(not args.no_fusion):
-        model = recommender._factory(runner.dataset)
+        model = recommender.model if args.artifact else recommender.build_model()
         optimizer = Adam(model.parameters(), lr=args.lr)
         loader = DataLoader(
             runner.dataset.train, batch_size=args.batch_size, shuffle=True, seed=args.seed
@@ -326,6 +403,27 @@ def _cmd_serve(args) -> int:
     from .serve import RecommenderService
     from .serving import GatewayConfig, PopularityFallback, ServingGateway
 
+    gateway_config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        deadline_ms=args.deadline_ms,
+    )
+    if args.artifact:
+        # Self-describing bundle: model, vocabulary, and popularity fallback
+        # all come from the one file — no dataset is generated or loaded.
+        try:
+            gateway = ServingGateway.from_artifact(args.artifact, config=gateway_config)
+        except FileNotFoundError:
+            print(f"artifact not found: {args.artifact}", file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"cannot serve {args.artifact}: {error}", file=sys.stderr)
+            return 1
+        model_name = gateway.service.recommender.name
+        return _serve_loop(args, gateway, model_name)
+
     config_fn, min_support = _CONFIGS[args.config]
     cfg = config_fn()
     sessions = generate_dataset(cfg, args.sessions, seed=args.seed)
@@ -352,19 +450,15 @@ def _cmd_serve(args) -> int:
     else:
         recommender = runner.run(args.model, verbose=True).recommender
     service = RecommenderService(recommender, dataset.vocab, num_ops=dataset.num_operations)
-    gateway = ServingGateway(
-        service,
-        GatewayConfig(
-            host=args.host,
-            port=args.port,
-            max_batch_size=args.max_batch_size,
-            max_wait_ms=args.max_wait_ms,
-            deadline_ms=args.deadline_ms,
-        ),
-        fallback=PopularityFallback(dataset),
-    )
+    gateway = ServingGateway(service, gateway_config, fallback=PopularityFallback(dataset))
+    return _serve_loop(args, gateway, args.model)
+
+
+def _serve_loop(args, gateway, model_name: str) -> int:
+    import time
+
     gateway.start()
-    print(f"serving {args.model} on {gateway.address}")
+    print(f"serving {model_name} on {gateway.address}")
     print(f"  POST {gateway.address}/events      {{session_id, item, operation}}")
     print(f"  GET  {gateway.address}/recommend?session_id=...&k=10")
     print(f"  GET  {gateway.address}/healthz")
@@ -385,6 +479,7 @@ def _cmd_serve(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "prepare": _cmd_prepare,
+    "models": _cmd_models,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "compare": _cmd_compare,

@@ -13,6 +13,7 @@ from .gnn import StarMultigraphGNN
 from .op_encoder import MicroOpEncoder
 from .variants import (
     VARIANT_BUILDERS,
+    VARIANT_SWITCHES,
     build_embsr,
     build_embsr_nf,
     build_embsr_ng,
@@ -37,6 +38,7 @@ __all__ = [
     "ConcatMLP",
     "ScorePredictor",
     "VARIANT_BUILDERS",
+    "VARIANT_SWITCHES",
     "build_embsr",
     "build_embsr_ns",
     "build_embsr_ng",

@@ -32,118 +32,112 @@ __all__ = [
     "build_sgnn_dyadic",
     "build_fixed_beta",
     "VARIANT_BUILDERS",
+    "VARIANT_SWITCHES",
 ]
+
+# The architecture switches behind every named variant, as plain data so the
+# model registry (repro.registry) can serialize them into ModelSpecs. The
+# builder functions below are thin wrappers over this table.
+VARIANT_SWITCHES: dict[str, dict] = {
+    "EMBSR": dict(
+        encoder="star_gnn",
+        use_op_gru=True,
+        attention="dyadic",
+        attention_level="micro",
+        fusion="gate",
+    ),
+    "EMBSR-NS": dict(encoder="star_gnn", use_op_gru=True, attention="none", fusion="gate"),
+    "EMBSR-NG": dict(
+        encoder="none", attention="dyadic", attention_level="micro", fusion="gate"
+    ),
+    "EMBSR-NF": dict(
+        encoder="star_gnn",
+        use_op_gru=True,
+        attention="dyadic",
+        attention_level="micro",
+        fusion="concat",
+    ),
+    "SGNN-Self": dict(
+        encoder="star_gnn",
+        use_op_gru=False,
+        attention="plain",
+        attention_level="macro",
+        fusion="gate",
+    ),
+    "SGNN-Seq-Self": dict(
+        encoder="star_gnn",
+        use_op_gru=True,
+        attention="plain",
+        attention_level="macro",
+        fusion="gate",
+    ),
+    "RNN-Self": dict(
+        encoder="rnn", attention="plain", attention_level="micro", fusion="gate"
+    ),
+    "SGNN-Abs-Self": dict(
+        encoder="star_gnn",
+        use_op_gru=False,
+        attention="absolute",
+        attention_level="micro",
+        fusion="gate",
+    ),
+    "SGNN-Dyadic": dict(
+        encoder="star_gnn",
+        use_op_gru=False,
+        attention="dyadic",
+        attention_level="micro",
+        fusion="gate",
+    ),
+}
+
+
+def _build_variant(name: str, config: EMBSRConfig) -> EMBSR:
+    return EMBSR(config.variant(**VARIANT_SWITCHES[name]))
 
 
 def build_embsr(config: EMBSRConfig) -> EMBSR:
     """Full EMBSR (both micro-behavior patterns + fusion gate)."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn",
-            use_op_gru=True,
-            attention="dyadic",
-            attention_level="micro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("EMBSR", config)
 
 
 def build_embsr_ns(config: EMBSRConfig) -> EMBSR:
     """EMBSR-NS: drop the operation-aware self-attention layer."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn", use_op_gru=True, attention="none", fusion="gate"
-        )
-    )
+    return _build_variant("EMBSR-NS", config)
 
 
 def build_embsr_ng(config: EMBSRConfig) -> EMBSR:
     """EMBSR-NG: drop the entire GNN layer (incl. the micro-op GRU)."""
-    return EMBSR(
-        config.variant(
-            encoder="none",
-            attention="dyadic",
-            attention_level="micro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("EMBSR-NG", config)
 
 
 def build_embsr_nf(config: EMBSRConfig) -> EMBSR:
     """EMBSR-NF: concatenation + MLP instead of the fusion gate."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn",
-            use_op_gru=True,
-            attention="dyadic",
-            attention_level="micro",
-            fusion="concat",
-        )
-    )
+    return _build_variant("EMBSR-NF", config)
 
 
 def build_sgnn_self(config: EMBSRConfig) -> EMBSR:
     """SGNN-Self: macro items only — star GNN + standard self-attention."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn",
-            use_op_gru=False,
-            attention="plain",
-            attention_level="macro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("SGNN-Self", config)
 
 
 def build_sgnn_seq_self(config: EMBSRConfig) -> EMBSR:
     """SGNN-Seq-Self: SGNN-Self + sequential micro-op encoding in the GNN."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn",
-            use_op_gru=True,
-            attention="plain",
-            attention_level="macro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("SGNN-Seq-Self", config)
 
 
 def build_rnn_self(config: EMBSRConfig) -> EMBSR:
     """RNN-Self: GRU over concatenated item+op embeddings, plain attention."""
-    return EMBSR(
-        config.variant(
-            encoder="rnn",
-            attention="plain",
-            attention_level="micro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("RNN-Self", config)
 
 
 def build_sgnn_abs_self(config: EMBSRConfig) -> EMBSR:
     """SGNN-Abs-Self: absolute operation embeddings, standard attention."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn",
-            use_op_gru=False,
-            attention="absolute",
-            attention_level="micro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("SGNN-Abs-Self", config)
 
 
 def build_sgnn_dyadic(config: EMBSRConfig) -> EMBSR:
     """SGNN-Dyadic: dyadic relational encoding without the micro-op GRU."""
-    return EMBSR(
-        config.variant(
-            encoder="star_gnn",
-            use_op_gru=False,
-            attention="dyadic",
-            attention_level="micro",
-            fusion="gate",
-        )
-    )
+    return _build_variant("SGNN-Dyadic", config)
 
 
 def build_fixed_beta(config: EMBSRConfig, beta: float) -> EMBSR:

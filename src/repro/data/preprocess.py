@@ -40,6 +40,26 @@ class ItemVocab:
         self._to_dense = {raw: i + 1 for i, raw in enumerate(sorted(set(raw_ids)))}
         self._to_raw = {v: k for k, v in self._to_dense.items()}
 
+    @classmethod
+    def from_ordered(cls, raw_ids: list[int]) -> "ItemVocab":
+        """Rebuild a vocabulary whose dense order is already decided.
+
+        ``raw_ids[i]`` becomes dense id ``i + 1`` verbatim — no sorting, no
+        dedup — so a vocabulary persisted in dense order (e.g. inside a
+        model artifact) round-trips to the exact id mapping the weights
+        were trained with.
+        """
+        if len(set(raw_ids)) != len(raw_ids):
+            raise ValueError("from_ordered requires unique raw ids")
+        vocab = cls.__new__(cls)
+        vocab._to_dense = {raw: i + 1 for i, raw in enumerate(raw_ids)}
+        vocab._to_raw = {v: k for k, v in vocab._to_dense.items()}
+        return vocab
+
+    def ordered_raw_ids(self) -> list[int]:
+        """Raw ids in dense order (dense id ``i + 1`` -> element ``i``)."""
+        return [self._to_raw[i] for i in range(1, len(self._to_raw) + 1)]
+
     def __len__(self) -> int:
         """Number of real items (excluding padding)."""
         return len(self._to_dense)

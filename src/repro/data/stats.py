@@ -1,16 +1,22 @@
-"""Dataset statistics — the Table II analogue.
+"""Dataset statistics — the Table II analogue, plus derived summaries.
 
 The paper reports, per dataset: number of train / validation / test
 sessions, number of items, and total micro-behavior count.
+:func:`dataset_fingerprint` and :func:`popularity_ranking` are the two
+summaries model artifacts embed so a checkpoint can name the data it was
+trained on and serve a degraded popularity ranking with no dataset on disk.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections import Counter
 from dataclasses import dataclass
 
 from .preprocess import PreparedDataset
 
-__all__ = ["DatasetStats", "compute_stats"]
+__all__ = ["DatasetStats", "compute_stats", "dataset_fingerprint", "popularity_ranking"]
 
 
 @dataclass(frozen=True)
@@ -57,3 +63,41 @@ def compute_stats(dataset: PreparedDataset) -> DatasetStats:
         avg_macro_len=macro / max(len(all_examples), 1),
         avg_ops_per_item=micro / max(macro, 1),
     )
+
+
+def dataset_fingerprint(dataset: PreparedDataset) -> str:
+    """Stable short hash identifying a prepared dataset's contents.
+
+    Covers the vocabulary (in dense order) and, per split, the example
+    count plus a digest of every example's items/ops/target — enough that
+    any re-preprocessing which would invalidate a trained checkpoint
+    changes the fingerprint, while staying cheap for large corpora.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode())
+    digest.update(json.dumps(dataset.vocab.ordered_raw_ids()).encode())
+    digest.update(json.dumps(list(dataset.operations.names)).encode())
+    for split_name, examples in sorted(dataset.splits().items()):
+        digest.update(f"{split_name}:{len(examples)}".encode())
+        for ex in examples:
+            digest.update(
+                json.dumps([ex.macro_items, ex.op_sequences, ex.target]).encode()
+            )
+    return digest.hexdigest()[:16]
+
+
+def popularity_ranking(dataset: PreparedDataset, limit: int | None = None) -> list[int]:
+    """Raw item ids of the train split, most popular first.
+
+    The tally counts every macro step plus each session's target — the same
+    weighting :class:`~repro.serving.PopularityFallback` has always used —
+    so a ranking embedded in an artifact answers degraded requests exactly
+    like one computed from the dataset.
+    """
+    tally: Counter[int] = Counter()
+    for example in dataset.train:
+        tally.update(example.macro_items)
+        if example.target is not None:
+            tally[example.target] += 1
+    ranked = tally.most_common(limit)
+    return [dataset.vocab.decode(dense) for dense, _count in ranked]

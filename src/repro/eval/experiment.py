@@ -1,32 +1,34 @@
 """Experiment runner: trains/evaluates named models on prepared datasets.
 
-This is the engine behind every benchmark in ``benchmarks/``: it knows how
-to construct all twelve systems of Table III (plus the analysis variants of
-Tables IV and Figs. 4-6), fit them on a dataset, and produce the paper's
-metric rows. Raw score matrices are retained so significance tests can be
-run between any two fitted systems.
+This is the engine behind every benchmark in ``benchmarks/``: it resolves
+all twelve systems of Table III (plus the analysis variants of Tables IV
+and Figs. 4-6) through :mod:`repro.registry`, fits them on a dataset, and
+produces the paper's metric rows. Raw score matrices are retained so
+significance tests can be run between any two fitted systems.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import EMBSRConfig, VARIANT_BUILDERS, build_fixed_beta
 from ..data.dataset import DataLoader
 from ..data.preprocess import PreparedDataset
-from ..nn import Module
+from ..registry import REGISTRY, TABLE3_MODELS
 from .metrics import evaluate_scores
 from .recommender import Recommender
-from .trainer import NeuralRecommender, TrainConfig
+from .trainer import TrainConfig
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentRunner", "MODEL_NAMES"]
 
-MACRO_BASELINES = ["S-POP", "SKNN", "NARM", "STAMP", "SR-GNN", "GC-SAN", "BERT4Rec", "SGNN-HN"]
-MICRO_BASELINES = ["RIB", "HUP", "MKM-SR"]
-MODEL_NAMES = MACRO_BASELINES + MICRO_BASELINES + ["EMBSR"]
+MODEL_NAMES = list(TABLE3_MODELS)
+
+# TrainConfig fields that are *runtime-only* — machine paths and verbosity
+# have no business inside a portable ModelSpec.
+_NON_PORTABLE_TRAIN_FIELDS = frozenset(
+    {"checkpoint_path", "checkpoint_every", "resume_from", "verbose"}
+)
 
 
 @dataclass
@@ -83,80 +85,40 @@ class ExperimentRunner:
         self.results: dict[str, ExperimentResult] = {}
 
     # ------------------------------------------------------------------
-    def _embsr_config(self) -> EMBSRConfig:
+    def _portable_train(self) -> dict:
+        """The portable slice of the train config, for embedding in specs."""
+        from dataclasses import asdict
+
+        return {
+            k: v
+            for k, v in asdict(self.config.train_config()).items()
+            if k not in _NON_PORTABLE_TRAIN_FIELDS
+        }
+
+    def spec_for(self, name: str):
+        """The :class:`~repro.registry.ModelSpec` this runner builds for ``name``."""
         cfg = self.config
-        return EMBSRConfig(
+        return REGISTRY.spec_for(
+            name,
             num_items=self.dataset.num_items,
             num_ops=self.dataset.num_operations,
             dim=cfg.dim,
             dropout=cfg.dropout,
-            w_k=cfg.w_k,
             seed=cfg.seed,
+            w_k=cfg.w_k,
+            dtype=cfg.dtype,
+            train=self._portable_train(),
         )
 
     def build(self, name: str) -> Recommender:
         """Construct the (unfitted) system registered under ``name``.
 
-        Accepts all Table III names, every variant in
-        ``repro.core.variants.VARIANT_BUILDERS``, and ``EMBSR-beta=<x>``
-        for the Fig. 6 fixed-fusion sweep.
+        Resolution is delegated to :mod:`repro.registry`: all Table III
+        names, every EMBSR analysis variant, and the ``EMBSR-beta=<x>``
+        pattern of the Fig. 6 fixed-fusion sweep. Unknown names raise
+        ``KeyError`` listing what *is* registered.
         """
-        # Imported here (not at module top) to avoid a circular import:
-        # baseline modules themselves import repro.eval.recommender.
-        from ..baselines import (
-            BERT4Rec,
-            GCSAN,
-            HUP,
-            MKMSR,
-            NARM,
-            RIB,
-            SGNNHN,
-            SKNN,
-            SPop,
-            SRGNN,
-            STAMP,
-        )
-
-        cfg = self.config
-        ds = self.dataset
-        d, drop, seed = cfg.dim, cfg.dropout, cfg.seed
-
-        simple: dict[str, Callable[[], Recommender]] = {
-            "S-POP": SPop,
-            "SKNN": SKNN,
-        }
-        if name in simple:
-            return simple[name]()
-
-        neural: dict[str, Callable[[PreparedDataset], Module]] = {
-            "NARM": lambda ds: NARM(ds.num_items, dim=d, dropout=drop, seed=seed),
-            "STAMP": lambda ds: STAMP(ds.num_items, dim=d, dropout=drop, seed=seed),
-            "SR-GNN": lambda ds: SRGNN(ds.num_items, dim=d, dropout=drop, seed=seed),
-            "GC-SAN": lambda ds: GCSAN(ds.num_items, dim=d, dropout=drop, seed=seed),
-            "BERT4Rec": lambda ds: BERT4Rec(ds.num_items, dim=d, dropout=drop, seed=seed),
-            "SGNN-HN": lambda ds: SGNNHN(ds.num_items, dim=d, w_k=cfg.w_k, dropout=drop, seed=seed),
-            "RIB": lambda ds: RIB(ds.num_items, ds.num_operations, dim=d, dropout=drop, seed=seed),
-            "HUP": lambda ds: HUP(ds.num_items, ds.num_operations, dim=d, dropout=drop, seed=seed),
-            "MKM-SR": lambda ds: MKMSR(ds.num_items, ds.num_operations, dim=d, dropout=drop, seed=seed),
-        }
-        if name in neural:
-            return NeuralRecommender(name, neural[name], cfg.train_config())
-
-        if name in VARIANT_BUILDERS:
-            builder = VARIANT_BUILDERS[name]
-            return NeuralRecommender(
-                name, lambda ds: builder(self._embsr_config()), cfg.train_config()
-            )
-
-        if name.startswith("EMBSR-beta="):
-            beta = float(name.split("=", 1)[1])
-            return NeuralRecommender(
-                name,
-                lambda ds: build_fixed_beta(self._embsr_config(), beta),
-                cfg.train_config(),
-            )
-
-        raise KeyError(f"unknown model name: {name!r}")
+        return REGISTRY.build(self.spec_for(name), train=self.config.train_config())
 
     # ------------------------------------------------------------------
     def score_on_test(self, recommender: Recommender) -> tuple[np.ndarray, np.ndarray]:

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..data.dataset import SessionBatch
 from ..data.preprocess import PreparedDataset
+from .topk import top_k_indices
 
 __all__ = ["Recommender"]
 
@@ -39,7 +40,11 @@ class Recommender(abc.ABC):
         Parametric systems override this (see ``NeuralRecommender.save``);
         non-parametric ones (S-POP, SKNN) re-index in seconds and opt out.
         """
-        raise NotImplementedError(f"{self.name} does not support checkpointing")
+        raise NotImplementedError(
+            f"{self.name} is non-parametric and does not write artifacts: "
+            "it has no weights to persist — re-fit() it on the dataset "
+            "instead (seconds, not epochs). See docs/registry.md."
+        )
 
     def load(self, dataset: PreparedDataset, path: str | pathlib.Path) -> "Recommender":
         """Restore state saved by :meth:`save`; the inverse round-trip.
@@ -48,10 +53,12 @@ class Recommender(abc.ABC):
         the checkpoint was trained with — loading never touches the train
         split, so a gateway can boot from disk in milliseconds.
         """
-        raise NotImplementedError(f"{self.name} does not support checkpointing")
+        raise NotImplementedError(
+            f"{self.name} is non-parametric and cannot load artifacts: "
+            "nothing was ever saved for it — re-fit() it on the dataset "
+            "instead (seconds, not epochs). See docs/registry.md."
+        )
 
     def top_k(self, batch: SessionBatch, k: int) -> np.ndarray:
         """Dense ids of the top-``k`` items per session, best first."""
-        scores = self.score_batch(batch)
-        order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
-        return order + 1
+        return top_k_indices(self.score_batch(batch), k) + 1

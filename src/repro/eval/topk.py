@@ -1,0 +1,64 @@
+"""Exact top-k selection with stable, index-ascending tie-breaking.
+
+Every ranked surface in the repository — ``Recommender.top_k``, the live
+:class:`~repro.serve.RecommenderService`, the HR/MRR metrics — needs "the
+k best item indices, best first, earliest index wins ties". A full
+``np.argsort`` of the score matrix is O(n log n) per row even when k is
+tiny; :func:`top_k_indices` gets the identical answer in O(n + k log k)
+per row via ``np.argpartition``-style selection, then a sort of only the k
+survivors. The equivalence (including tie order) is asserted in
+``tests/eval/test_topk.py`` and measured in ``benchmarks/bench_supp3_topk.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices"]
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries per row, best first.
+
+    Exactly equivalent to ``np.argsort(-scores, axis=-1, kind="stable")[..., :k]``
+    — equal scores are returned in ascending index order — but without
+    sorting the full row when ``k < n``.
+
+    Accepts a 1-D vector or a 2-D ``[rows, n]`` matrix; the result keeps
+    the input's leading shape with a final axis of ``min(k, n)`` (``k <= 0``
+    yields an empty final axis).
+    """
+    scores = np.asarray(scores)
+    if scores.ndim not in (1, 2):
+        raise ValueError(f"scores must be 1-D or 2-D, got shape {scores.shape}")
+    squeeze = scores.ndim == 1
+    if squeeze:
+        scores = scores[None, :]
+    rows, n = scores.shape
+
+    if k <= 0:
+        result = np.empty((rows, 0), dtype=np.int64)
+        return result[0] if squeeze else result
+    if k >= n:
+        result = np.argsort(-scores, axis=1, kind="stable")
+        return result[0] if squeeze else result
+
+    # Value of the k-th largest entry per row (ties may straddle it).
+    kth = np.partition(scores, n - k, axis=1)[:, n - k : n - k + 1]
+    greater = scores > kth
+    # Fill the remaining slots with the *lowest-index* entries equal to the
+    # threshold — that is precisely the stable argsort's tie order.
+    need = k - greater.sum(axis=1, keepdims=True)
+    equal = scores == kth
+    take_equal = equal & (np.cumsum(equal, axis=1) <= need)
+
+    # np.nonzero walks row-major, so each row's k candidates come out in
+    # ascending column order; the reshape is safe because every row has
+    # exactly k True cells by construction.
+    candidates = np.nonzero(greater | take_equal)[1].reshape(rows, k)
+    candidate_scores = np.take_along_axis(scores, candidates, axis=1)
+    # Stable sort of k ascending-index candidates by descending score keeps
+    # equal-score candidates in ascending index order.
+    order = np.argsort(-candidate_scores, axis=1, kind="stable")
+    result = np.take_along_axis(candidates, order, axis=1)
+    return result[0] if squeeze else result

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import asdict, dataclass
-from typing import Callable
 
 import numpy as np
 
@@ -55,6 +54,10 @@ _RESUME_CRITICAL_FIELDS = (
     "dtype",
 )
 
+# Popularity rankings embedded in artifacts are capped so an artifact for a
+# huge catalogue stays small; degraded serving only ever pages the head.
+_POPULARITY_LIMIT = 1024
+
 
 @dataclass
 class TrainConfig:
@@ -90,11 +93,18 @@ class EpochStats:
 
 
 class Trainer:
-    """Fits a ``Module`` that maps :class:`SessionBatch` -> logits."""
+    """Fits a ``Module`` that maps :class:`SessionBatch` -> logits.
 
-    def __init__(self, model: Module, config: TrainConfig):
+    ``spec`` optionally records the architecture identity (a
+    :class:`~repro.registry.ModelSpec` dict) inside every training-state
+    checkpoint, so resuming with a differently-built model fails with a
+    config diff instead of a parameter shape mismatch deep in NumPy.
+    """
+
+    def __init__(self, model: Module, config: TrainConfig, spec: dict | None = None):
         self.model = model
         self.config = config
+        self.spec = spec
         self.history: list[EpochStats] = []
 
     # ------------------------------------------------------------------
@@ -111,8 +121,26 @@ class Trainer:
         the saved run so a resumed run cannot silently diverge from it.
         """
         state = load_training_state(path)
+        self._validate_resume_spec(state.spec, path)
         self._validate_resume_config(state.config, path)
         return self._run(dataset, state=state)
+
+    def _validate_resume_spec(self, saved_spec: dict | None, path) -> None:
+        """Architecture compatibility: spec recorded at save vs. ours now."""
+        if saved_spec is None or self.spec is None:
+            return  # one side has no spec (hand-built Trainer); shapes still checked
+        from ..registry import ModelSpec
+
+        mismatched = ModelSpec.from_dict(self.spec).architecture_mismatch(saved_spec)
+        if mismatched:
+            detail = ", ".join(
+                f"{name}: saved={was[1]!r} != current={was[0]!r}"
+                for name, was in sorted(mismatched.items())
+            )
+            raise ValueError(
+                f"cannot resume from {path}: the checkpoint was written by a "
+                f"different architecture ({detail})"
+            )
 
     def _validate_resume_config(self, saved: dict, path) -> None:
         current = asdict(self.config)
@@ -189,6 +217,7 @@ class Trainer:
                     history=[asdict(h) for h in self.history],
                     epoch_losses=[float(x) for x in losses],
                     config=asdict(self.config),
+                    spec=self.spec,
                 ),
             )
 
@@ -273,13 +302,18 @@ class Trainer:
         return evaluate_scores(scores, targets, ks=ks)
 
     def predict(self, examples, batch_size: int = 128) -> tuple[np.ndarray, np.ndarray]:
-        """Score matrix and target classes over ``examples`` (eval mode)."""
+        """Score matrix and target classes over ``examples`` (eval mode).
+
+        Runs under the configured dtype so standalone evaluation matches
+        the in-training validation passes exactly (a float32 model scored
+        in an ambient-float64 process would silently upcast).
+        """
         self.model.eval()
         loader = DataLoader(
             examples, batch_size=batch_size, max_ops_per_item=self.config.max_ops_per_item
         )
         all_scores, all_targets = [], []
-        with no_grad():
+        with default_dtype(self.config.dtype), no_grad():
             for batch in loader:
                 logits = self.model(batch)
                 all_scores.append(logits.data)
@@ -288,18 +322,23 @@ class Trainer:
 
 
 class NeuralRecommender(Recommender):
-    """Adapts a model factory + trainer into the :class:`Recommender` API."""
+    """Adapts a registry :class:`~repro.registry.ModelSpec` + trainer into
+    the :class:`Recommender` API.
 
-    def __init__(
-        self,
-        name: str,
-        model_factory: Callable[[PreparedDataset], Module],
-        train_config: TrainConfig | None = None,
-    ):
-        self.name = name
-        self._factory = model_factory
-        self.train_config = train_config or TrainConfig()
+    The spec is the *only* architecture description this class holds — no
+    closures, no factories — so a fitted model persists as a
+    self-describing artifact (:meth:`save`) and reconstructs from the
+    artifact path alone in any process (:meth:`from_artifact`).
+    """
+
+    def __init__(self, spec, train_config: TrainConfig | None = None):
+        self.spec = spec
+        self.name = spec.name
+        self.train_config = train_config or spec.train_config()
         self.trainer: Trainer | None = None
+        # Dataset context stashed at fit/load time so save() can write a
+        # complete artifact: {"item_ids", "name", "fingerprint", "popularity"}.
+        self._dataset_info: dict | None = None
 
     @property
     def model(self) -> Module:
@@ -307,38 +346,141 @@ class NeuralRecommender(Recommender):
             raise RuntimeError(f"{self.name} has not been fitted")
         return self.trainer.model
 
+    def build_model(self) -> Module:
+        """Construct the (untrained) module for this spec via the registry.
+
+        Respects the ambient default dtype; callers that care wrap this in
+        ``default_dtype(...)`` exactly like :meth:`fit` does.
+        """
+        from ..registry import build_module
+
+        return build_module(self.spec)
+
+    def _check_dims(self, dataset: PreparedDataset) -> None:
+        if (dataset.num_items, dataset.num_operations) != (self.spec.num_items, self.spec.num_ops):
+            raise ValueError(
+                f"{self.name} spec was sized for {self.spec.num_items} items / "
+                f"{self.spec.num_ops} operations but the dataset has "
+                f"{dataset.num_items} / {dataset.num_operations}"
+            )
+
+    def _stash_dataset_info(self, dataset: PreparedDataset) -> None:
+        from ..data.stats import dataset_fingerprint, popularity_ranking
+
+        self._dataset_info = {
+            "item_ids": dataset.vocab.ordered_raw_ids(),
+            "name": dataset.name,
+            "fingerprint": dataset_fingerprint(dataset),
+            "popularity": popularity_ranking(dataset, limit=_POPULARITY_LIMIT),
+        }
+
     def fit(self, dataset: PreparedDataset) -> "NeuralRecommender":
         # Build AND train under the configured dtype so parameters and every
         # intermediate share it (mixing dtypes silently upcasts to float64).
+        self._check_dims(dataset)
         with default_dtype(self.train_config.dtype):
-            model = self._factory(dataset)
-            self.trainer = Trainer(model, self.train_config)
+            model = self.build_model()
+            self.trainer = Trainer(model, self.train_config, spec=self.spec.to_dict())
             self.trainer.fit(dataset)
+        self._stash_dataset_info(dataset)
         return self
 
-    def save(self, path) -> None:
-        """Checkpoint the fitted model's parameters (``.npz`` archive)."""
-        from ..nn import save_checkpoint
+    # -- persistence: self-describing artifacts -------------------------
+    def save(self, path, metrics: dict | None = None) -> None:
+        """Write the fitted model as a self-describing artifact bundle.
 
-        save_checkpoint(self.model, path)
+        The bundle (spec + item vocabulary + weights + metadata) is enough
+        to reconstruct and serve this model in a process that has never
+        seen the dataset; see ``docs/registry.md`` for the layout.
+        """
+        from ..artifacts import save_artifact
+
+        model = self.model  # raises RuntimeError when unfitted
+        if self._dataset_info is None:
+            raise RuntimeError(
+                f"{self.name} has no dataset context to persist; fit() or "
+                "load() it before save()"
+            )
+        metadata = {
+            "model": self.name,
+            "dtype": self.train_config.dtype,
+            "metrics": dict(metrics or {}),
+            "dataset": {
+                "name": self._dataset_info["name"],
+                "fingerprint": self._dataset_info["fingerprint"],
+                "num_items": self.spec.num_items,
+                "num_ops": self.spec.num_ops,
+            },
+            "popularity": self._dataset_info["popularity"],
+            "history": [asdict(h) for h in self.trainer.history],
+        }
+        save_artifact(
+            path,
+            spec=self.spec,
+            weights=model.state_dict(),
+            item_ids=self._dataset_info["item_ids"],
+            metadata=metadata,
+        )
 
     def load(self, dataset: PreparedDataset, path) -> "NeuralRecommender":
-        """Rebuild the architecture for ``dataset`` and load a checkpoint.
+        """Restore weights saved for this architecture.
 
-        The factory must be constructed with the same switches (dim, seed,
-        ...) used at training time; ``load_checkpoint`` is strict about
-        names and shapes, so a mismatched architecture fails loudly.
+        Accepts both artifact bundles (validated against this spec — a
+        mismatched architecture raises ``ValueError`` naming the differing
+        fields) and legacy bare-parameter ``.npz`` checkpoints (strict
+        name/shape matching as before).
         """
-        from ..nn import load_checkpoint
+        from ..artifacts import try_load_artifact
 
-        with default_dtype(self.train_config.dtype):
-            model = self._factory(dataset)
-            load_checkpoint(model, path)
-        self.trainer = Trainer(model, self.train_config)
+        self._check_dims(dataset)
+        bundle = try_load_artifact(path)
+        if bundle is None:
+            from ..nn import load_checkpoint
+
+            with default_dtype(self.train_config.dtype):
+                model = self.build_model()
+                load_checkpoint(model, path)
+        else:
+            mismatched = self.spec.architecture_mismatch(bundle.spec)
+            if mismatched:
+                detail = ", ".join(
+                    f"{name}: artifact={theirs!r} != requested={ours!r}"
+                    for name, (ours, theirs) in sorted(mismatched.items())
+                )
+                raise ValueError(f"artifact {path} does not match this spec ({detail})")
+            with default_dtype(self.train_config.dtype):
+                model = self.build_model()
+                model.load_state_dict(bundle.weights)
+        self.trainer = Trainer(model, self.train_config, spec=self.spec.to_dict())
+        self._stash_dataset_info(dataset)
         return self
+
+    @classmethod
+    def from_artifact(cls, artifact, train_config: TrainConfig | None = None) -> "NeuralRecommender":
+        """Reconstruct a fitted recommender from an artifact — no dataset.
+
+        ``artifact`` is a :class:`~repro.artifacts.ModelArtifact` or a path
+        to one. This is the portability seam: the returned recommender
+        scores batches bit-identically to the process that saved it.
+        """
+        from ..artifacts import ModelArtifact, load_artifact
+
+        bundle = artifact if isinstance(artifact, ModelArtifact) else load_artifact(artifact)
+        recommender = cls(bundle.spec, train_config)
+        model = bundle.build_module()
+        recommender.trainer = Trainer(model, recommender.train_config, spec=bundle.spec.to_dict())
+        recommender._dataset_info = {
+            "item_ids": list(bundle.item_ids),
+            "name": bundle.metadata.get("dataset", {}).get("name", "unknown"),
+            "fingerprint": bundle.metadata.get("dataset", {}).get("fingerprint", ""),
+            "popularity": bundle.metadata.get("popularity", []),
+        }
+        return recommender
 
     def score_batch(self, batch: SessionBatch) -> np.ndarray:
         model = self.model
         model.eval()
-        with no_grad():
+        # Score under the training dtype: a float32 model must not upcast
+        # to float64 just because the ambient default says so.
+        with default_dtype(self.train_config.dtype), no_grad():
             return model(batch).data

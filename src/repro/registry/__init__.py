@@ -1,0 +1,54 @@
+"""Model registry: declarative, serializable model construction.
+
+Every system in the reproduction — EMBSR, its eleven Table III baselines,
+and every ablation/analysis variant — registers here as a
+:class:`RegisteredModel` that turns a name plus dataset dimensions into a
+:class:`ModelSpec`, and a pure builder that turns that spec into a
+recommender. Specs are frozen, JSON-serializable dataclasses, so a model's
+identity can be written into an artifact, shipped across a process
+boundary, and rebuilt bit-identically (``docs/registry.md``).
+
+>>> from repro import registry
+>>> spec = registry.spec_for("EMBSR", num_items=500, num_ops=10, dim=32)
+>>> recommender = registry.build(spec)          # unfitted NeuralRecommender
+>>> model = registry.build_module(spec)         # the bare nn.Module
+"""
+
+from .models import FIXED_BETA_PREFIX, TABLE3_MODELS
+from .registry import (
+    NEURAL,
+    NONPARAMETRIC,
+    REGISTRY,
+    ModelRegistry,
+    RegisteredModel,
+    build,
+    build_module,
+    model_names,
+    register_family,
+    register_model,
+    register_resolver,
+    registered_models,
+    resolve,
+    spec_for,
+)
+from .spec import ModelSpec
+
+__all__ = [
+    "ModelSpec",
+    "ModelRegistry",
+    "RegisteredModel",
+    "REGISTRY",
+    "NEURAL",
+    "NONPARAMETRIC",
+    "TABLE3_MODELS",
+    "FIXED_BETA_PREFIX",
+    "register_family",
+    "register_model",
+    "register_resolver",
+    "resolve",
+    "spec_for",
+    "build",
+    "build_module",
+    "model_names",
+    "registered_models",
+]

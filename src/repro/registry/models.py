@@ -1,0 +1,261 @@
+"""Built-in registrations: every system of Table III and every variant.
+
+Each family's ``module_builder`` is a pure, module-level function of a
+:class:`~repro.registry.spec.ModelSpec` — no closures over datasets or
+configs — so specs written into artifacts rebuild identical architectures
+in any process. Baseline and trainer imports happen inside the builders to
+keep ``repro.registry`` importable from everywhere (the baselines import
+``repro.eval.recommender`` themselves).
+"""
+
+from __future__ import annotations
+
+from .registry import NEURAL, NONPARAMETRIC, REGISTRY, RegisteredModel
+from .spec import ModelSpec
+
+__all__ = ["TABLE3_MODELS", "FIXED_BETA_PREFIX"]
+
+# Table III row order: 8 macro baselines, 3 micro baselines, EMBSR last.
+TABLE3_MODELS = (
+    "S-POP",
+    "SKNN",
+    "NARM",
+    "STAMP",
+    "SR-GNN",
+    "GC-SAN",
+    "BERT4Rec",
+    "SGNN-HN",
+    "RIB",
+    "HUP",
+    "MKM-SR",
+    "EMBSR",
+)
+
+FIXED_BETA_PREFIX = "EMBSR-beta="
+
+_MACRO_FIELDS = ("dim", "dropout", "seed")
+_MICRO_FIELDS = ("dim", "dropout", "seed")
+_EMBSR_FIELDS = ("dim", "dropout", "seed", "w_k")
+
+
+def _arch(spec: ModelSpec, *names: str) -> dict:
+    return {n: spec.params[n] for n in names if n in spec.params}
+
+
+# ---------------------------------------------------------- module builders
+def build_narm_module(spec: ModelSpec):
+    from ..baselines import NARM
+
+    return NARM(spec.num_items, **_arch(spec, "dim", "dropout", "seed"))
+
+
+def build_stamp_module(spec: ModelSpec):
+    from ..baselines import STAMP
+
+    return STAMP(spec.num_items, **_arch(spec, "dim", "dropout", "seed"))
+
+
+def build_srgnn_module(spec: ModelSpec):
+    from ..baselines import SRGNN
+
+    return SRGNN(spec.num_items, **_arch(spec, "dim", "num_layers", "dropout", "seed"))
+
+
+def build_gcsan_module(spec: ModelSpec):
+    from ..baselines import GCSAN
+
+    return GCSAN(spec.num_items, **_arch(spec, "dim", "dropout", "seed"))
+
+
+def build_bert4rec_module(spec: ModelSpec):
+    from ..baselines import BERT4Rec
+
+    return BERT4Rec(
+        spec.num_items,
+        **_arch(spec, "dim", "num_blocks", "num_heads", "max_len", "dropout", "seed"),
+    )
+
+
+def build_sgnn_hn_module(spec: ModelSpec):
+    from ..baselines import SGNNHN
+
+    return SGNNHN(spec.num_items, **_arch(spec, "dim", "w_k", "dropout", "seed"))
+
+
+def build_rib_module(spec: ModelSpec):
+    from ..baselines import RIB
+
+    return RIB(spec.num_items, spec.num_ops, **_arch(spec, "dim", "dropout", "seed"))
+
+
+def build_hup_module(spec: ModelSpec):
+    from ..baselines import HUP
+
+    return HUP(spec.num_items, spec.num_ops, **_arch(spec, "dim", "dropout", "seed"))
+
+
+def build_mkm_sr_module(spec: ModelSpec):
+    from ..baselines import MKMSR
+
+    return MKMSR(spec.num_items, spec.num_ops, **_arch(spec, "dim", "dropout", "seed"))
+
+
+# EMBSRConfig fields a spec may carry; anything absent keeps the dataclass
+# default, so old specs stay buildable as the config grows.
+_EMBSR_CONFIG_FIELDS = (
+    "dim",
+    "num_layers",
+    "dropout",
+    "w_k",
+    "max_seq_len",
+    "seed",
+    "encoder",
+    "use_op_gru",
+    "attention",
+    "attention_level",
+    "fusion",
+    "tie_op_embeddings",
+)
+
+
+def build_embsr_module(spec: ModelSpec):
+    from ..core import EMBSR, EMBSRConfig
+
+    return EMBSR(
+        EMBSRConfig(
+            num_items=spec.num_items,
+            num_ops=spec.num_ops,
+            **_arch(spec, *_EMBSR_CONFIG_FIELDS),
+        )
+    )
+
+
+def build_embsr_weighted_module(spec: ModelSpec):
+    from ..core import EMBSRConfig
+    from ..core.extensions import build_embsr_weighted_ops
+
+    return build_embsr_weighted_ops(
+        EMBSRConfig(
+            num_items=spec.num_items,
+            num_ops=spec.num_ops,
+            **_arch(spec, "dim", "dropout", "w_k", "seed"),
+        )
+    )
+
+
+# ----------------------------------------------------- recommender builders
+def build_spop(spec: ModelSpec):
+    from ..baselines import SPop
+
+    return SPop(**_arch(spec, "popularity_fallback"))
+
+
+def build_sknn(spec: ModelSpec):
+    from ..baselines import SKNN
+
+    return SKNN(**_arch(spec, "k", "sample_size"))
+
+
+# ------------------------------------------------------------ registrations
+def _register_builtins() -> None:
+    from ..core import VARIANT_SWITCHES
+
+    REGISTRY.register_family("s-pop", recommender_builder=build_spop)
+    REGISTRY.register_family("sknn", recommender_builder=build_sknn)
+    for family, builder in (
+        ("narm", build_narm_module),
+        ("stamp", build_stamp_module),
+        ("sr-gnn", build_srgnn_module),
+        ("gc-san", build_gcsan_module),
+        ("bert4rec", build_bert4rec_module),
+        ("sgnn-hn", build_sgnn_hn_module),
+        ("rib", build_rib_module),
+        ("hup", build_hup_module),
+        ("mkm-sr", build_mkm_sr_module),
+        ("embsr", build_embsr_module),
+        ("embsr-weighted", build_embsr_weighted_module),
+    ):
+        REGISTRY.register_family(family, module_builder=builder)
+
+    REGISTRY.register_model(
+        RegisteredModel("S-POP", "s-pop", NONPARAMETRIC, description="session popularity")
+    )
+    REGISTRY.register_model(
+        RegisteredModel("SKNN", "sknn", NONPARAMETRIC, description="session k-NN (cosine)")
+    )
+    for name, family, fields, description in (
+        ("NARM", "narm", _MACRO_FIELDS, "GRU + item-level attention"),
+        ("STAMP", "stamp", _MACRO_FIELDS, "short-term attention/memory priority"),
+        ("SR-GNN", "sr-gnn", _MACRO_FIELDS, "gated GNN over the session graph"),
+        ("GC-SAN", "gc-san", _MACRO_FIELDS, "GNN + self-attention"),
+        ("BERT4Rec", "bert4rec", _MACRO_FIELDS, "bidirectional transformer"),
+        ("SGNN-HN", "sgnn-hn", ("dim", "dropout", "seed", "w_k"), "star GNN + highway"),
+        ("RIB", "rib", _MICRO_FIELDS, "micro: GRU over item+op pairs"),
+        ("HUP", "hup", _MICRO_FIELDS, "micro: hierarchical user preference"),
+        ("MKM-SR", "mkm-sr", _MICRO_FIELDS, "micro: GNN items + GRU ops"),
+    ):
+        REGISTRY.register_model(
+            RegisteredModel(name, family, NEURAL, param_fields=fields, description=description)
+        )
+
+    # EMBSR and every named ablation/analysis variant: one family, the
+    # switch table from repro.core.variants frozen into each entry.
+    descriptions = {
+        "EMBSR": "full model (Sec. IV)",
+        "EMBSR-NS": "no operation-aware self-attention (Table IV)",
+        "EMBSR-NG": "no GNN layer (Table IV)",
+        "EMBSR-NF": "concat+MLP instead of fusion gate (Table IV)",
+        "SGNN-Self": "star GNN + plain attention, no micro info (Fig. 4)",
+        "SGNN-Seq-Self": "+ sequential micro-op GRU in the GNN (Fig. 4)",
+        "RNN-Self": "RNN over item+op embeddings + plain attention (Fig. 4)",
+        "SGNN-Abs-Self": "absolute op embeddings in plain attention (Fig. 5)",
+        "SGNN-Dyadic": "dyadic attention without the micro-op GRU (Fig. 5)",
+    }
+    for name, switches in VARIANT_SWITCHES.items():
+        REGISTRY.register_model(
+            RegisteredModel(
+                name,
+                "embsr",
+                NEURAL,
+                param_fields=_EMBSR_FIELDS,
+                fixed=dict(switches),
+                description=descriptions.get(name, "EMBSR variant"),
+            )
+        )
+
+    REGISTRY.register_model(
+        RegisteredModel(
+            "EMBSR-W",
+            "embsr-weighted",
+            NEURAL,
+            param_fields=_EMBSR_FIELDS,
+            description="EMBSR + learned op-importance gate (extension)",
+        )
+    )
+
+    REGISTRY.register_resolver(_resolve_fixed_beta)
+
+
+def _resolve_fixed_beta(name: str) -> RegisteredModel | None:
+    """``EMBSR-beta=<x>``: the Fig. 6 constant-fusion-weight sweep."""
+    if not name.startswith(FIXED_BETA_PREFIX):
+        return None
+    from ..core import VARIANT_SWITCHES
+
+    try:
+        beta = float(name[len(FIXED_BETA_PREFIX):])
+    except ValueError:
+        raise KeyError(f"bad fixed-beta model name {name!r}: expected EMBSR-beta=<float>")
+    switches = dict(VARIANT_SWITCHES["EMBSR"])
+    switches["fusion"] = f"fixed:{beta}"
+    return RegisteredModel(
+        name,
+        "embsr",
+        NEURAL,
+        param_fields=_EMBSR_FIELDS,
+        fixed=switches,
+        description=f"EMBSR with constant fusion weight beta={beta} (Fig. 6)",
+    )
+
+
+_register_builtins()

@@ -61,6 +61,9 @@ class TrainingState:
     history: list[dict] = field(default_factory=list)
     epoch_losses: list[float] = field(default_factory=list)
     config: dict = field(default_factory=dict)
+    # Architecture identity (a ModelSpec dict) of the model being trained,
+    # when known — lets resume diff architectures instead of array shapes.
+    spec: dict | None = None
 
 
 def _json_safe(value):
@@ -118,6 +121,7 @@ def save_training_state(path: str | pathlib.Path, state: TrainingState) -> pathl
         "history": _json_safe(state.history),
         "epoch_losses": [float(x) for x in state.epoch_losses],
         "config": _json_safe(state.config),
+        "spec": _json_safe(state.spec),
     }
     arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
     return atomic_save_npz(path, arrays)
@@ -159,6 +163,7 @@ def load_training_state(path: str | pathlib.Path) -> TrainingState:
         history=_json_restore(meta["history"]),
         epoch_losses=[float(x) for x in meta["epoch_losses"]],
         config=_json_restore(meta["config"]),
+        spec=_json_restore(meta.get("spec")),
     )
 
 

@@ -27,6 +27,7 @@ from .data.dataset import collate
 from .data.preprocess import ItemVocab
 from .data.schema import MacroSession
 from .eval.recommender import Recommender
+from .eval.topk import top_k_indices
 
 __all__ = ["LiveSession", "RecommenderService"]
 
@@ -113,6 +114,19 @@ class RecommenderService:
         self._sessions: dict[str, LiveSession] = {}
         self.vocab_misses = 0  # unknown-item events from visitors with no session
 
+    @classmethod
+    def from_artifact(cls, artifact, **kwargs) -> "RecommenderService":
+        """Boot a service from a model artifact — no dataset required.
+
+        ``artifact`` is a :class:`~repro.artifacts.ModelArtifact` or a path
+        to one; the bundle carries the recommender, the vocabulary, and the
+        operation count, so this is the whole serving bootstrap.
+        """
+        from .artifacts import ModelArtifact, load_artifact
+
+        bundle = artifact if isinstance(artifact, ModelArtifact) else load_artifact(artifact)
+        return cls(bundle.build(), bundle.vocab(), num_ops=bundle.spec.num_ops, **kwargs)
+
     # ------------------------------------------------------------------
     def record(self, session_id: str, item: int, operation: int) -> bool:
         """Ingest one micro-behavior event.
@@ -197,8 +211,9 @@ class RecommenderService:
                 window_items, _ = self._sessions[sid].window(self.max_macro_len)
                 seen = [i - 1 for i in set(window_items) if i - 1 < scores.shape[1]]
                 scores[row, seen] = -np.inf
-            order = np.argsort(-scores[row], kind="stable")[:k]
-            results[sid] = [self.vocab.decode(int(i) + 1) for i in order]
+        order = top_k_indices(scores, k)
+        for row, sid in enumerate(scoreable):
+            results[sid] = [self.vocab.decode(int(i) + 1) for i in order[row]]
         return results
 
     # ------------------------------------------------------------------

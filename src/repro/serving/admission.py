@@ -18,7 +18,6 @@ Three independent safety valves keep the gateway responsive under stress:
 
 from __future__ import annotations
 
-from collections import Counter as TallyCounter
 from dataclasses import dataclass
 
 from ..data.preprocess import PreparedDataset
@@ -37,14 +36,20 @@ class PopularityFallback:
     (decoded) item ids, like the primary path's.
     """
 
-    def __init__(self, dataset: PreparedDataset):
-        tally: TallyCounter[int] = TallyCounter()
-        for example in dataset.train:
-            tally.update(example.macro_items)
-            if example.target is not None:
-                tally[example.target] += 1
-        ranked_dense = [item for item, _ in tally.most_common()]
-        self._ranked_raw = [dataset.vocab.decode(dense) for dense in ranked_dense]
+    def __init__(self, dataset: PreparedDataset | None = None, *, ranked_raw: list[int] | None = None):
+        if (dataset is None) == (ranked_raw is None):
+            raise ValueError("provide exactly one of dataset or ranked_raw")
+        if dataset is not None:
+            from ..data.stats import popularity_ranking
+
+            ranked_raw = popularity_ranking(dataset)
+        self._ranked_raw = list(ranked_raw)
+
+    @classmethod
+    def from_ranked(cls, ranked_raw: list[int]) -> "PopularityFallback":
+        """Build from a precomputed ranking (e.g. artifact metadata) —
+        raw item ids, most popular first — with no dataset on disk."""
+        return cls(ranked_raw=ranked_raw)
 
     def top_k(self, k: int, exclude_raw: tuple[int, ...] = ()) -> list[int]:
         """Most popular ``k`` raw item ids, skipping ``exclude_raw``."""

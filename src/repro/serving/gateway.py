@@ -168,6 +168,26 @@ class ServingGateway:
         self._active = r.gauge("active_sessions", "live session-table size")
         self._latency = r.histogram("request_latency_ms", "recommend latency, milliseconds")
 
+    @classmethod
+    def from_artifact(
+        cls,
+        path,
+        config: GatewayConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "ServingGateway":
+        """Boot the full serving stack from one artifact file — no dataset.
+
+        The bundle carries the model spec, the weights, the vocabulary, and
+        a popularity ranking, so the gateway's degraded path works too.
+        """
+        from ..artifacts import load_artifact
+
+        bundle = load_artifact(path)
+        service = RecommenderService.from_artifact(bundle)
+        ranked = bundle.metadata.get("popularity") or []
+        fallback = PopularityFallback.from_ranked(ranked) if ranked else None
+        return cls(service, config=config, fallback=fallback, registry=registry)
+
     # ------------------------------------------------------------------ ops
     def ingest(self, session_id: str, item: int, operation: int) -> dict:
         """Apply one event; bumps the session's cache generation."""

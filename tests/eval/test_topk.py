@@ -1,0 +1,98 @@
+"""Equivalence tests: top_k_indices vs. the full stable argsort."""
+
+import numpy as np
+import pytest
+
+from repro.eval.topk import top_k_indices
+
+
+def reference(scores, k):
+    scores = np.asarray(scores)
+    if scores.ndim == 1:
+        return np.argsort(-scores, kind="stable")[:k]
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("k", [1, 2, 5, 19, 20, 25])
+    def test_random_matrix(self, k):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(17, 20))
+        np.testing.assert_array_equal(top_k_indices(scores, k), reference(scores, k))
+
+    @pytest.mark.parametrize("k", [1, 3, 7, 50])
+    def test_heavy_ties(self, k):
+        """Quantized scores: many exact ties straddling the k-th value."""
+        rng = np.random.default_rng(1)
+        scores = rng.integers(0, 4, size=(23, 50)).astype(float)
+        np.testing.assert_array_equal(top_k_indices(scores, k), reference(scores, k))
+
+    def test_all_equal(self):
+        scores = np.ones((5, 12))
+        # Stable tie-break: the first k indices, in order.
+        np.testing.assert_array_equal(
+            top_k_indices(scores, 4), np.tile(np.arange(4), (5, 1))
+        )
+
+    def test_with_neg_inf(self):
+        """exclude_seen masks scores to -inf; ordering must survive."""
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=(9, 30))
+        scores[rng.random(size=scores.shape) < 0.4] = -np.inf
+        for k in (1, 5, 29):
+            np.testing.assert_array_equal(top_k_indices(scores, k), reference(scores, k))
+
+    def test_1d_vector(self):
+        rng = np.random.default_rng(3)
+        scores = rng.integers(0, 3, size=40).astype(float)
+        result = top_k_indices(scores, 6)
+        assert result.shape == (6,)
+        np.testing.assert_array_equal(result, reference(scores, 6))
+
+    def test_float32(self):
+        rng = np.random.default_rng(4)
+        scores = rng.normal(size=(8, 25)).astype(np.float32)
+        np.testing.assert_array_equal(top_k_indices(scores, 5), reference(scores, 5))
+
+
+class TestEdges:
+    def test_k_zero_and_negative(self):
+        scores = np.arange(12.0).reshape(3, 4)
+        assert top_k_indices(scores, 0).shape == (3, 0)
+        assert top_k_indices(scores, -2).shape == (3, 0)
+        assert top_k_indices(scores[0], 0).shape == (0,)
+
+    def test_k_equals_n(self):
+        scores = np.array([[3.0, 1.0, 3.0, 2.0]])
+        np.testing.assert_array_equal(top_k_indices(scores, 4), [[0, 2, 3, 1]])
+
+    def test_k_exceeds_n(self):
+        scores = np.array([[1.0, 5.0, 5.0]])
+        np.testing.assert_array_equal(top_k_indices(scores, 10), [[1, 2, 0]])
+
+    def test_single_column(self):
+        scores = np.array([[7.0], [3.0]])
+        np.testing.assert_array_equal(top_k_indices(scores, 1), [[0], [0]])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros((2, 2, 2)), 1)
+
+
+class TestCallers:
+    def test_recommender_top_k_unchanged(self):
+        """Recommender.top_k still returns 1-based dense ids, best first."""
+        from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+        from repro.data.dataset import collate
+        from repro.eval import ExperimentConfig, ExperimentRunner
+
+        cfg = jd_appliances_config()
+        dataset = prepare_dataset(
+            generate_dataset(cfg, 120, seed=9), cfg.operations, min_support=2, name="jd"
+        )
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=8, epochs=0, seed=0))
+        rec = runner.run("STAMP").recommender
+        batch = collate(dataset.test[:6])
+        top = rec.top_k(batch, k=5)
+        expected = np.argsort(-rec.score_batch(batch), axis=1, kind="stable")[:, :5] + 1
+        np.testing.assert_array_equal(top, expected)

@@ -6,6 +6,7 @@ import pytest
 from repro.core import EMBSRConfig, build_sgnn_self
 from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
 from repro.eval import NeuralRecommender, TrainConfig, Trainer
+from repro.registry import spec_for
 
 
 @pytest.fixture(scope="module")
@@ -64,25 +65,31 @@ class TestTrainer:
 
 
 class TestNeuralRecommender:
-    def test_fit_then_score(self, dataset, model_config):
-        rec = NeuralRecommender(
-            "sgnn", lambda ds: build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1)
+    @staticmethod
+    def _spec(dataset):
+        return spec_for(
+            "SGNN-Self",
+            num_items=dataset.num_items,
+            num_ops=dataset.num_operations,
+            dim=12,
+            seed=0,
         )
+
+    def test_fit_then_score(self, dataset):
+        rec = NeuralRecommender(self._spec(dataset), TrainConfig(epochs=1, seed=1))
         rec.fit(dataset)
         from repro.data import DataLoader
 
         batch = next(iter(DataLoader(dataset.test, batch_size=4)))
         assert rec.score_batch(batch).shape == (4, dataset.num_items)
 
-    def test_unfitted_raises(self, model_config):
-        rec = NeuralRecommender("sgnn", lambda ds: build_sgnn_self(model_config))
+    def test_unfitted_raises(self, dataset):
+        rec = NeuralRecommender(self._spec(dataset))
         with pytest.raises(RuntimeError):
             _ = rec.model
 
-    def test_top_k(self, dataset, model_config):
-        rec = NeuralRecommender(
-            "sgnn", lambda ds: build_sgnn_self(model_config), TrainConfig(epochs=1, seed=1)
-        )
+    def test_top_k(self, dataset):
+        rec = NeuralRecommender(self._spec(dataset), TrainConfig(epochs=1, seed=1))
         rec.fit(dataset)
         from repro.data import DataLoader
 

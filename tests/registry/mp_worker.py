@@ -1,0 +1,27 @@
+"""Spawn-target for the cross-process artifact test.
+
+Must be a real importable module (not a closure) because the ``spawn``
+start method pickles only the function's qualified name. The worker gets
+*nothing* but the artifact path and raw batch data — no dataset, no spec,
+no shared memory — which is exactly the portability claim artifacts make.
+"""
+
+from __future__ import annotations
+
+
+def score_from_artifact(artifact_path: str, payload: dict, queue) -> None:
+    """Rebuild the model from the artifact alone and score the batch."""
+    try:
+        from repro.artifacts import load_recommender
+        from repro.data.dataset import collate
+        from repro.data.schema import MacroSession
+
+        recommender = load_recommender(artifact_path)
+        examples = [
+            MacroSession(items, [list(o) for o in ops], target=target)
+            for items, ops, target in payload["examples"]
+        ]
+        scores = recommender.score_batch(collate(examples))
+        queue.put(("ok", recommender.name, scores))
+    except Exception as error:  # pragma: no cover - surfaced by the parent
+        queue.put(("error", repr(error), None))

@@ -1,0 +1,54 @@
+"""The artifact portability guarantee, enforced across a process boundary.
+
+A worker process started with the ``spawn`` method (fresh interpreter, no
+inherited state) receives only the artifact *path* plus raw session data,
+reconstructs the recommender, and must return bit-identical scores to the
+parent's fitted model.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.data.dataset import collate
+from repro.eval import ExperimentConfig, ExperimentRunner
+
+from .mp_worker import score_from_artifact
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 150, seed=33), cfg.operations, min_support=2, name="jd"
+    )
+
+
+def test_spawned_worker_scores_identically(dataset, tmp_path):
+    runner = ExperimentRunner(dataset, ExperimentConfig(dim=8, epochs=1, seed=0))
+    fitted = runner.run("EMBSR").recommender
+    path = tmp_path / "embsr.npz"
+    fitted.save(path)
+
+    examples = dataset.test[:8]
+    expected = fitted.score_batch(collate(examples))
+    payload = {
+        "examples": [
+            (list(ex.macro_items), [list(o) for o in ex.op_sequences], ex.target)
+            for ex in examples
+        ]
+    }
+
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    worker = ctx.Process(target=score_from_artifact, args=(str(path), payload, queue))
+    worker.start()
+    try:
+        status, name, scores = queue.get(timeout=120)
+    finally:
+        worker.join(timeout=30)
+    assert status == "ok", f"worker failed: {name}"
+    assert name == "EMBSR"
+    np.testing.assert_array_equal(scores, expected)

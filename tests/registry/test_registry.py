@@ -1,0 +1,201 @@
+"""Tests for the model registry: resolution, specs, and resume validation."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.registry import (
+    FIXED_BETA_PREFIX,
+    NEURAL,
+    NONPARAMETRIC,
+    REGISTRY,
+    ModelRegistry,
+    ModelSpec,
+    RegisteredModel,
+    TABLE3_MODELS,
+    model_names,
+    resolve,
+    spec_for,
+)
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", TABLE3_MODELS)
+    def test_table3_names_resolve(self, name):
+        entry = resolve(name)
+        assert entry.name == name
+
+    def test_variants_resolve(self):
+        for name in ("EMBSR-NS", "EMBSR-NG", "EMBSR-NF", "SGNN-Self", "RNN-Self"):
+            assert resolve(name).family == "embsr"
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="repro models"):
+            resolve("GPT-9000")
+
+    def test_contains(self):
+        assert "EMBSR" in REGISTRY
+        assert "GPT-9000" not in REGISTRY
+
+    def test_beta_pattern_resolves(self):
+        entry = resolve(f"{FIXED_BETA_PREFIX}0.4")
+        assert entry.family == "embsr"
+        assert entry.fixed["fusion"] == "fixed:0.4"
+
+    def test_beta_pattern_rejects_garbage(self):
+        with pytest.raises(KeyError):
+            resolve(f"{FIXED_BETA_PREFIX}spam")
+
+    def test_kinds(self):
+        assert resolve("S-POP").kind == NONPARAMETRIC
+        assert resolve("SKNN").kind == NONPARAMETRIC
+        assert resolve("EMBSR").kind == NEURAL
+
+    def test_model_names_cover_table3(self):
+        names = model_names()
+        for name in TABLE3_MODELS:
+            assert name in names
+
+
+class TestSpecFor:
+    def test_knobs_flow_into_params(self):
+        spec = spec_for("SGNN-HN", num_items=100, num_ops=5, dim=24, dropout=0.3, seed=7, w_k=6.0)
+        assert spec.params == {"dim": 24, "dropout": 0.3, "seed": 7, "w_k": 6.0}
+        assert (spec.num_items, spec.num_ops) == (100, 5)
+
+    def test_macro_families_ignore_w_k(self):
+        spec = spec_for("STAMP", num_items=100, num_ops=5, w_k=99.0)
+        assert "w_k" not in spec.params
+
+    def test_variant_switches_are_frozen_in(self):
+        spec = spec_for("EMBSR-NS", num_items=100, num_ops=5)
+        from repro.core import VARIANT_SWITCHES
+
+        assert spec.params["attention"] == VARIANT_SWITCHES["EMBSR-NS"]["attention"]
+
+    def test_extra_params_pass_through(self):
+        spec = spec_for("EMBSR", num_items=100, num_ops=5, max_seq_len=10)
+        assert spec.params["max_seq_len"] == 10
+
+    def test_spec_json_round_trip(self):
+        spec = spec_for("EMBSR", num_items=100, num_ops=5, train={"epochs": 3, "lr": 0.01})
+        again = ModelSpec.from_json(spec.to_json())
+        assert again == spec
+        # ... and the JSON itself is plain data.
+        json.loads(spec.to_json())
+
+    def test_spec_pickle_round_trip(self):
+        spec = spec_for("MKM-SR", num_items=100, num_ops=5)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_spec_rejects_unserializable_params(self):
+        with pytest.raises(TypeError):
+            ModelSpec("x", "embsr", 10, 2, params={"fn": lambda: 1})
+
+    def test_train_config_materializes(self):
+        spec = spec_for("EMBSR", num_items=10, num_ops=2, dtype="float32", train={"epochs": 3})
+        cfg = spec.train_config(verbose=True)
+        assert cfg.epochs == 3 and cfg.dtype == "float32" and cfg.verbose
+
+    def test_architecture_mismatch_ignores_train_and_dtype(self):
+        a = spec_for("EMBSR", num_items=10, num_ops=2, dtype="float32", train={"epochs": 1})
+        b = spec_for("EMBSR", num_items=10, num_ops=2, dtype="float64", train={"epochs": 9})
+        assert a.architecture_mismatch(b) == {}
+        c = spec_for("EMBSR", num_items=11, num_ops=2)
+        assert "num_items" in a.architecture_mismatch(c)
+
+
+class TestRegistryInvariants:
+    def test_duplicate_model_rejected(self):
+        reg = ModelRegistry()
+        reg.register_family("fam", recommender_builder=lambda spec: None)
+        reg.register_model(RegisteredModel("M", "fam", NONPARAMETRIC))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register_model(RegisteredModel("M", "fam", NONPARAMETRIC))
+
+    def test_unknown_family_rejected(self):
+        reg = ModelRegistry()
+        with pytest.raises(ValueError, match="unregistered family"):
+            reg.register_model(RegisteredModel("M", "ghost", NEURAL))
+
+    def test_family_needs_exactly_one_builder(self):
+        reg = ModelRegistry()
+        with pytest.raises(ValueError):
+            reg.register_family("fam")
+        with pytest.raises(ValueError):
+            reg.register_family(
+                "fam", module_builder=lambda s: None, recommender_builder=lambda s: None
+            )
+
+    def test_build_module_refuses_nonparametric(self):
+        spec = spec_for("S-POP", num_items=10, num_ops=2)
+        with pytest.raises(KeyError, match="non-parametric"):
+            REGISTRY.build_module(spec)
+
+
+class TestExperimentRunnerIntegration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+
+        cfg = jd_appliances_config()
+        return prepare_dataset(
+            generate_dataset(cfg, 150, seed=11), cfg.operations, min_support=2, name="jd"
+        )
+
+    def test_model_names_match_registry(self):
+        from repro.eval import MODEL_NAMES
+
+        assert MODEL_NAMES == list(TABLE3_MODELS)
+
+    def test_runner_builds_via_registry(self, dataset):
+        from repro.eval import ExperimentConfig, ExperimentRunner
+
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=8, epochs=0, seed=0))
+        rec = runner.build("EMBSR")
+        assert rec.spec.name == "EMBSR"
+        assert rec.spec.num_items == dataset.num_items
+
+    def test_runner_spec_is_portable(self, dataset):
+        """A spec minted by the runner rebuilds bit-identically on its own."""
+        from repro.eval import ExperimentConfig, ExperimentRunner
+        from repro.registry import build_module
+
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=8, epochs=0, seed=3))
+        spec = ModelSpec.from_json(runner.spec_for("SR-GNN").to_json())
+        a, b = build_module(spec).state_dict(), build_module(spec).state_dict()
+        assert a.keys() == b.keys()
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_unknown_model_raises_keyerror(self, dataset):
+        from repro.eval import ExperimentConfig, ExperimentRunner
+
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=8, epochs=0))
+        with pytest.raises(KeyError):
+            runner.build("NOPE")
+
+
+class TestResumeSpecValidation:
+    def test_resume_with_wrong_architecture_fails_with_diff(self, tmp_path):
+        from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+        from repro.eval import ExperimentConfig, ExperimentRunner
+
+        cfg = jd_appliances_config()
+        dataset = prepare_dataset(
+            generate_dataset(cfg, 150, seed=12), cfg.operations, min_support=2, name="jd"
+        )
+        state = tmp_path / "state.npz"
+        runner = ExperimentRunner(
+            dataset, ExperimentConfig(dim=8, epochs=1, seed=0, checkpoint_path=str(state))
+        )
+        runner.run("STAMP")
+        assert state.exists()
+
+        other = ExperimentRunner(
+            dataset, ExperimentConfig(dim=16, epochs=2, seed=0, resume_from=str(state))
+        )
+        with pytest.raises(ValueError, match="different architecture"):
+            other.build("STAMP").fit(dataset)

@@ -14,6 +14,8 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.eval",
+    "repro.registry",
+    "repro.artifacts",
     "repro.perf",
     "repro.perf.profiler",
     "repro.perf.fused",

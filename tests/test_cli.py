@@ -108,3 +108,75 @@ class TestPipeline:
         assert code == 0
         out = capsys.readouterr().out
         assert "S-POP" in out and "STAMP" in out
+
+    def test_compare_artifact_dir(self, pipeline_files, capsys):
+        root, _sessions, dataset = pipeline_files
+        out_dir = root / "bundles"
+        code = main([
+            "compare", "--dataset", str(dataset), "--models", "S-POP", "STAMP",
+            "--dim", "8", "--epochs", "1", "--artifact-dir", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert (out_dir / "STAMP.npz").exists()
+        assert "S-POP: non-parametric" in out
+
+
+class TestModels:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        from repro.registry import model_names
+
+        for name in model_names():
+            assert name in out, f"`repro models` omits registered model {name!r}"
+        assert "EMBSR-beta=" in out  # the pattern footer
+
+    def test_models_golden_names(self, capsys):
+        """Golden sync: the listing and MODEL_NAMES cover the same Table III."""
+        from repro.eval import MODEL_NAMES
+
+        main(["models"])
+        out = capsys.readouterr().out
+        for name in MODEL_NAMES:
+            assert name in out
+
+
+class TestArtifactFlow:
+    def test_train_evaluate_serve_artifact(self, pipeline_files, capsys):
+        root, _sessions, dataset = pipeline_files
+        artifact = root / "stamp_artifact.npz"
+        code = main([
+            "train", "--dataset", str(dataset), "--model", "STAMP",
+            "--dim", "8", "--epochs", "1", "--artifact", str(artifact),
+        ])
+        assert code == 0
+        assert artifact.exists()
+        assert "artifact saved" in capsys.readouterr().out
+
+        code = main(["evaluate", "--dataset", str(dataset), "--artifact", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded STAMP" in out and "H@20" in out
+
+    def test_serve_artifact_missing_file(self, capsys):
+        code = main(["serve", "--artifact", "/nonexistent/model.npz", "--port", "0"])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_serve_from_artifact_smoke(self, pipeline_files, capsys):
+        """`repro serve --artifact` boots with no dataset work at all."""
+        root, _sessions, dataset = pipeline_files
+        artifact = root / "serve_artifact.npz"
+        main([
+            "train", "--dataset", str(dataset), "--model", "STAMP",
+            "--dim", "8", "--epochs", "1", "--artifact", str(artifact),
+        ])
+        capsys.readouterr()
+        code = main([
+            "serve", "--artifact", str(artifact), "--port", "0", "--duration", "0.3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving STAMP on http://127.0.0.1:" in out

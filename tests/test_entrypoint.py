@@ -1,0 +1,33 @@
+"""The installed ``repro`` console script must resolve to a real callable."""
+
+import pathlib
+import tomllib
+
+
+def project_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_console_script_declared():
+    pyproject = tomllib.loads((project_root() / "pyproject.toml").read_text())
+    scripts = pyproject["project"]["scripts"]
+    assert scripts["repro"] == "repro.cli:main"
+
+
+def test_console_script_target_resolves():
+    """Import exactly what the entry point declares and check it's callable."""
+    import importlib
+
+    pyproject = tomllib.loads((project_root() / "pyproject.toml").read_text())
+    module_name, _, attr = pyproject["project"]["scripts"]["repro"].partition(":")
+    module = importlib.import_module(module_name)
+    target = getattr(module, attr)
+    assert callable(target)
+
+
+def test_entry_point_dispatches(capsys):
+    """Calling the declared target behaves like the CLI (here: `models`)."""
+    from repro.cli import main
+
+    assert main(["models"]) == 0
+    assert "EMBSR" in capsys.readouterr().out
