@@ -18,6 +18,7 @@ import os
 import pytest
 
 from repro.eval import MODEL_NAMES, wilcoxon_reciprocal_ranks
+from repro.parallel import run_experiment_cells
 
 from paper_numbers import PAPER_TABLE3
 
@@ -26,10 +27,11 @@ METRICS = ["H@5", "H@10", "H@20", "M@5", "M@10", "M@20"]
 
 
 @pytest.mark.parametrize("dataset_name", ["Appliances", "Computers", "Trivago"])
-def test_table3_overall(runners, report, benchmark, dataset_name):
+def test_table3_overall(runners, report, benchmark, workers, dataset_name):
     runner = runners[dataset_name]
-    for name in MODEL_NAMES:
-        runner.run(name, verbose=True)
+    # Cells are independent (each model builds from its own seeded streams),
+    # so fanning them across processes changes wall-clock, never the JSON.
+    run_experiment_cells(runner, MODEL_NAMES, workers=workers, verbose=True)
 
     measured = {name: runner.results[name].metrics for name in MODEL_NAMES}
     report(f"Table III", dataset_name, measured, PAPER_TABLE3[dataset_name], METRICS)

@@ -11,6 +11,8 @@ import os
 
 import pytest
 
+from repro.parallel import run_experiment_cells
+
 from paper_numbers import PAPER_TABLE4
 
 FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
@@ -19,10 +21,9 @@ METRICS = ["H@10", "H@20", "M@10", "M@20"]
 
 
 @pytest.mark.parametrize("dataset_name", ["Appliances", "Computers", "Trivago"])
-def test_table4_ablation(runners, report, benchmark, dataset_name):
+def test_table4_ablation(runners, report, benchmark, workers, dataset_name):
     runner = runners[dataset_name]
-    for name in VARIANTS:
-        runner.run(name, verbose=True)
+    run_experiment_cells(runner, VARIANTS, workers=workers, verbose=True)
 
     measured = {name: runner.results[name].metrics for name in VARIANTS}
     report("Table IV", dataset_name, measured, PAPER_TABLE4[dataset_name], METRICS)

@@ -27,10 +27,24 @@ A convergence check trains the same model for a fixed number of steps in
 both modes (same seed, same batches, float64) and records the absolute
 final-loss difference; the acceptance bar is <= 1e-6.
 
+With ``--workers N`` the script additionally benchmarks the data-parallel
+engine (``repro.parallel``) against the single-process shard executor on
+the same grid, records the speedup, and *asserts bit-identical final
+parameters* (``max_abs_param_diff`` must be exactly 0 — the determinism
+contract of ``docs/performance.md`` § Parallelism). The observed speedup
+is only meaningful when the machine grants at least ``N`` cores; the
+available core count is recorded alongside.
+
+Every run also writes a stable, flat summary to ``BENCH_train.json`` at
+the repository root (steps/sec, tokens/sec, workers, dtype, git rev) so
+external trackers can diff training throughput across commits without
+parsing the full payload.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_train_perf.py            # full
     PYTHONPATH=src python benchmarks/bench_train_perf.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_train_perf.py --workers 4
     PYTHONPATH=src python benchmarks/bench_train_perf.py \
         --out benchmarks/results/train_perf_baseline.json           # seed tree
 """
@@ -39,8 +53,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
+import subprocess
 import sys
 import time
 
@@ -62,6 +78,24 @@ except ImportError:  # pragma: no cover - exercised only on the seed tree
 
 MODELS = ("EMBSR", "NARM", "SR-GNN")
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY_PATH = ROOT / "BENCH_train.json"  # stable flat summary for trackers
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:  # pragma: no cover - not a git checkout
+        return "unknown"
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _set_fusion(enabled: bool) -> None:
@@ -119,6 +153,126 @@ def measure(name: str, dataset, batches, dim: int, steps: int, warmup: int, seed
     }
 
 
+def train_steps_sharded(
+    model,
+    loader,
+    batches,
+    steps: int,
+    *,
+    grad_shards: int,
+    workers: int,
+    seed: int,
+    dtype: str,
+    num_items: int,
+    lr: float = 0.003,
+    grad_clip: float = 5.0,
+):
+    """Run ``steps`` shard-grid trainer steps through the chosen executor.
+
+    ``workers <= 1`` uses the in-process :class:`SerialShardExecutor`;
+    above that a :class:`DataParallelEngine` is forked for the duration.
+    Returns ``(elapsed_seconds, losses)``. Both executors replay the
+    identical ``(epoch=0, batch_index)`` schedule, so final parameters are
+    bit-identical across worker counts by construction — the caller diffs
+    them to prove it.
+    """
+    from repro.parallel import DataParallelEngine, SerialShardExecutor
+
+    optimizer = nn.Adam(model.parameters(), lr=lr)
+    model.train()
+    engine = None
+    if workers > 1:
+        engine = DataParallelEngine(
+            model, loader,
+            workers=min(workers, grad_shards), grad_shards=grad_shards,
+            seed=seed, dtype=dtype, num_items=num_items,
+        )
+        executor = engine
+    else:
+        executor = SerialShardExecutor(model, grad_shards=grad_shards, seed=seed)
+    losses = []
+    try:
+        start = time.perf_counter()
+        for i in range(steps):
+            index = i % len(batches)
+            optimizer.zero_grad()
+            loss = executor.compute(0, index, 0, batch=None if engine else batches[index])
+            nn.clip_grad_norm(model.parameters(), grad_clip)
+            optimizer.step()
+            losses.append(loss)
+        elapsed = time.perf_counter() - start
+    finally:
+        if engine is not None:
+            engine.shutdown()
+    return elapsed, losses
+
+
+def measure_parallel(
+    name: str, dataset, loader, batches, dim: int, steps: int, warmup: int,
+    seed: int, dtype: str, grad_shards: int, workers: int,
+):
+    """Throughput + final parameters of one executor configuration."""
+    model = build_model(dataset, name, dim, seed)
+    kwargs = dict(
+        grad_shards=grad_shards, workers=workers, seed=seed, dtype=dtype,
+        num_items=dataset.num_items,
+    )
+    train_steps_sharded(model, loader, batches, warmup, **kwargs)
+    elapsed, losses = train_steps_sharded(model, loader, batches, steps, **kwargs)
+    tokens = sum(float(batches[i % len(batches)].micro_mask.sum()) for i in range(steps))
+    stats = {
+        "workers": workers,
+        "grad_shards": grad_shards,
+        "steps_per_sec": steps / elapsed,
+        "tokens_per_sec": tokens / elapsed,
+        "elapsed_sec": elapsed,
+        "steps": steps,
+        "final_loss": losses[-1],
+    }
+    return stats, model.state_dict()
+
+
+def parallel_section(
+    models, dataset, loader, batches, dim: int, steps: int, warmup: int,
+    seed: int, dtype: str, grad_shards: int, workers: int,
+):
+    """Benchmark N workers vs 1 on the same shard grid; assert parity."""
+    section = {}
+    for name in models:
+        serial_stats, serial_params = measure_parallel(
+            name, dataset, loader, batches, dim, steps, warmup, seed, dtype,
+            grad_shards, workers=1,
+        )
+        fanned_stats, fanned_params = measure_parallel(
+            name, dataset, loader, batches, dim, steps, warmup, seed, dtype,
+            grad_shards, workers=workers,
+        )
+        diff = max(
+            float(np.max(np.abs(serial_params[key] - fanned_params[key])))
+            for key in serial_params
+        )
+        speedup = fanned_stats["steps_per_sec"] / serial_stats["steps_per_sec"]
+        section[name] = {
+            "serial": serial_stats,
+            "parallel": fanned_stats,
+            "speedup": speedup,
+            "max_abs_param_diff": diff,
+            "bitwise_identical": bool(diff == 0.0),
+        }
+        print(
+            f"{name:8s} [shards={grad_shards}] 1w {serial_stats['steps_per_sec']:8.2f} steps/s | "
+            f"{workers}w {fanned_stats['steps_per_sec']:8.2f} steps/s | "
+            f"speedup {speedup:.2f}x | |Δparam|={diff:.1e} "
+            f"({'ok' if diff == 0.0 else 'MISMATCH'})"
+        )
+        if diff != 0.0:
+            raise SystemExit(
+                f"{name}: {workers}-worker parameters differ from single-process "
+                f"by {diff:.3e}; the determinism contract is broken"
+            )
+    return section
+
+
 def convergence_check(name: str, dataset, batches, dim: int, steps: int, seed: int):
     """Same seed + batches, fused vs unfused: final losses must agree."""
     results = {}
@@ -149,6 +303,16 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--models", nargs="+", default=list(MODELS))
     parser.add_argument("--skip-convergence", action="store_true")
+    parser.add_argument("--dtype", choices=["float32", "float64"], default="float64")
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="also benchmark the N-worker data-parallel engine vs 1 worker "
+        "on the same shard grid, asserting bit-identical parameters",
+    )
+    parser.add_argument(
+        "--grad-shards", type=int, default=0, metavar="G",
+        help="summation-tree grid for the parallel section (0 = auto: max(workers, 1))",
+    )
     parser.add_argument(
         "--out", default=str(RESULTS_DIR / "train_perf.json"), help="output JSON path"
     )
@@ -163,59 +327,86 @@ def main(argv=None) -> int:
     steps = args.steps or (6 if args.smoke else 25)
     warmup = args.warmup if args.warmup is not None else (1 if args.smoke else 4)
     dim = args.dim or (16 if args.smoke else 32)
+    grad_shards = args.grad_shards or max(args.workers, 1)
+    cores = _available_cores()
+
+    from repro.autograd import default_dtype
 
     dataset, batches = build_batches(sessions, args.batch_size, seed=args.seed)
     print(
         f"dataset: {len(dataset.train)} train examples, {dataset.num_items} items; "
-        f"{len(batches)} batches of {args.batch_size}"
+        f"{len(batches)} batches of {args.batch_size}; {cores} core(s) available"
     )
 
     modes = ["fused", "unfused"] if perf is not None else ["unfused"]
     results: dict[str, dict] = {name: {} for name in args.models}
-    for name in args.models:
-        for mode in modes:
-            _set_fusion(mode == "fused")
-            stats = measure(name, dataset, batches, dim, steps, warmup, args.seed)
-            results[name][mode] = stats
-            print(
-                f"{name:8s} [{mode:7s}] {stats['steps_per_sec']:8.2f} steps/s "
-                f"{stats['tokens_per_sec']:10.0f} tokens/s"
-            )
-        if len(modes) == 2:
-            ratio = (
-                results[name]["fused"]["steps_per_sec"]
-                / results[name]["unfused"]["steps_per_sec"]
-            )
-            results[name]["fused_over_unfused"] = ratio
-            print(f"{name:8s} fused/unfused speedup: {ratio:.2f}x")
-    _set_fusion(True)
-
-    convergence = {}
-    if perf is not None and not args.skip_convergence:
-        conv_steps = 5 if args.smoke else 20
+    with default_dtype(args.dtype):
         for name in args.models:
-            convergence[name] = convergence_check(
-                name, dataset, batches, dim, conv_steps, args.seed
+            for mode in modes:
+                _set_fusion(mode == "fused")
+                stats = measure(name, dataset, batches, dim, steps, warmup, args.seed)
+                results[name][mode] = stats
+                print(
+                    f"{name:8s} [{mode:7s}] {stats['steps_per_sec']:8.2f} steps/s "
+                    f"{stats['tokens_per_sec']:10.0f} tokens/s"
+                )
+            if len(modes) == 2:
+                ratio = (
+                    results[name]["fused"]["steps_per_sec"]
+                    / results[name]["unfused"]["steps_per_sec"]
+                )
+                results[name]["fused_over_unfused"] = ratio
+                print(f"{name:8s} fused/unfused speedup: {ratio:.2f}x")
+        _set_fusion(True)
+
+        parallel = {}
+        if args.workers > 1:
+            loader = DataLoader(
+                dataset.train, batch_size=args.batch_size, shuffle=True,
+                seed=args.seed, max_ops_per_item=6,
             )
-            print(
-                f"{name:8s} convergence: |Δloss|={convergence[name]['abs_final_loss_diff']:.2e} "
-                f"({'ok' if convergence[name]['identical_convergence'] else 'DIVERGED'})"
+            parallel = parallel_section(
+                args.models, dataset, loader, batches, dim, steps, warmup,
+                args.seed, args.dtype, grad_shards, args.workers,
             )
+            if cores < args.workers:
+                print(
+                    f"note: only {cores} core(s) available for {args.workers} workers — "
+                    "the measured speedup understates what the engine delivers on real cores"
+                )
+
+        convergence = {}
+        if perf is not None and not args.skip_convergence:
+            conv_steps = 5 if args.smoke else 20
+            for name in args.models:
+                convergence[name] = convergence_check(
+                    name, dataset, batches, dim, conv_steps, args.seed
+                )
+                print(
+                    f"{name:8s} convergence: |Δloss|={convergence[name]['abs_final_loss_diff']:.2e} "
+                    f"({'ok' if convergence[name]['identical_convergence'] else 'DIVERGED'})"
+                )
 
     payload = {
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cores": cores,
+            "git_rev": _git_rev(),
             "smoke": args.smoke,
             "sessions": sessions,
             "steps": steps,
             "dim": dim,
             "batch_size": args.batch_size,
             "seed": args.seed,
+            "dtype": args.dtype,
+            "workers": args.workers,
+            "grad_shards": grad_shards,
             "has_perf_package": perf is not None,
         },
         "results": results,
+        "parallel": parallel,
         "convergence": convergence,
     }
 
@@ -236,6 +427,42 @@ def main(argv=None) -> int:
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
+
+    # Stable flat summary at the repo root: one object, fixed top-level
+    # keys, one entry per model — safe for external trackers to diff.
+    summary_models = {}
+    for name in args.models:
+        source = parallel.get(name, {}).get("parallel") or results[name].get(
+            "fused"
+        ) or results[name].get("unfused")
+        summary_models[name] = {
+            "steps_per_sec": round(source["steps_per_sec"], 4),
+            "tokens_per_sec": round(source["tokens_per_sec"], 1),
+        }
+    summary = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_train_perf.py",
+        "git_rev": payload["meta"]["git_rev"],
+        "python": payload["meta"]["python"],
+        "numpy": payload["meta"]["numpy"],
+        "cores": cores,
+        "smoke": args.smoke,
+        "dtype": args.dtype,
+        "batch_size": args.batch_size,
+        "dim": dim,
+        "steps": steps,
+        "workers": args.workers,
+        "grad_shards": grad_shards,
+        "models": summary_models,
+        "parallel_speedup": {
+            name: round(entry["speedup"], 3) for name, entry in parallel.items()
+        },
+        "parallel_bitwise_identical": all(
+            entry["bitwise_identical"] for entry in parallel.values()
+        ) if parallel else None,
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {SUMMARY_PATH}")
     return 0
 
 

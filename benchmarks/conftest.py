@@ -43,6 +43,24 @@ SCALE = {
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        help="fan independent model×dataset cells across N processes "
+        "(repro.parallel.run_experiment_cells); results are byte-identical "
+        "to --workers 1",
+    )
+
+
+@pytest.fixture(scope="session")
+def workers(request):
+    """Process count for benchmark cell fan-out (--workers N)."""
+    return max(1, int(request.config.getoption("--workers")))
+
 _GENERATORS = {
     "Appliances": (jd_appliances_config, 3),
     "Computers": (jd_computers_config, 3),

@@ -78,6 +78,26 @@ def _add_models(sub: argparse._SubParsersAction) -> None:
     sub.add_parser("models", help="list every model name the registry resolves")
 
 
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    """Data-parallel knobs shared by training-style subcommands."""
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="forked data-parallel training workers (1 = in-process; "
+        "results are bit-identical for any N under the same --grad-shards)",
+    )
+    p.add_argument(
+        "--grad-shards",
+        type=int,
+        default=0,
+        metavar="G",
+        help="gradient summation-tree grid; 0 = auto (follows --workers), "
+        "1 = the classic whole-batch path (docs/performance.md, Parallelism)",
+    )
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train one system and save a checkpoint")
     p.add_argument("--dataset", required=True)
@@ -114,6 +134,7 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
         metavar="STATE",
         help="continue an interrupted run from this training-state file",
     )
+    _add_parallel_args(p)
 
 
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
@@ -144,6 +165,15 @@ def _add_compare(sub: argparse._SubParsersAction) -> None:
         metavar="DIR",
         help="save an artifact bundle per trained (neural) model into this directory",
     )
+    _add_parallel_args(p)
+    p.add_argument(
+        "--cell-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent model cells across N processes "
+        "(repro.parallel.run_experiment_cells; merge order is deterministic)",
+    )
 
 
 def _add_profile(sub: argparse._SubParsersAction) -> None:
@@ -164,6 +194,12 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument("--no-fusion", action="store_true", help="profile the unfused composed ops")
     p.add_argument("--json", default=None, metavar="PATH", help="also dump the profile as JSON")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also dump a chrome://tracing / Perfetto timeline JSON",
+    )
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -243,6 +279,8 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
         checkpoint_path=getattr(args, "train_state_path", None),
         checkpoint_every=getattr(args, "checkpoint_every", 0),
         resume_from=getattr(args, "resume", None),
+        workers=getattr(args, "workers", 1),
+        grad_shards=getattr(args, "grad_shards", 0),
     )
     return ExperimentRunner(dataset, config)
 
@@ -321,9 +359,10 @@ def _cmd_compare(args) -> int:
 
     from .eval.trainer import NeuralRecommender
 
+    from .parallel import run_experiment_cells
+
     runner = _runner(args)
-    for name in args.models:
-        runner.run(name, verbose=True)
+    run_experiment_cells(runner, args.models, workers=args.cell_workers, verbose=True)
     measured = {name: runner.results[name].metrics for name in args.models}
     rows = [[name] + [measured[name][m] for m in _METRICS] for name in args.models]
     print(render_table(["model"] + list(_METRICS), rows))
@@ -394,6 +433,9 @@ def _cmd_profile(args) -> int:
     if args.json:
         path = profiler.dump_json(args.json)
         print(f"\nprofile written to {path}")
+    if args.trace:
+        path = profiler.dump_trace(args.trace)
+        print(f"trace written to {path} (open in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 

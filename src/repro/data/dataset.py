@@ -17,7 +17,7 @@ import numpy as np
 
 from .schema import MacroSession
 
-__all__ = ["SessionBatch", "collate", "DataLoader"]
+__all__ = ["SessionBatch", "collate", "padded_dims", "CollateBuffers", "DataLoader"]
 
 
 @dataclass
@@ -78,11 +78,74 @@ class SessionBatch:
         return self.micro_mask.sum(axis=1).astype(np.int64)
 
 
-def collate(examples: Sequence[MacroSession], max_ops_per_item: int | None = None) -> SessionBatch:
-    """Pad a list of examples into one :class:`SessionBatch`."""
+class CollateBuffers:
+    """Reusable padded-batch storage for :func:`collate`.
+
+    Collation allocates nine arrays per batch; over a training run that is
+    hundreds of thousands of short-lived allocations whose zero-fill cost
+    scales with the padded size (``docs/performance.md``, "Allocation
+    discipline"). A ``CollateBuffers`` instance keeps one grow-only array
+    per batch field and hands out zeroed *views* trimmed to the current
+    batch's dimensions, so steady-state collation allocates nothing.
+
+    The returned batch ALIASES the pool: it is only valid until the next
+    ``collate(..., buffers=...)`` call against the same pool. That is the
+    training-loop access pattern (one live batch at a time); anything that
+    retains batches — ``list(loader)``, score caches — must keep the
+    default copying behavior.
+    """
+
+    _SPECS = (
+        ("items", 2, np.int64),
+        ("item_mask", 2, np.float64),
+        ("ops", 3, np.int64),
+        ("op_mask", 3, np.float64),
+        ("micro_items", 2, np.int64),
+        ("micro_ops", 2, np.int64),
+        ("micro_mask", 2, np.float64),
+        ("last_op", 1, np.int64),
+        ("targets", 1, np.int64),
+    )
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def _view(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        buffer = self._arrays.get(name)
+        if buffer is None or any(b < s for b, s in zip(buffer.shape, shape)):
+            grown = shape if buffer is None else tuple(
+                max(b, s) for b, s in zip(buffer.shape, shape)
+            )
+            buffer = np.zeros(grown, dtype=dtype)
+            self._arrays[name] = buffer
+        view = buffer[tuple(slice(0, s) for s in shape)]
+        view.fill(0)
+        return view
+
+    def views(self, batch: int, n_max: int, k_max: int, t_max: int) -> dict[str, np.ndarray]:
+        """Zeroed views for one batch of the given padded dimensions."""
+        dims = {1: (batch,), 2: (batch, n_max), 3: (batch, n_max, k_max)}
+        out = {}
+        for name, ndim, dtype in self._SPECS:
+            shape = dims[ndim]
+            if name.startswith("micro"):
+                shape = (batch, t_max)
+            out[name] = self._view(name, shape, dtype)
+        return out
+
+
+def padded_dims(
+    examples: Sequence[MacroSession], max_ops_per_item: int | None = None
+) -> tuple[int, int, int]:
+    """The ``(n_max, k_max, t_max)`` padding a :func:`collate` call would use.
+
+    Exposed so a data-parallel worker can compute the *batch-global*
+    padding from every example, then collate only its own shard rows with
+    ``pad_to`` — producing arrays bit-identical to slicing the full
+    collated batch.
+    """
     if not examples:
         raise ValueError("cannot collate an empty list of examples")
-    batch = len(examples)
     n_max = max(len(ex) for ex in examples)
     k_max = max(len(ops) for ex in examples for ops in ex.op_sequences)
     if max_ops_per_item is not None:
@@ -90,16 +153,53 @@ def collate(examples: Sequence[MacroSession], max_ops_per_item: int | None = Non
     t_max = max(
         sum(min(len(ops), k_max) for ops in ex.op_sequences) for ex in examples
     )
+    return n_max, k_max, t_max
 
-    items = np.zeros((batch, n_max), dtype=np.int64)
-    item_mask = np.zeros((batch, n_max))
-    ops = np.zeros((batch, n_max, k_max), dtype=np.int64)
-    op_mask = np.zeros((batch, n_max, k_max))
-    micro_items = np.zeros((batch, t_max), dtype=np.int64)
-    micro_ops = np.zeros((batch, t_max), dtype=np.int64)
-    micro_mask = np.zeros((batch, t_max))
-    last_op = np.zeros(batch, dtype=np.int64)
-    targets = np.zeros(batch, dtype=np.int64)
+
+def collate(
+    examples: Sequence[MacroSession],
+    max_ops_per_item: int | None = None,
+    buffers: CollateBuffers | None = None,
+    pad_to: tuple[int, int, int] | None = None,
+) -> SessionBatch:
+    """Pad a list of examples into one :class:`SessionBatch`.
+
+    With ``buffers`` the batch arrays are zeroed views into the pool's
+    grow-only storage instead of fresh allocations — see
+    :class:`CollateBuffers` for the aliasing contract. ``pad_to`` forces
+    the ``(n_max, k_max, t_max)`` padding (must cover the examples); shard
+    workers use it to pad their rows to the full batch's dimensions.
+    """
+    if not examples:
+        raise ValueError("cannot collate an empty list of examples")
+    batch = len(examples)
+    n_max, k_max, t_max = padded_dims(examples, max_ops_per_item)
+    if pad_to is not None:
+        if pad_to[0] < n_max or pad_to[1] < k_max or pad_to[2] < t_max:
+            raise ValueError(f"pad_to {pad_to} smaller than required {(n_max, k_max, t_max)}")
+        n_max, k_max, t_max = pad_to
+
+    if buffers is not None:
+        views = buffers.views(batch, n_max, k_max, t_max)
+        items = views["items"]
+        item_mask = views["item_mask"]
+        ops = views["ops"]
+        op_mask = views["op_mask"]
+        micro_items = views["micro_items"]
+        micro_ops = views["micro_ops"]
+        micro_mask = views["micro_mask"]
+        last_op = views["last_op"]
+        targets = views["targets"]
+    else:
+        items = np.zeros((batch, n_max), dtype=np.int64)
+        item_mask = np.zeros((batch, n_max))
+        ops = np.zeros((batch, n_max, k_max), dtype=np.int64)
+        op_mask = np.zeros((batch, n_max, k_max))
+        micro_items = np.zeros((batch, t_max), dtype=np.int64)
+        micro_ops = np.zeros((batch, t_max), dtype=np.int64)
+        micro_mask = np.zeros((batch, t_max))
+        last_op = np.zeros(batch, dtype=np.int64)
+        targets = np.zeros(batch, dtype=np.int64)
 
     for b, ex in enumerate(examples):
         if ex.target is None:
@@ -149,6 +249,7 @@ class DataLoader:
         shuffle: bool = False,
         seed: int = 0,
         max_ops_per_item: int | None = 6,
+        reuse_buffers: bool = False,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -158,6 +259,10 @@ class DataLoader:
         self.seed = seed
         self.epoch = 0  # epoch of the *next* pass; auto-advances per __iter__
         self.max_ops_per_item = max_ops_per_item
+        # Opt-in: each yielded batch aliases a shared buffer pool and is
+        # only valid until the next one (safe for consume-as-you-go loops
+        # like Trainer.fit; NOT for `list(loader)`). See CollateBuffers.
+        self._buffers = CollateBuffers() if reuse_buffers else None
 
     def __len__(self) -> int:
         return (len(self.examples) + self.batch_size - 1) // self.batch_size
@@ -192,9 +297,21 @@ class DataLoader:
             rng.shuffle(order)
         return order
 
+    def collate_indices(self, indices: Sequence[int]) -> SessionBatch:
+        """Collate the examples at ``indices`` (honoring buffer reuse).
+
+        Random-access counterpart of iteration: together with
+        :meth:`permutation` it lets any process materialize batch ``b`` of
+        epoch ``e`` directly — the data-parallel workers build their
+        batches this way without ever streaming through earlier ones.
+        """
+        chunk = [self.examples[i] for i in indices]
+        return collate(
+            chunk, max_ops_per_item=self.max_ops_per_item, buffers=self._buffers
+        )
+
     def __iter__(self) -> Iterator[SessionBatch]:
         order = self.permutation(self.epoch)
         self.epoch += 1
         for start in range(0, len(order), self.batch_size):
-            chunk = [self.examples[i] for i in order[start : start + self.batch_size]]
-            yield collate(chunk, max_ops_per_item=self.max_ops_per_item)
+            yield self.collate_indices(order[start : start + self.batch_size])

@@ -24,10 +24,12 @@ __all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentRunner", "MODEL_NA
 
 MODEL_NAMES = list(TABLE3_MODELS)
 
-# TrainConfig fields that are *runtime-only* — machine paths and verbosity
-# have no business inside a portable ModelSpec.
+# TrainConfig fields that are *runtime-only* — machine paths, verbosity,
+# and the worker count (parallelism changes wall-clock, never the math;
+# the math-bearing knob, grad_shards, IS portable) have no business
+# inside a portable ModelSpec.
 _NON_PORTABLE_TRAIN_FIELDS = frozenset(
-    {"checkpoint_path", "checkpoint_every", "resume_from", "verbose"}
+    {"checkpoint_path", "checkpoint_every", "resume_from", "verbose", "workers"}
 )
 
 
@@ -50,6 +52,9 @@ class ExperimentConfig:
     checkpoint_path: str | None = None
     checkpoint_every: int = 0
     resume_from: str | None = None
+    # Data-parallel training (docs/performance.md, "Parallelism").
+    workers: int = 1
+    grad_shards: int = 0  # 0 = auto (follows workers); 1 = classic path
 
     def train_config(self) -> TrainConfig:
         return TrainConfig(
@@ -62,6 +67,8 @@ class ExperimentConfig:
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             resume_from=self.resume_from,
+            workers=self.workers,
+            grad_shards=self.grad_shards,
         )
 
 

@@ -41,6 +41,9 @@ __all__ = ["TrainConfig", "Trainer", "NeuralRecommender"]
 
 # Resuming with any of these changed would silently train a different run;
 # epochs/patience/verbose may legitimately differ (e.g. extending a run).
+# ``workers`` is deliberately absent: the shard grid (``grad_shards``)
+# pins the math, so a run checkpointed under N workers may resume at any
+# worker count and still land on bit-identical parameters.
 _RESUME_CRITICAL_FIELDS = (
     "batch_size",
     "lr",
@@ -52,6 +55,7 @@ _RESUME_CRITICAL_FIELDS = (
     "max_ops_per_item",
     "seed",
     "dtype",
+    "grad_shards",
 )
 
 # Popularity rankings embedded in artifacts are capped so an artifact for a
@@ -76,6 +80,11 @@ class TrainConfig:
     seed: int = 0
     dtype: str = "float64"     # "float32" halves memory traffic (docs/performance.md)
     verbose: bool = False
+    # -- parallelism knobs (docs/performance.md, "Parallelism") ------------
+    workers: int = 1           # forked data-parallel workers (1 = in-process)
+    grad_shards: int = 0       # summation-tree grid; 0 = auto (max(workers, 1)).
+                               # 1 trains the classic whole-batch path bit-for-bit;
+                               # G > 1 is bit-identical across ANY worker count.
     # -- reliability knobs (docs/reliability.md) ---------------------------
     checkpoint_path: str | None = None   # training-state file; None disables
     checkpoint_every: int = 0            # also save every N batches (0 = epoch ends only)
@@ -90,6 +99,23 @@ class EpochStats:
     epoch: int
     train_loss: float
     valid_metric: float
+
+
+class _LossProbe:
+    """Mutable stand-in for the loss tensor at the ``trainer.loss`` failpoint.
+
+    On the executor path the real loss tensors live in the shards (or in
+    forked workers) and only their reduced float comes back; armed fault
+    actions still expect something with a mutable ``.data`` to poison.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, value: float) -> None:
+        self.data = np.asarray(value, dtype=np.float64)
+
+    def item(self) -> float:
+        return float(self.data)
 
 
 class Trainer:
@@ -144,6 +170,14 @@ class Trainer:
 
     def _validate_resume_config(self, saved: dict, path) -> None:
         current = asdict(self.config)
+        # Shard-grid normalization: checkpoints always record the *resolved*
+        # grid (pre-parallelism checkpoints trained the classic grid, 1),
+        # and a current config still on auto (0) adopts whatever the
+        # checkpoint trained with — resuming never silently changes math.
+        saved = dict(saved)
+        saved.setdefault("grad_shards", 1)
+        if not current.get("grad_shards"):
+            current["grad_shards"] = saved["grad_shards"]
         mismatched = {
             name: (saved.get(name), current[name])
             for name in _RESUME_CRITICAL_FIELDS
@@ -157,6 +191,50 @@ class Trainer:
             raise ValueError(f"cannot resume from {path}: config mismatch ({detail})")
 
     # ------------------------------------------------------------------
+    def _resolved_grad_shards(self, state: TrainingState | None) -> int:
+        """The effective summation-tree grid for this run.
+
+        Explicit config wins; auto (0) follows the worker count, except on
+        resume where it adopts the grid the checkpoint was trained with
+        (so ``--workers`` may change freely across restarts).
+        """
+        cfg = self.config
+        if cfg.grad_shards:
+            return int(cfg.grad_shards)
+        if state is not None:
+            return int(state.config.get("grad_shards", 1)) or 1
+        return max(int(cfg.workers), 1)
+
+    def _make_executor(self, grad_shards: int, train_loader: DataLoader, dataset):
+        """Executor for the shard grid: None (classic), serial, or forked.
+
+        ``grad_shards == 1`` keeps the original whole-batch code path —
+        including its persistent dropout streams — bit-for-bit. A grid
+        needs the per-shard math; it runs in-process below 2 effective
+        workers and forks a :class:`~repro.parallel.DataParallelEngine`
+        otherwise (the engine doubles as the executor *and* fans out the
+        validation passes).
+        """
+        if grad_shards <= 1:
+            return None, None
+        from ..parallel import DataParallelEngine, SerialShardExecutor
+
+        cfg = self.config
+        workers = min(max(int(cfg.workers), 1), grad_shards)
+        if workers <= 1:
+            return SerialShardExecutor(self.model, grad_shards=grad_shards, seed=cfg.seed), None
+        engine = DataParallelEngine(
+            self.model,
+            train_loader,
+            workers=workers,
+            grad_shards=grad_shards,
+            seed=cfg.seed,
+            dtype=cfg.dtype,
+            eval_splits={"validation": dataset.validation},
+            num_items=dataset.num_items,
+        )
+        return engine, engine
+
     def _run(self, dataset: PreparedDataset, state: TrainingState | None) -> "Trainer":
         cfg = self.config
         optimizer = Adam(self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
@@ -167,7 +245,9 @@ class Trainer:
             shuffle=True,
             seed=cfg.seed,
             max_ops_per_item=cfg.max_ops_per_item,
+            reuse_buffers=True,  # batches are consumed before the next collate
         )
+        grad_shards = self._resolved_grad_shards(state)
 
         best_metric = -np.inf
         best_state: dict[str, np.ndarray] | None = None
@@ -216,68 +296,98 @@ class Trainer:
                     stale=stale,
                     history=[asdict(h) for h in self.history],
                     epoch_losses=[float(x) for x in losses],
-                    config=asdict(self.config),
+                    config={**asdict(self.config), "grad_shards": grad_shards},
                     spec=self.spec,
                 ),
             )
 
-        for epoch in range(start_epoch, cfg.epochs):
-            self.model.train()
-            train_loader.set_epoch(epoch)
-            losses = epoch_losses if epoch == start_epoch else []
-            skip = start_batch if epoch == start_epoch else 0
-            for batch_index, batch in enumerate(train_loader):
-                if batch_index < skip:
-                    continue  # replaying a resumed epoch up to the cursor
-                loss_value = self._train_batch(
-                    batch, optimizer, watchdog, epoch=epoch, batch_index=batch_index
-                )
-                global_step += 1
-                losses.append(loss_value)
-                if cfg.checkpoint_every and global_step % cfg.checkpoint_every == 0:
-                    checkpoint(epoch, batch_index + 1, losses)
-                failpoint("trainer.after_batch", {"epoch": epoch, "batch": batch_index})
+        executor, engine = self._make_executor(grad_shards, train_loader, dataset)
+        try:
+            for epoch in range(start_epoch, cfg.epochs):
+                self.model.train()
+                train_loader.set_epoch(epoch)
+                losses = epoch_losses if epoch == start_epoch else []
+                skip = start_batch if epoch == start_epoch else 0
+                if engine is not None:
+                    # Workers collate their own shard rows; the master never
+                    # materializes batches, it only walks the batch indices.
+                    batch_iter = ((i, None) for i in range(len(train_loader)))
+                else:
+                    batch_iter = enumerate(train_loader)
+                for batch_index, batch in batch_iter:
+                    if batch_index < skip:
+                        continue  # replaying a resumed epoch up to the cursor
+                    loss_value = self._train_batch(
+                        batch, optimizer, watchdog,
+                        epoch=epoch, batch_index=batch_index, executor=executor,
+                    )
+                    global_step += 1
+                    losses.append(loss_value)
+                    if cfg.checkpoint_every and global_step % cfg.checkpoint_every == 0:
+                        checkpoint(epoch, batch_index + 1, losses)
+                    failpoint("trainer.after_batch", {"epoch": epoch, "batch": batch_index})
 
-            scheduler.step()
-            valid = self.evaluate(dataset.validation, batch_size=cfg.batch_size)
-            metric = valid[cfg.selection_metric]
-            self.history.append(EpochStats(epoch, float(np.mean(losses)), metric))
-            if cfg.verbose:
-                print(
-                    f"epoch {epoch}: loss={np.mean(losses):.4f} "
-                    f"{cfg.selection_metric}={metric:.2f}"
-                )
-            if metric > best_metric:
-                best_metric = metric
-                best_state = self.model.state_dict()
-                stale = 0
-            else:
-                stale += 1
-            checkpoint(epoch + 1, 0, [])
-            failpoint("trainer.after_epoch", {"epoch": epoch})
-            if stale >= self.config.patience:
-                break
+                scheduler.step()
+                if engine is not None:
+                    scores, targets = engine.predict("validation", batch_size=cfg.batch_size)
+                    valid = evaluate_scores(scores, targets)
+                else:
+                    valid = self.evaluate(dataset.validation, batch_size=cfg.batch_size)
+                metric = valid[cfg.selection_metric]
+                self.history.append(EpochStats(epoch, float(np.mean(losses)), metric))
+                if cfg.verbose:
+                    print(
+                        f"epoch {epoch}: loss={np.mean(losses):.4f} "
+                        f"{cfg.selection_metric}={metric:.2f}"
+                    )
+                if metric > best_metric:
+                    best_metric = metric
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                checkpoint(epoch + 1, 0, [])
+                failpoint("trainer.after_epoch", {"epoch": epoch})
+                if stale >= self.config.patience:
+                    break
+        finally:
+            if engine is not None:
+                engine.shutdown()
         if best_state is not None:
             self.model.load_state_dict(best_state)
         return self
 
     def _train_batch(
         self,
-        batch: SessionBatch,
+        batch: SessionBatch | None,
         optimizer: Adam,
         watchdog: DivergenceWatchdog | None,
         epoch: int,
         batch_index: int,
+        executor=None,
     ) -> float:
-        """One optimization step, retried under the divergence watchdog."""
+        """One optimization step, retried under the divergence watchdog.
+
+        With an ``executor`` (shard grid active) the forward/backward runs
+        through :meth:`~repro.parallel.SerialShardExecutor.compute`; the
+        retry counter feeds the per-shard dropout streams so a rolled-back
+        batch redraws fresh masks, like the classic path does by consuming
+        further along its persistent streams.
+        """
         cfg = self.config
+        retry = 0
         while True:
             optimizer.zero_grad()
-            logits = self.model(batch)
-            loss = cross_entropy(logits, batch.target_classes)
-            failpoint("trainer.loss", loss)
-            loss_value = float(loss.item())
-            loss.backward()
+            if executor is None:
+                logits = self.model(batch)
+                loss = cross_entropy(logits, batch.target_classes)
+                failpoint("trainer.loss", loss)
+                loss_value = float(loss.item())
+                loss.backward()
+            else:
+                loss = _LossProbe(executor.compute(epoch, batch_index, retry, batch=batch))
+                failpoint("trainer.loss", loss)
+                loss_value = float(loss.item())
             grad_norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
             if watchdog is None or watchdog.healthy(loss_value, grad_norm):
                 optimizer.step()
@@ -289,6 +399,7 @@ class Trainer:
                 loss=loss_value,
                 grad_norm=grad_norm,
             )
+            retry += 1
 
     # ------------------------------------------------------------------
     def evaluate(

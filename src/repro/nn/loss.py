@@ -17,7 +17,7 @@ from ..perf import fused as _fused
 __all__ = ["cross_entropy"]
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+def cross_entropy(logits: Tensor, targets: np.ndarray, total: int | None = None) -> Tensor:
     """Mean negative log-likelihood of ``targets`` under softmax(logits).
 
     Parameters
@@ -26,6 +26,12 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         [B, num_classes] unnormalized scores.
     targets:
         [B] integer class ids.
+    total:
+        Divisor of the sum of per-row losses. Defaults to the batch size
+        (the ordinary mean). Data-parallel training passes the *full*
+        batch size while scoring one shard of it, so the fixed-order sum
+        of shard losses equals the whole-batch objective
+        (``docs/performance.md``, "Parallelism").
     """
     targets = np.asarray(targets, dtype=np.int64)
     if logits.ndim != 2:
@@ -33,7 +39,9 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     if targets.shape[0] != logits.shape[0]:
         raise ValueError("batch size mismatch between logits and targets")
     if _fused.fusion_enabled():
-        return _fused.log_softmax_nll(logits, targets)
+        return _fused.log_softmax_nll(logits, targets, total=total)
     log_probs = logits.log_softmax(axis=-1)
     picked = log_probs[np.arange(targets.shape[0]), targets]
-    return -picked.mean()
+    if total is None or total == targets.shape[0]:
+        return -picked.mean()
+    return -(picked.sum() / float(total))

@@ -1,0 +1,61 @@
+"""Process-pool fan-out for independent benchmark cells.
+
+A benchmark table is a grid of independent ``model × dataset`` cells:
+each cell builds its model from a fresh, spec-seeded generator, so no
+cell's result depends on which others ran, in what order, or in which
+process. That independence is what makes fan-out *safe*: running the
+cells through a pool produces byte-identical result JSONs to running
+them serially (asserted by ``tests/parallel/test_pool.py``).
+
+Mechanics: the parent stashes the :class:`~repro.eval.ExperimentRunner`
+in a module global and forks the pool, so workers inherit the dataset
+through fork instead of pickling it per task; only the (small) fitted
+results travel back. Results are merged into ``runner.results`` in the
+caller's name order — ``Pool.map`` preserves order, so the merge is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+__all__ = ["run_experiment_cells"]
+
+# Runners visible to forked pool workers (inherited at fork, keyed so
+# nested/successive pools cannot collide). Never mutated by workers.
+_CELL_RUNNERS: dict[int, object] = {}
+
+
+def _run_cell(task: tuple[int, str]):
+    """Pool worker: fit and evaluate one cell of the benchmark grid."""
+    key, name = task
+    return _CELL_RUNNERS[key].run(name)
+
+
+def run_experiment_cells(runner, names, workers: int = 1, verbose: bool = False) -> dict:
+    """Fill ``runner.results`` for ``names``, fanning cells across processes.
+
+    With ``workers <= 1`` (or nothing left to run) this is exactly the
+    serial ``runner.run`` loop. Otherwise pending cells are mapped over a
+    fork pool and the fitted :class:`~repro.eval.ExperimentResult` objects
+    are merged back in order, after which ``runner`` behaves as if it had
+    run every cell itself (``score_on_test``, ``metric_table``, caching).
+    """
+    pending = [name for name in names if name not in runner.results]
+    effective = min(int(workers), len(pending))
+    if effective <= 1:
+        return {name: runner.run(name, verbose=verbose) for name in names}
+    key = max(_CELL_RUNNERS, default=0) + 1
+    _CELL_RUNNERS[key] = runner
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=effective) as pool:
+            results = pool.map(_run_cell, [(key, name) for name in pending])
+    finally:
+        _CELL_RUNNERS.pop(key, None)
+    for result in results:
+        runner.results[result.name] = result
+        if verbose:
+            pretty = ", ".join(f"{k}={v:.2f}" for k, v in result.metrics.items())
+            print(f"[{runner.dataset.name}] {result.name}: {pretty}")
+    return {name: runner.results[name] for name in names}

@@ -1,0 +1,140 @@
+"""Shared-memory block lifecycle for the data-parallel engine.
+
+``multiprocessing.shared_memory`` segments outlive the process that forgot
+to unlink them — on Linux they are files under ``/dev/shm`` that survive
+until reboot. Everything here exists to make that impossible to get wrong:
+
+* every segment this package creates carries the :data:`SEGMENT_PREFIX`
+  (plus the creating pid), so leaks are *observable* —
+  :func:`orphaned_segments` scans ``/dev/shm`` and the cleanup tests in
+  ``tests/parallel/`` assert it returns nothing after normal exits,
+  :class:`~repro.reliability.SimulatedCrash`, and Ctrl-C;
+* :class:`SharedBlock` pairs one segment with one ndarray view and knows
+  how to release it from either side of a fork (owner unlinks, forked
+  workers only close);
+* :class:`SharedArena` owns a set of blocks and tears all of them down
+  from one ``close()``, so engine shutdown paths have a single call to
+  make in their ``finally``.
+
+Workers created via ``fork`` inherit the mapped segments directly — no
+name-based re-attachment, no pickling, and no per-worker registration
+with the resource tracker (only the creating process unlinks).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SEGMENT_PREFIX", "SharedBlock", "SharedArena", "orphaned_segments"]
+
+# /dev/shm file names of every segment this package allocates start with
+# this; the pid of the creating process is appended so concurrent test
+# runs on one machine cannot collide (or blame each other for leaks).
+SEGMENT_PREFIX = "repro-par"
+
+_SHM_DIR = pathlib.Path("/dev/shm")
+
+_counter = 0
+
+
+def _next_name(tag: str) -> str:
+    global _counter
+    _counter += 1
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{_counter}-{tag}"
+
+
+def orphaned_segments(pid: int | None = None) -> list[str]:
+    """Names of live ``/dev/shm`` segments created by this package.
+
+    With ``pid`` the scan is restricted to segments created by that
+    process. Returns an empty list on platforms without ``/dev/shm``
+    (the engine itself is Linux/fork-only anyway).
+    """
+    if not _SHM_DIR.is_dir():
+        return []
+    prefix = SEGMENT_PREFIX if pid is None else f"{SEGMENT_PREFIX}-{pid}-"
+    return sorted(p.name for p in _SHM_DIR.iterdir() if p.name.startswith(prefix))
+
+
+class SharedBlock:
+    """One shared-memory segment exposed as a NumPy array.
+
+    Created by the engine (master) process before forking; workers inherit
+    the object and its mapping. Only the creator unlinks the segment —
+    :meth:`close` does the right thing on both sides automatically.
+    """
+
+    def __init__(self, tag: str, shape: tuple[int, ...], dtype) -> None:
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(
+            name=_next_name(tag), create=True, size=nbytes
+        )
+        self._owner_pid = os.getpid()
+        self.name = self._shm.name
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        self.array.fill(0)
+        self._released = False
+
+    @property
+    def is_owner(self) -> bool:
+        """True in the process that created (and must unlink) the segment."""
+        return os.getpid() == self._owner_pid
+
+    def close(self) -> None:
+        """Release the mapping; the owning process also unlinks the file.
+
+        Idempotent, and safe to call from ``finally`` blocks on both sides
+        of the fork: forked workers only unmap, the creator removes the
+        backing file so nothing is left under ``/dev/shm``.
+        """
+        if self._released:
+            return
+        self._released = True
+        # Drop the ndarray view first: SharedMemory.close() refuses to
+        # unmap while exported buffers are alive.
+        self.array = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            return
+        if self.is_owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class SharedArena:
+    """A set of :class:`SharedBlock` torn down together.
+
+    The engine allocates every buffer through one arena so its shutdown
+    path — normal completion, :class:`~repro.reliability.SimulatedCrash`,
+    ``KeyboardInterrupt``, or a worker death — is a single
+    :meth:`close` call.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: list[SharedBlock] = []
+
+    def allocate(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Allocate a zeroed shared array and track its segment."""
+        block = SharedBlock(tag, shape, dtype)
+        self._blocks.append(block)
+        return block.array
+
+    def close(self) -> None:
+        """Release every block (unlinking in the creator process)."""
+        for block in self._blocks:
+            block.close()
+        self._blocks.clear()
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

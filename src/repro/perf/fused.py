@@ -425,25 +425,34 @@ def relation_values(alpha: Tensor, table: Tensor, rel_ids: np.ndarray) -> Tensor
 # ----------------------------------------------------------------------
 # Loss
 # ----------------------------------------------------------------------
-def log_softmax_nll(logits: Tensor, targets: np.ndarray) -> Tensor:
+def log_softmax_nll(logits: Tensor, targets: np.ndarray, total: int | None = None) -> Tensor:
     """Mean negative log-likelihood of ``targets`` under softmax(logits).
 
     Fuses the max-shift, log-sum-exp, gather, and mean into one node; the
     backward is the textbook ``(softmax - onehot) / batch`` — no [B, C]
     temporaries beyond the cached probabilities.
+
+    ``total`` overrides the divisor of the per-row loss sum (default: the
+    batch size). Sharded data-parallel steps score a slice of a batch but
+    divide by the full batch size, so summing shard losses in fixed order
+    reproduces the whole-batch mean objective.
     """
     targets = np.asarray(targets, dtype=np.int64)
     batch = logits.data.shape[0]
+    divisor = batch if total is None else int(total)
     rows = np.arange(batch)
     shifted = logits.data - logits.data.max(axis=1, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
     log_probs_at_target = shifted[rows, targets] - lse[:, 0]
-    out_data = -log_probs_at_target.mean()
+    if divisor == batch:
+        out_data = -log_probs_at_target.mean()
+    else:
+        out_data = -(log_probs_at_target.sum() / divisor)
     if not _tracking(logits):
         return Tensor(out_data)
 
     def backward() -> None:
-        scale = out.grad / batch  # scalar
+        scale = out.grad / divisor  # scalar
         d_logits = np.exp(shifted - lse) * scale
         d_logits[rows, targets] -= scale
         logits._accumulate(d_logits)

@@ -72,6 +72,10 @@ class OpProfiler:
         self.node_counts: Counter[str] = Counter()
         self.backward_stats: dict[str, list] = {}  # name -> [calls, seconds]
         self.module_stats: dict[str, list] = {}  # class -> [calls, cum, self]
+        # Timeline of (category, name, start_s, duration_s) tuples relative
+        # to _origin; exported by dump_trace() in chrome://tracing format.
+        self.events: list[tuple[str, str, float, float]] = []
+        self._origin = time.perf_counter()
         self._stack: list[float] = []
         self._previous = None
 
@@ -104,6 +108,8 @@ class OpProfiler:
         self.node_counts.clear()
         self.backward_stats.clear()
         self.module_stats.clear()
+        self.events.clear()
+        self._origin = time.perf_counter()
         self._stack.clear()
 
     # -- hook callbacks (called from repro.autograd / repro.nn) --------
@@ -112,12 +118,14 @@ class OpProfiler:
         self.node_counts[_op_name(closure)] += 1
 
     def _run_backward(self, closure) -> None:
+        name = _op_name(closure)
         start = time.perf_counter()
         closure()
         elapsed = time.perf_counter() - start
-        stats = self.backward_stats.setdefault(_op_name(closure), [0, 0.0])
+        stats = self.backward_stats.setdefault(name, [0, 0.0])
         stats[0] += 1
         stats[1] += elapsed
+        self.events.append(("backward", name, start - self._origin, elapsed))
 
     def _call_module(self, module, args, kwargs):
         name = type(module).__name__
@@ -134,6 +142,7 @@ class OpProfiler:
             stats[0] += 1
             stats[1] += elapsed
             stats[2] += elapsed - child_time
+            self.events.append(("forward", name, start - self._origin, elapsed))
 
     # -- reporting -----------------------------------------------------
     def table(self) -> str:
@@ -184,4 +193,45 @@ class OpProfiler:
         """Write :meth:`to_dict` to ``path`` and return it."""
         path = pathlib.Path(path)
         path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def dump_trace(self, path) -> pathlib.Path:
+        """Write the recorded timeline as a chrome://tracing JSON file.
+
+        The file loads in ``chrome://tracing`` or https://ui.perfetto.dev:
+        forward module calls and backward op closures land on two named
+        tracks, as complete ("X") events whose nesting mirrors the module
+        call tree. Timestamps are microseconds relative to the profiler's
+        construction (or last :meth:`reset`).
+        """
+        import os
+
+        pid = os.getpid()
+        tids = {"forward": 1, "backward": 2}
+        trace_events: list[dict] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": category},
+            }
+            for category, tid in tids.items()
+        ]
+        for category, name, start, duration in self.events:
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "X",
+                    "ts": round(start * 1e6, 3),
+                    "dur": round(duration * 1e6, 3),
+                    "pid": pid,
+                    "tid": tids[category],
+                }
+            )
+        path = pathlib.Path(path)
+        path.write_text(
+            json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"}) + "\n"
+        )
         return path

@@ -1,0 +1,32 @@
+"""Shared fixtures for the data-parallel suite."""
+
+import pytest
+
+from repro import reliability as rel
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.parallel import orphaned_segments
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    """No armed failpoint may leak into (or out of) any test."""
+    rel.disarm_all()
+    yield
+    rel.disarm_all()
+
+
+@pytest.fixture(autouse=True)
+def no_orphaned_segments():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(orphaned_segments())
+    yield
+    leaked = set(orphaned_segments()) - before
+    assert not leaked, f"shared-memory segments leaked: {sorted(leaked)}"
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 200, seed=7), cfg.operations, min_support=2, name="jd"
+    )

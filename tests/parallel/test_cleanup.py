@@ -1,0 +1,112 @@
+"""Shared-memory lifecycle: no segment may outlive its engine.
+
+The acceptance bar: after a normal fit, a :class:`SimulatedCrash`
+mid-training, a Ctrl-C (``KeyboardInterrupt``), or a dead worker, the
+``repro-par-*`` namespace in ``/dev/shm`` is empty again. The package-level
+autouse fixture already asserts this after every test; these tests exercise
+each exit path explicitly and assert it inline as well.
+"""
+
+import numpy as np
+import pytest
+
+from repro import reliability as rel
+from repro.autograd import default_dtype
+from repro.data.dataset import DataLoader
+from repro.eval import ExperimentConfig, ExperimentRunner
+from repro.parallel import DataParallelEngine, WorkerError, orphaned_segments
+from repro.reliability import SimulatedCrash
+
+
+def _fit(dataset, **overrides):
+    config = ExperimentConfig(
+        dim=16, epochs=1, batch_size=32, seed=3, workers=2, grad_shards=2, **overrides
+    )
+    recommender = ExperimentRunner(dataset, config).build("EMBSR")
+    recommender.fit(dataset)
+    return recommender
+
+
+def _engine(dataset, timeout=600.0):
+    loader = DataLoader(dataset.train, batch_size=32, shuffle=True, seed=0)
+    with default_dtype("float64"):
+        model = (
+            ExperimentRunner(dataset, ExperimentConfig(dim=16, seed=0))
+            .build("EMBSR")
+            .build_model()
+        )
+    return DataParallelEngine(
+        model,
+        loader,
+        workers=2,
+        grad_shards=2,
+        seed=0,
+        dtype="float64",
+        eval_splits={"validation": dataset.validation},
+        num_items=dataset.num_items,
+        timeout=timeout,
+    )
+
+
+class TestNormalExit:
+    def test_fit_unlinks_every_segment(self, dataset):
+        _fit(dataset)
+        assert orphaned_segments() == []
+
+    def test_engine_shutdown_is_idempotent(self, dataset):
+        engine = _engine(dataset)
+        engine.compute(0, 0)
+        engine.shutdown()
+        engine.shutdown()  # second call must be a no-op, not an error
+        assert orphaned_segments() == []
+
+    def test_context_manager_cleans_up(self, dataset):
+        with _engine(dataset) as engine:
+            loss = engine.compute(0, 0)
+            assert np.isfinite(loss)
+        assert orphaned_segments() == []
+
+
+class TestCrashPaths:
+    def test_simulated_crash_mid_training(self, dataset):
+        rel.arm("trainer.after_batch", rel.crashing(), skip=2)
+        with pytest.raises(SimulatedCrash):
+            _fit(dataset)
+        assert orphaned_segments() == []
+
+    def test_keyboard_interrupt_mid_training(self, dataset):
+        # Workers ignore SIGINT; the master's KeyboardInterrupt must still
+        # tear the arena down on its way out of Trainer.fit's finally.
+        rel.arm("trainer.after_batch", rel.raising(KeyboardInterrupt), skip=2)
+        with pytest.raises(KeyboardInterrupt):
+            _fit(dataset)
+        assert orphaned_segments() == []
+
+    def test_dead_worker_raises_worker_error_not_deadlock(self, dataset):
+        # A worker that vanishes mid-protocol must surface as WorkerError
+        # (via the broken barrier) within the engine timeout — and the
+        # segments must still come down afterwards.
+        engine = _engine(dataset, timeout=5.0)
+        try:
+            engine._procs[0].terminate()
+            engine._procs[0].join()
+            with pytest.raises(WorkerError):
+                engine.compute(0, 0)
+        finally:
+            engine.shutdown()
+        assert orphaned_segments() == []
+
+    def test_worker_side_exception_reports_and_recovers_cleanup(self, dataset):
+        # An exception inside a worker (not process death) sets its error
+        # flag, reaches the done barrier, and surfaces as WorkerError with
+        # the worker's traceback — then shuts down cleanly.
+        engine = _engine(dataset)
+        try:
+            with pytest.raises(WorkerError, match="raised during"):
+                # batch_index far past the epoch's batch count -> every
+                # worker hits padded_dims([]) and raises; flags come back
+                # through the ctrl block, not a hung barrier.
+                engine.compute(0, 10_000)
+        finally:
+            engine.shutdown()
+        assert orphaned_segments() == []

@@ -1,0 +1,75 @@
+"""Benchmark-cell fan-out: pooled runs must be byte-identical to serial.
+
+Cells of a ``model × dataset`` grid are independent — each builds its
+model from a fresh spec-seeded generator — so :func:`run_experiment_cells`
+promises that fanning them across a fork pool changes nothing observable:
+not the metrics, not a single byte of the score matrices, not the caching
+behaviour of the runner.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentConfig, ExperimentRunner
+from repro.parallel import run_experiment_cells
+
+NAMES = ["EMBSR", "NARM", "S-POP"]
+
+
+def _runner(dataset):
+    return ExperimentRunner(
+        dataset, ExperimentConfig(dim=16, epochs=2, batch_size=32, seed=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(dataset):
+    runner = _runner(dataset)
+    run_experiment_cells(runner, NAMES, workers=1)
+    return runner
+
+
+def test_pooled_cells_byte_identical_to_serial(dataset, serial):
+    pooled = _runner(dataset)
+    run_experiment_cells(pooled, NAMES, workers=2)
+
+    assert set(pooled.results) == set(serial.results)
+    for name in NAMES:
+        ours, ref = pooled.results[name], serial.results[name]
+        assert ours.metrics == ref.metrics, name
+        assert np.array_equal(ours.scores, ref.scores), name
+        assert np.array_equal(ours.target_classes, ref.target_classes), name
+        # The JSON a benchmark driver would write from these metrics must
+        # be byte-identical, not merely approximately equal.
+        assert json.dumps(ours.metrics, sort_keys=True) == json.dumps(
+            ref.metrics, sort_keys=True
+        ), name
+
+
+def test_merged_recommenders_rescore_identically(dataset, serial):
+    """The fitted recommender objects that travel back through the pool
+    must be usable in the parent exactly like locally-fitted ones."""
+    pooled = _runner(dataset)
+    run_experiment_cells(pooled, ["EMBSR"], workers=2)
+    scores, targets = pooled.score_on_test(pooled.results["EMBSR"].recommender)
+    assert np.array_equal(scores, serial.results["EMBSR"].scores)
+    assert np.array_equal(targets, serial.results["EMBSR"].target_classes)
+
+
+def test_pool_respects_runner_cache(dataset, serial):
+    pooled = _runner(dataset)
+    run_experiment_cells(pooled, ["S-POP"], workers=1)
+    sentinel = pooled.results["S-POP"]
+    # A second fan-out over a superset must not re-run the cached cell.
+    run_experiment_cells(pooled, NAMES, workers=2)
+    assert pooled.results["S-POP"] is sentinel
+    assert set(pooled.results) == set(NAMES)
+
+
+def test_single_pending_cell_falls_back_to_serial(dataset):
+    pooled = _runner(dataset)
+    out = run_experiment_cells(pooled, ["S-POP"], workers=8)
+    assert set(out) == {"S-POP"}
+    assert "S-POP" in pooled.results

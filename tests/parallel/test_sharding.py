@@ -1,0 +1,159 @@
+"""Unit tests for the canonical shard grid primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data.dataset import DataLoader, collate, padded_dims
+from repro.parallel import (
+    ParamLayout,
+    reduce_shards,
+    shard_bounds,
+    shard_generator,
+    slice_batch,
+)
+
+
+class TestShardBounds:
+    def test_partitions_every_row_exactly_once(self):
+        for rows in (0, 1, 5, 64, 127):
+            for shards in (1, 2, 3, 4, 7):
+                bounds = shard_bounds(rows, shards)
+                assert len(bounds) == shards
+                assert bounds[0][0] == 0 and bounds[-1][1] == rows
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo  # contiguous, no gaps, no overlaps
+
+    def test_first_shards_take_the_remainder(self):
+        assert shard_bounds(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_shards_than_rows_leaves_empty_tails(self):
+        bounds = shard_bounds(2, 4)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_independent_of_worker_count_by_construction(self):
+        # The grid is a function of (rows, shards) only — there is no
+        # worker-count argument to leak through.
+        assert shard_bounds(64, 4) == shard_bounds(64, 4)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(8, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+
+
+class TestSliceAndPadTo:
+    def test_shard_collation_matches_sliced_full_batch(self, dataset):
+        """collate(rows, pad_to=dims) == slice of collate(all rows)."""
+        examples = dataset.train[:13]
+        full = collate(examples, max_ops_per_item=6)
+        dims = padded_dims(examples, max_ops_per_item=6)
+        for lo, hi in shard_bounds(len(examples), 4):
+            via_slice = slice_batch(full, lo, hi)
+            via_pad = collate(examples[lo:hi], max_ops_per_item=6, pad_to=dims)
+            for field in (
+                "items", "item_mask", "ops", "op_mask",
+                "micro_items", "micro_ops", "micro_mask", "last_op", "targets",
+            ):
+                assert np.array_equal(getattr(via_slice, field), getattr(via_pad, field)), field
+
+    def test_pad_to_smaller_than_needed_raises(self, dataset):
+        examples = dataset.train[:4]
+        with pytest.raises(ValueError, match="pad_to"):
+            collate(examples, max_ops_per_item=6, pad_to=(1, 1, 1))
+
+    def test_slice_batch_returns_views(self, dataset):
+        full = collate(dataset.train[:8], max_ops_per_item=6)
+        shard = slice_batch(full, 2, 5)
+        assert shard.items.base is full.items
+        assert shard.batch_size == 3
+
+
+class TestShardGenerator:
+    def test_pure_in_its_arguments(self):
+        a = shard_generator(3, 1, 7, 2).random(5)
+        b = shard_generator(3, 1, 7, 2).random(5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_across_shards_batches_and_retries(self):
+        streams = {
+            shard_generator(0, e, b, s, r).random()
+            for e in range(2) for b in range(2) for s in range(2) for r in range(2)
+        }
+        assert len(streams) == 16  # no collisions anywhere in the lattice
+
+
+class TestParamLayout:
+    def _params(self, dtype=np.float64):
+        rng = np.random.default_rng(0)
+        return [
+            Tensor(rng.standard_normal((4, 3)).astype(dtype), requires_grad=True),
+            Tensor(rng.standard_normal(5).astype(dtype), requires_grad=True),
+        ]
+
+    def test_write_then_bind_round_trips(self):
+        params = self._params()
+        layout = ParamLayout(params)
+        flat = np.zeros(layout.total, dtype=layout.dtype)
+        layout.write_params(flat)
+        originals = [p.data.copy() for p in params]
+        layout.bind_params(flat)
+        for p, original in zip(params, originals):
+            assert np.array_equal(p.data, original)
+            assert p.data.base is flat  # actually views into the buffer
+
+    def test_write_grads_fills_zero_for_untouched_params(self):
+        params = self._params()
+        layout = ParamLayout(params)
+        params[0].grad = np.ones_like(params[0].data)
+        params[1].grad = None
+        row = np.full(layout.total, -1.0)
+        layout.write_grads(row)
+        assert np.all(row[:12] == 1.0)
+        assert np.all(row[12:] == 0.0)
+
+    def test_assign_grads_views_the_reduced_buffer(self):
+        params = self._params()
+        layout = ParamLayout(params)
+        flat = np.arange(layout.total, dtype=layout.dtype)
+        layout.assign_grads(flat)
+        assert params[0].grad.base is flat
+        assert np.array_equal(params[1].grad, flat[12:])
+
+    def test_mixed_dtypes_rejected(self):
+        params = self._params()
+        params[1].data = params[1].data.astype(np.float32)
+        with pytest.raises(ValueError, match="uniform parameter dtype"):
+            ParamLayout(params)
+
+
+class TestReduceShards:
+    def test_strict_left_to_right_order(self):
+        # Values chosen so float addition order is observable: the fixed
+        # tree must equal the sequential loop, not a pairwise tree.
+        rng = np.random.default_rng(1)
+        rows = (rng.standard_normal((5, 17)) * 10.0 ** rng.integers(-8, 8, (5, 17))).astype(np.float64)
+        out = np.empty(17)
+        reduce_shards(rows, out)
+        expected = rows[0].copy()
+        for s in range(1, 5):
+            expected += rows[s]
+        assert np.array_equal(out, expected)
+
+    def test_single_row_is_a_copy(self):
+        rows = np.arange(6.0).reshape(1, 6)
+        out = np.empty(6)
+        reduce_shards(rows, out)
+        assert np.array_equal(out, rows[0])
+
+
+class TestLoaderRandomAccess:
+    def test_collate_indices_matches_iteration(self, dataset):
+        loader = DataLoader(dataset.train, batch_size=16, shuffle=True, seed=5)
+        order = loader.permutation(0)
+        via_iter = list(DataLoader(dataset.train, batch_size=16, shuffle=True, seed=5))
+        for index, batch in enumerate(via_iter):
+            direct = loader.collate_indices(order[index * 16 : (index + 1) * 16])
+            assert np.array_equal(batch.items, direct.items)
+            assert np.array_equal(batch.targets, direct.targets)

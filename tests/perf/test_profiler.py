@@ -106,6 +106,45 @@ def test_backward_time_attributed_to_fused_ops():
     assert calls == 1 and seconds >= 0.0
 
 
+def test_dump_trace_writes_chrome_tracing_json(tmp_path):
+    """dump_trace emits a chrome://tracing file with forward and backward
+    tracks, nested complete events, and microsecond timestamps."""
+    model = _tiny_model()
+    x = Tensor(np.random.default_rng(5).normal(size=(3, 4)))
+    with perf.OpProfiler() as prof:
+        model(x).sum().backward()
+    path = prof.dump_trace(tmp_path / "trace.json")
+    payload = json.loads(path.read_text())
+
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"forward", "backward"}
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete, "no timeline events recorded"
+    for event in complete:
+        assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        assert event["cat"] in ("forward", "backward")
+    names = {e["name"] for e in complete}
+    # Module forward calls and backward op closures both appear.
+    assert "Linear" in names and "addmm" in names
+    # Forward and backward land on their own tracks.
+    tid_by_cat = {e["cat"]: e["tid"] for e in complete}
+    assert tid_by_cat["forward"] != tid_by_cat["backward"]
+
+
+def test_dump_trace_respects_reset(tmp_path):
+    model = _tiny_model()
+    x = Tensor(np.ones((2, 4)))
+    with perf.OpProfiler() as prof:
+        model(x).sum().backward()
+        prof.reset()
+        model(x)  # forward only after the reset
+    payload = json.loads(prof.dump_trace(tmp_path / "trace.json").read_text())
+    complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert complete and all(e["cat"] == "forward" for e in complete)
+
+
 def test_profile_cli_smoke(tmp_path, capsys):
     """`repro profile` prints the table and writes JSON."""
     pytest.importorskip("repro.cli")

@@ -19,6 +19,11 @@ PACKAGES = [
     "repro.perf",
     "repro.perf.profiler",
     "repro.perf.fused",
+    "repro.parallel",
+    "repro.parallel.shm",
+    "repro.parallel.sharding",
+    "repro.parallel.engine",
+    "repro.parallel.pool",
     "repro.utils",
     "repro.serve",
     "repro.serving",

@@ -45,6 +45,28 @@ class TestParser:
         assert args.max_batch_size == 16
         assert args.deadline_ms == 250.0
 
+    def test_parallel_args(self):
+        base = ["train", "--dataset", "d.json", "--model", "EMBSR"]
+        args = build_parser().parse_args(base + ["--workers", "4", "--grad-shards", "8"])
+        assert args.workers == 4
+        assert args.grad_shards == 8
+        # Defaults: single process, auto grid.
+        args = build_parser().parse_args(base)
+        assert args.workers == 1
+        assert args.grad_shards == 0
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "d.json", "--models", "EMBSR", "NARM",
+             "--cell-workers", "3"]
+        )
+        assert args.cell_workers == 3
+
+    def test_profile_trace_arg(self):
+        args = build_parser().parse_args(
+            ["profile", "--dataset", "d.json", "--model", "EMBSR",
+             "--trace", "t.json"]
+        )
+        assert args.trace == "t.json"
+
 
 class TestPipeline:
     def test_artifacts_created(self, pipeline_files):
