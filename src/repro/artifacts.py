@@ -39,6 +39,7 @@ __all__ = [
     "load_artifact",
     "try_load_artifact",
     "load_recommender",
+    "store_retrieval_spec",
 ]
 
 ARTIFACT_FORMAT_VERSION = 1
@@ -85,6 +86,19 @@ class ModelArtifact:
         from .eval.trainer import NeuralRecommender
 
         return NeuralRecommender.from_artifact(self, train_config)
+
+    def retrieval_spec(self):
+        """The stored ANN index recipe, or ``None`` when none was saved.
+
+        Indexes are rebuilt from this recipe at load time — the artifact
+        never carries index arrays (``docs/retrieval.md``).
+        """
+        stored = self.metadata.get("retrieval")
+        if not stored:
+            return None
+        from .retrieval import IndexSpec
+
+        return IndexSpec.from_dict(stored)
 
 
 def save_artifact(
@@ -164,3 +178,22 @@ def try_load_artifact(path: str | pathlib.Path) -> ModelArtifact | None:
 def load_recommender(path: str | pathlib.Path, train_config=None):
     """One-call boot: artifact on disk -> fitted, scoreable recommender."""
     return load_artifact(path).build(train_config)
+
+
+def store_retrieval_spec(path: str | pathlib.Path, spec) -> pathlib.Path:
+    """Record an ANN index recipe in an artifact's metadata (atomic rewrite).
+
+    ``repro index build ... --save`` uses this so a later
+    ``repro serve --artifact`` rebuilds the exact same index — same
+    resolved cells/nprobe/seed — without any side file.
+    """
+    artifact = load_artifact(path)
+    metadata = dict(artifact.metadata)
+    metadata["retrieval"] = spec.to_dict()
+    return save_artifact(
+        path,
+        spec=artifact.spec,
+        weights=artifact.weights,
+        item_ids=artifact.item_ids,
+        metadata=metadata,
+    )

@@ -44,7 +44,8 @@ class BERT4Rec(Module):
         self.mask_id = num_items + 1
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         B, n = batch.items.shape
         lengths = batch.macro_lengths()
         # Insert the [MASK] token right after each session's last item.
@@ -59,5 +60,8 @@ class BERT4Rec(Module):
         x = self.dropout(self.norm(x))
         for block in self.blocks:
             x = block(x, mask=mask)
-        session = x[np.arange(B), lengths, :]  # output at the [MASK] slot
+        return x[np.arange(B), lengths, :]  # output at the [MASK] slot
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        session = self.encode_sessions(batch)
         return session @ self.item_embedding.weight[1 : self.num_items + 1].T

@@ -42,7 +42,8 @@ class GCSAN(Module):
         self.dropout = Dropout(dropout, rng=rng)
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         graph = graph or BatchGraph.from_batch(batch)
         nodes = self.dropout(self.item_embedding(graph.node_items))
         h = self.ggnn(nodes, graph)
@@ -52,5 +53,8 @@ class GCSAN(Module):
             attended = block(attended, mask=batch.item_mask)
         e_last = last_position_rep(attended, batch.item_mask)
         h_last = last_position_rep(seq, batch.item_mask)
-        session = e_last * self.omega + h_last * (1.0 - self.omega)
+        return e_last * self.omega + h_last * (1.0 - self.omega)
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        session = self.encode_sessions(batch, graph)
         return session @ self.item_embedding.weight[1:].T

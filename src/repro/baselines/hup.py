@@ -40,7 +40,8 @@ class HUP(Module):
         self.dim = dim
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         B, n, k = batch.ops.shape
         # Micro level: encode each macro step's operation sequence.
         ops = self.op_embedding(batch.ops.reshape(B * n, k))
@@ -55,5 +56,8 @@ class HUP(Module):
         energy = (self.a1(h_t).unsqueeze(1) + self.a2(outputs)).sigmoid() @ self.v
         alpha = energy * Tensor(batch.item_mask)
         pooled = (alpha.unsqueeze(2) * outputs).sum(axis=1)
-        session = pooled + h_t
+        return pooled + h_t
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        session = self.encode_sessions(batch)
         return session @ self.item_embedding.weight[1:].T

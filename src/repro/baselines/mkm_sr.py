@@ -38,7 +38,8 @@ class MKMSR(Module):
         self.dropout = Dropout(dropout, rng=rng)
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         graph = graph or BatchGraph.from_batch(batch)
         nodes = self.dropout(self.item_embedding(graph.node_items))
         h = self.ggnn(nodes, graph)
@@ -49,5 +50,8 @@ class MKMSR(Module):
         ops = self.dropout(self.op_embedding(batch.micro_ops))
         _, op_rep = self.op_gru(ops, mask=batch.micro_mask)
 
-        session = self.combine(concat([item_rep, op_rep], axis=1))
+        return self.combine(concat([item_rep, op_rep], axis=1))
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        session = self.encode_sessions(batch, graph)
         return session @ self.item_embedding.weight[1:].T

@@ -35,7 +35,8 @@ class NARM(Module):
         self.dropout = Dropout(dropout, rng=rng)
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         x = self.dropout(self.item_embedding(batch.items))
         outputs, h_t = self.gru(x, mask=batch.item_mask)
         # Local encoder: attention over hidden states with h_t as query.
@@ -43,5 +44,8 @@ class NARM(Module):
         alpha = energy * Tensor(batch.item_mask)
         c_local = (alpha.unsqueeze(2) * outputs).sum(axis=1)
         c = self.dropout(concat([h_t, c_local], axis=1))
-        session = self.b(c)
+        return self.b(c)
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        session = self.encode_sessions(batch)
         return session @ self.item_embedding.weight[1:].T

@@ -32,12 +32,16 @@ class RIB(Module):
         self.dropout = Dropout(dropout, rng=rng)
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         x = self.item_embedding(batch.micro_items) + self.op_embedding(batch.micro_ops)
         x = self.dropout(x)
         outputs, _ = self.gru(x, mask=batch.micro_mask)
         energy = self.att(outputs).tanh() @ self.q  # [B, t]
         bias = Tensor(np.where(batch.micro_mask > 0, 0.0, -1e9))
         alpha = (energy + bias).softmax(axis=1)
-        session = (alpha.unsqueeze(2) * outputs).sum(axis=1)
+        return (alpha.unsqueeze(2) * outputs).sum(axis=1)
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        session = self.encode_sessions(batch)
         return session @ self.item_embedding.weight[1:].T

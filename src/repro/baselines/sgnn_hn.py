@@ -49,7 +49,8 @@ class SGNNHN(Module):
         self.dim = dim
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         graph = graph or BatchGraph.from_batch(batch)
         nodes0 = self.dropout(self.item_embedding(graph.node_items))
         mask = Tensor(graph.node_mask[..., None])
@@ -65,5 +66,8 @@ class SGNNHN(Module):
         ).sigmoid() @ self.q
         alpha = energy * Tensor(batch.item_mask)
         pooled = (alpha.unsqueeze(2) * seq).sum(axis=1)
-        session = self.w4(concat([pooled, last], axis=1))
+        return self.w4(concat([pooled, last], axis=1))
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        session = self.encode_sessions(batch, graph)
         return self.predictor(session, self.item_embedding.weight)

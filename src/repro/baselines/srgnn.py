@@ -29,11 +29,15 @@ class SRGNN(Module):
         self.dropout = Dropout(dropout, rng=rng)
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         graph = graph or BatchGraph.from_batch(batch)
         nodes = self.dropout(self.item_embedding(graph.node_items))
         h = self.ggnn(nodes, graph)
         seq = Tensor(graph.gather) @ h  # node states at macro positions
         last = last_position_rep(seq, batch.item_mask)
-        session = self.readout(seq, last, batch.item_mask)
+        return self.readout(seq, last, batch.item_mask)
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        session = self.encode_sessions(batch, graph)
         return session @ self.item_embedding.weight[1:].T

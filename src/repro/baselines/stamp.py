@@ -37,7 +37,8 @@ class STAMP(Module):
         self.dropout = Dropout(dropout, rng=rng)
         self.num_items = num_items
 
-    def forward(self, batch: SessionBatch) -> Tensor:
+    def encode_sessions(self, batch: SessionBatch) -> Tensor:
+        """[B, d] session representations (the scoring-head queries)."""
         x = self.dropout(self.item_embedding(batch.items))  # [B, n, d]
         mask = Tensor(batch.item_mask[..., None])
         counts = Tensor(np.maximum(batch.item_mask.sum(axis=1, keepdims=True), 1.0))
@@ -52,5 +53,8 @@ class STAMP(Module):
 
         h_s = self.mlp_s(m_a).tanh()
         h_t = self.mlp_t(x_t).tanh()
-        session = h_s * h_t  # trilinear composition
+        return h_s * h_t  # trilinear composition
+
+    def forward(self, batch: SessionBatch) -> Tensor:
+        session = self.encode_sessions(batch)
         return session @ self.item_embedding.weight[1:].T

@@ -224,6 +224,40 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--max-wait-ms", type=float, default=5.0)
     p.add_argument("--deadline-ms", type=float, default=250.0)
     p.add_argument("--duration", type=float, default=0.0, help="seconds to serve (0 = until Ctrl-C)")
+    p.add_argument(
+        "--retrieval",
+        choices=["auto", "exact", "ivf", "ivfpq"],
+        default="auto",
+        help="scoring path: exact full scoring, ANN candidate generation, or auto by catalogue size",
+    )
+    p.add_argument("--nprobe", type=int, default=None, help="ANN cells probed per query (default: index spec)")
+
+
+def _add_index(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("index", help="build or inspect the ANN retrieval index of a model artifact")
+    action = p.add_subparsers(dest="index_command", required=True)
+
+    b = action.add_parser("build", help="build an index, report recall vs. exact, optionally save the recipe")
+    b.add_argument("artifact", help="model artifact (.npz) whose item embeddings to index")
+    b.add_argument("--kind", choices=["ivf", "ivfpq"], default="ivf")
+    b.add_argument("--cells", type=int, default=0, help="coarse clusters (0 = ~sqrt(n_items))")
+    b.add_argument("--nprobe", type=int, default=0, help="cells probed per query (0 = cells/8)")
+    b.add_argument("--pq-m", type=int, default=0, help="PQ subspaces (ivfpq; 0 = dim/4)")
+    b.add_argument("--pq-bits", type=int, default=8, help="bits per PQ code (ivfpq)")
+    b.add_argument("--rerank", type=int, default=512, help="exact re-rank shortlist size (ivfpq)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--queries", type=int, default=200, help="sampled query vectors for the recall check")
+    b.add_argument("--save", action="store_true", help="store the build recipe in the artifact metadata")
+    b.add_argument(
+        "--min-recall",
+        type=float,
+        default=None,
+        metavar="R",
+        help="exit non-zero unless recall@20 >= R (CI gate)",
+    )
+
+    i = action.add_parser("inspect", help="print an artifact's stored index recipe and rebuild stats")
+    i.add_argument("artifact")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -237,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare(sub)
     _add_profile(sub)
     _add_serve(sub)
+    _add_index(sub)
     return parser
 
 
@@ -456,7 +491,12 @@ def _cmd_serve(args) -> int:
         # Self-describing bundle: model, vocabulary, and popularity fallback
         # all come from the one file — no dataset is generated or loaded.
         try:
-            gateway = ServingGateway.from_artifact(args.artifact, config=gateway_config)
+            gateway = ServingGateway.from_artifact(
+                args.artifact,
+                config=gateway_config,
+                retrieval=args.retrieval,
+                nprobe=args.nprobe,
+            )
         except FileNotFoundError:
             print(f"artifact not found: {args.artifact}", file=sys.stderr)
             return 1
@@ -464,6 +504,7 @@ def _cmd_serve(args) -> int:
             print(f"cannot serve {args.artifact}: {error}", file=sys.stderr)
             return 1
         model_name = gateway.service.recommender.name
+        print(f"retrieval mode: {gateway.service.retrieval_mode}")
         return _serve_loop(args, gateway, model_name)
 
     config_fn, min_support = _CONFIGS[args.config]
@@ -492,8 +533,98 @@ def _cmd_serve(args) -> int:
     else:
         recommender = runner.run(args.model, verbose=True).recommender
     service = RecommenderService(recommender, dataset.vocab, num_ops=dataset.num_operations)
+    try:
+        service.enable_retrieval(args.retrieval, nprobe=args.nprobe)
+    except ValueError as error:
+        print(f"retrieval unavailable for {args.model}: {error}", file=sys.stderr)
+        return 1
     gateway = ServingGateway(service, gateway_config, fallback=PopularityFallback(dataset))
+    print(f"retrieval mode: {service.retrieval_mode}")
     return _serve_loop(args, gateway, args.model)
+
+
+def _index_factorization(path):
+    """Load an artifact and factorize its model's scoring head."""
+    from .artifacts import load_artifact
+    from .retrieval import factorize
+
+    bundle = load_artifact(path)
+    recommender = bundle.build()
+    fact = factorize(recommender.model, dtype=bundle.spec.dtype)
+    if fact is None:
+        raise ValueError(
+            f"{bundle.spec.name} does not expose encode_sessions(); cannot index"
+        )
+    return bundle, fact
+
+
+def _cmd_index(args) -> int:
+    import numpy as np
+
+    from .retrieval import IndexSpec, build_index, measure_recall, sample_queries
+
+    try:
+        bundle, fact = _index_factorization(args.artifact)
+    except FileNotFoundError:
+        print(f"artifact not found: {args.artifact}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"cannot index {args.artifact}: {error}", file=sys.stderr)
+        return 1
+    items = fact.item_matrix()
+
+    if args.index_command == "inspect":
+        spec = bundle.retrieval_spec()
+        if spec is None:
+            print(f"{args.artifact}: no stored index recipe (run `repro index build ... --save`)")
+            return 0
+        index = build_index(items, spec)
+        sizes = index.list_sizes()
+        print(f"{args.artifact}: {spec.kind} index recipe")
+        for key, value in spec.resolve(*items.shape).to_dict().items():
+            print(f"  {key:12s} {value}")
+        print(f"  items        {index.n_items}")
+        print(f"  list sizes   min={sizes.min()} mean={sizes.mean():.1f} max={sizes.max()}")
+        print(f"  index bytes  {index.memory_bytes()}")
+        return 0
+
+    spec = IndexSpec(
+        kind=args.kind,
+        cells=args.cells,
+        nprobe=args.nprobe,
+        seed=args.seed,
+        pq_m=args.pq_m,
+        pq_bits=args.pq_bits,
+        rerank=args.rerank,
+    ).resolve(*items.shape)
+    print(f"building {spec.kind} index over {items.shape[0]} items (dim {items.shape[1]})")
+    index = build_index(items, spec)
+    for key, value in index.spec.to_dict().items():
+        print(f"  {key:12s} {value}")
+
+    queries = sample_queries(items, args.queries, seed=spec.seed)
+    result = measure_recall(index, queries, ks=(10, 20))
+    ann = np.array(result["ann_ms"])
+    exact = np.array(result["exact_ms"])
+    print(f"recall vs. exact over {len(queries)} sampled queries (nprobe={result['nprobe']}):")
+    print(f"  recall@10    {result['recall'][10]:.4f}")
+    print(f"  recall@20    {result['recall'][20]:.4f}")
+    print(f"  candidates   {result['candidates']:.0f} / query (mean)")
+    print(f"  ann p50/p95  {np.percentile(ann, 50):.3f} / {np.percentile(ann, 95):.3f} ms")
+    print(f"  exact p50    {np.percentile(exact, 50):.3f} ms")
+
+    if args.save:
+        from .artifacts import store_retrieval_spec
+
+        store_retrieval_spec(args.artifact, index.spec)
+        print(f"recipe stored in {args.artifact} metadata")
+    if args.min_recall is not None and result["recall"][20] < args.min_recall:
+        print(
+            f"FAIL: recall@20 {result['recall'][20]:.4f} < required {args.min_recall}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _serve_loop(args, gateway, model_name: str) -> int:
@@ -527,6 +658,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "profile": _cmd_profile,
     "serve": _cmd_serve,
+    "index": _cmd_index,
 }
 
 

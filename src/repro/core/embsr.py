@@ -174,8 +174,8 @@ class EMBSR(Module):
         return micro_reps, macro_reps, star
 
     # ------------------------------------------------------------------
-    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
-        """Score all items for each session; returns [B, num_items] logits."""
+    def encode_sessions(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        """[B, d] session representations m (Eq. 16) — the scoring-head queries."""
         cfg = self.config
         if graph is None and cfg.encoder == "star_gnn":
             graph = BatchGraph.from_batch(batch)
@@ -230,5 +230,9 @@ class EMBSR(Module):
         # Recent interest x_t: representation of the last micro-behavior.
         x_t = x_seq[np.arange(B), last_index, :]
 
-        m = self.fusion(z_s, x_t)
+        return self.fusion(z_s, x_t)
+
+    def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
+        """Score all items for each session; returns [B, num_items] logits."""
+        m = self.encode_sessions(batch, graph)
         return self.predictor(m, self.item_embedding.weight)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["top_k_indices"]
+__all__ = ["top_k_indices", "topk_recall"]
 
 
 def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
@@ -62,3 +62,22 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     order = np.argsort(-candidate_scores, axis=1, kind="stable")
     result = np.take_along_axis(candidates, order, axis=1)
     return result[0] if squeeze else result
+
+
+def topk_recall(reference: np.ndarray, approximate: np.ndarray, k: int) -> float:
+    """Fraction of the top-``k`` reference indices the approximate list kept.
+
+    The standard ANN quality metric (``repro.retrieval``): order within the
+    top-``k`` is ignored, membership is what counts. Accepts 1-D index lists
+    or 2-D ``[rows, >=k]`` matrices (averaged over rows).
+    """
+    reference = np.atleast_2d(np.asarray(reference))
+    approximate = np.atleast_2d(np.asarray(approximate))
+    if reference.shape[0] != approximate.shape[0]:
+        raise ValueError(
+            f"row mismatch: reference {reference.shape[0]} vs approximate {approximate.shape[0]}"
+        )
+    hits = 0
+    for ref_row, approx_row in zip(reference, approximate):
+        hits += len(np.intersect1d(ref_row[:k], approx_row[:k], assume_unique=True))
+    return hits / (k * reference.shape[0])

@@ -1,0 +1,54 @@
+"""repro.retrieval — ANN candidate generation for million-item serving.
+
+Exact serving scores every catalogue item per request; the per-request
+``[B, num_items]`` matmul is what breaks at 10^6–10^7 items. This package
+factorizes each model's scoring head into ``queries @ item_matrix.T``
+(:mod:`~repro.retrieval.factorize`), builds an IVF(-PQ) index over the
+static item matrix (:mod:`~repro.retrieval.index`,
+:mod:`~repro.retrieval.kmeans`, :mod:`~repro.retrieval.pq`), and serves
+through a two-stage path — probe a few cells, exact re-rank the
+candidates — that preserves the exact path's ranking contract
+(:mod:`~repro.retrieval.pipeline`) and is measured against it
+(:mod:`~repro.retrieval.evaluate`).
+
+Indexes are rebuilt deterministically from the model artifact: the build
+recipe (:class:`IndexSpec`) travels in artifact metadata via
+:func:`repro.artifacts.store_retrieval_spec`, never the index arrays.
+See ``docs/retrieval.md``.
+"""
+
+from .evaluate import measure_recall, recall_frontier, sample_queries
+from .factorize import ScoringFactorization, factorize
+from .index import (
+    AUTO_ANN_THRESHOLD,
+    INDEX_KINDS,
+    IndexSpec,
+    IVFIndex,
+    build_index,
+    default_spec,
+    resolve_retrieval_kind,
+)
+from .kmeans import KMeansResult, lloyd_kmeans, spherical_kmeans
+from .pipeline import RetrievalPipeline, RetrievalStats
+from .pq import PQCodebook
+
+__all__ = [
+    "AUTO_ANN_THRESHOLD",
+    "INDEX_KINDS",
+    "IVFIndex",
+    "IndexSpec",
+    "KMeansResult",
+    "PQCodebook",
+    "RetrievalPipeline",
+    "RetrievalStats",
+    "ScoringFactorization",
+    "build_index",
+    "default_spec",
+    "factorize",
+    "lloyd_kmeans",
+    "measure_recall",
+    "recall_frontier",
+    "resolve_retrieval_kind",
+    "sample_queries",
+    "spherical_kmeans",
+]

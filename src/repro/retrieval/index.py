@@ -1,0 +1,263 @@
+"""IVF(-PQ) candidate-generation index over the item embedding table.
+
+The catalogue's scoring-space item vectors (see
+:mod:`repro.retrieval.factorize`) are partitioned into ``cells`` coarse
+clusters by seeded spherical k-means. A query ranks the cell centroids,
+scans the inverted lists of its best ``nprobe`` cells, and hands the
+resulting candidate set to an exact re-rank
+(:mod:`repro.retrieval.pipeline`). With ``kind="ivfpq"`` a product-
+quantization codebook over cell residuals shortlists inside the probed
+cells first, so the exact re-rank touches only ``rerank`` rows.
+
+Indexes are **rebuilt, not stored**: :class:`IndexSpec` (a few integers +
+a seed) is recorded in the model artifact's metadata via
+``repro.artifacts.store_retrieval_spec``, and :func:`build_index` is a
+pure function of ``(item_vectors, spec)`` — same artifact, same spec,
+bit-identical index in any process (``tests/retrieval/test_index.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from ..eval.topk import top_k_indices
+from .kmeans import spherical_kmeans
+from .pq import PQCodebook
+
+__all__ = [
+    "AUTO_ANN_THRESHOLD",
+    "INDEX_KINDS",
+    "IndexSpec",
+    "IVFIndex",
+    "build_index",
+    "default_spec",
+    "resolve_retrieval_kind",
+]
+
+# Catalogue size beyond which ``repro serve --retrieval auto`` switches from
+# exact full scoring to ANN candidate generation. Full scoring is benched
+# comfortably fast up to ~10^5 items (bench_supp3_topk.py); past that the
+# per-request matmul dominates the latency budget.
+AUTO_ANN_THRESHOLD = 100_000
+
+INDEX_KINDS = ("ivf", "ivfpq")
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Everything needed to rebuild an index deterministically.
+
+    ``cells=0`` / ``nprobe=0`` mean "auto": resolved against the catalogue
+    size by :meth:`resolve` (and the resolved values are what artifacts
+    record, so a bundle's metadata always names the exact build).
+    """
+
+    kind: str = "ivf"            # "ivf" | "ivfpq"
+    cells: int = 0               # coarse clusters; 0 = ~sqrt(n)
+    nprobe: int = 0              # cells scanned per query; 0 = max(1, cells // 8)
+    seed: int = 0
+    train_size: int = 131072     # k-means training sample bound
+    iters: int = 20              # coarse k-means iterations
+    pq_m: int = 0                # PQ subspaces; 0 = auto (dim // 4), ivfpq only
+    pq_bits: int = 8             # 2^bits codes per subspace
+    rerank: int = 512            # exact re-rank shortlist size, ivfpq only
+
+    def __post_init__(self):
+        if self.kind not in INDEX_KINDS:
+            raise ValueError(f"kind must be one of {INDEX_KINDS}, got {self.kind!r}")
+
+    def resolve(self, n_items: int, dim: int) -> "IndexSpec":
+        """Fill the auto (0) fields for a concrete catalogue."""
+        cells = self.cells or max(1, min(n_items, int(round(float(n_items) ** 0.5))))
+        cells = min(cells, n_items)
+        nprobe = min(self.nprobe or max(1, cells // 8), cells)
+        pq_m = self.pq_m
+        pq_bits = self.pq_bits
+        if self.kind == "ivfpq":
+            if pq_m == 0:
+                pq_m = next((m for m in (dim // 4, dim // 2, dim) if m and dim % m == 0), 1)
+            # A sub-codebook cannot have more centroids than training points.
+            pq_bits = min(pq_bits, max(1, n_items.bit_length() - 1))
+        return replace(self, cells=cells, nprobe=nprobe, pq_m=pq_m, pq_bits=pq_bits)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IndexSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def default_spec(n_items: int, dim: int, kind: str = "ivf") -> IndexSpec:
+    """The auto spec ``repro serve`` builds when the artifact records none."""
+    return IndexSpec(kind=kind).resolve(n_items, dim)
+
+
+def resolve_retrieval_kind(requested: str, n_items: int) -> str:
+    """Map a ``--retrieval`` flag onto a concrete mode.
+
+    ``auto`` picks exact scoring below :data:`AUTO_ANN_THRESHOLD` items and
+    IVF at or above it; explicit modes pass through (and are validated).
+    """
+    if requested == "auto":
+        return "ivf" if n_items >= AUTO_ANN_THRESHOLD else "exact"
+    if requested not in ("exact",) + INDEX_KINDS:
+        raise ValueError(
+            f"unknown retrieval mode {requested!r}; expected exact, auto, "
+            + ", or ".join(INDEX_KINDS)
+        )
+    return requested
+
+
+class IVFIndex:
+    """Inverted-file index: unit centroids + per-cell item lists.
+
+    ``vectors`` is the scoring-space item matrix (row ``i`` scores item
+    class ``i``, i.e. item id ``i + 1``); the index keeps a reference for
+    the exact re-rank stage — candidate generation never copies it.
+    """
+
+    def __init__(
+        self,
+        spec: IndexSpec,
+        vectors: np.ndarray,
+        centroids: np.ndarray,
+        lists: list[np.ndarray],
+        cell_means: np.ndarray,
+        pq: PQCodebook | None = None,
+    ):
+        self.spec = spec
+        self.vectors = vectors
+        self.centroids = centroids
+        self.lists = lists
+        self.cell_means = cell_means
+        self.pq = pq
+
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def n_cells(self) -> int:
+        return self.centroids.shape[0]
+
+    def list_sizes(self) -> np.ndarray:
+        return np.array([len(l) for l in self.lists])
+
+    def memory_bytes(self) -> int:
+        """Index-only footprint (centroids + lists + codes), vectors excluded."""
+        total = self.centroids.nbytes + self.cell_means.nbytes
+        total += sum(l.nbytes for l in self.lists)
+        if self.pq is not None:
+            total += self.pq.codebooks.nbytes + self.pq.codes.nbytes
+        return int(total)
+
+    # ------------------------------------------------------------------
+    def probe(self, queries: np.ndarray, nprobe: int | None = None) -> np.ndarray:
+        """``[B, nprobe]`` best cells per query (by centroid dot product)."""
+        nprobe = min(nprobe or self.spec.nprobe, self.n_cells)
+        return top_k_indices(queries @ self.centroids.T, nprobe)
+
+    def candidates(
+        self, query: np.ndarray, nprobe: int | None = None, min_candidates: int = 0
+    ) -> tuple[np.ndarray, int]:
+        """Ascending candidate classes for one query, plus cells probed.
+
+        Probing widens deterministically (next-best cells) until at least
+        ``min_candidates`` candidates are collected, so a request for
+        ``k`` items never starves on unluckily small cells.
+        """
+        nprobe = min(nprobe or self.spec.nprobe, self.n_cells)
+        ranked = top_k_indices(query @ self.centroids.T, self.n_cells)
+        probed = nprobe
+        while True:
+            cand = [self.lists[c] for c in ranked[:probed] if len(self.lists[c])]
+            total = sum(len(c) for c in cand)
+            if total >= min_candidates or probed >= self.n_cells:
+                break
+            probed += 1
+        merged = np.concatenate(cand) if cand else np.empty(0, dtype=np.int64)
+        merged.sort()  # ascending classes keep the re-rank's tie order exact
+        return merged, probed
+
+    def shortlist(
+        self,
+        query: np.ndarray,
+        candidates: np.ndarray,
+        rerank: int | None = None,
+    ) -> np.ndarray:
+        """PQ ADC shortlist of ``candidates`` (ascending classes), or all of
+        them when the index carries no codebook / they already fit."""
+        rerank = rerank or self.spec.rerank
+        if self.pq is None or len(candidates) <= rerank:
+            return candidates
+        # One [cells, d] matvec then an integer gather — materializing
+        # cell_means[cells] would cost as much as gathering the real vectors.
+        means_dot = self.cell_means @ query
+        approx = means_dot[self._cell_of[candidates]] + self.pq.approx_scores(
+            self.pq.lookup_tables(query), candidates
+        )
+        keep = candidates[top_k_indices(approx, rerank)]
+        keep.sort()
+        return keep
+
+    # ------------------------------------------------------------------
+    @property
+    def _cell_of(self) -> np.ndarray:
+        cached = getattr(self, "_cell_of_cache", None)
+        if cached is None:
+            cached = np.empty(self.n_items, dtype=np.int64)
+            for cell, members in enumerate(self.lists):
+                cached[members] = cell
+            self._cell_of_cache = cached
+        return cached
+
+    def signature(self) -> dict:
+        """Cheap content fingerprint used by rebuild-determinism tests."""
+        return {
+            "centroid_sum": float(self.centroids.sum()),
+            "list_sizes": self.list_sizes().tolist(),
+            "codes_sum": int(self.pq.codes.sum()) if self.pq is not None else 0,
+        }
+
+
+def build_index(item_vectors: np.ndarray, spec: IndexSpec) -> IVFIndex:
+    """Deterministically build an :class:`IVFIndex` from scoring-space vectors.
+
+    A pure function: the same ``(item_vectors, spec)`` produce bit-identical
+    centroids, inverted lists, and PQ codes in any process.
+    """
+    vectors = np.ascontiguousarray(np.asarray(item_vectors, dtype=np.float64))
+    n, dim = vectors.shape
+    spec = spec.resolve(n, dim)
+    rng = np.random.default_rng(spec.seed)
+    if n > spec.train_size:
+        train = vectors[np.sort(rng.choice(n, size=spec.train_size, replace=False))]
+    else:
+        train = vectors
+    coarse = spherical_kmeans(train, spec.cells, seed=spec.seed, iters=spec.iters)
+    from .kmeans import assign_spherical, _normalize_rows  # noqa: PLC0415
+
+    assignments = assign_spherical(_normalize_rows(vectors), coarse.centroids)
+    lists = [
+        np.flatnonzero(assignments == cell).astype(np.int64) for cell in range(spec.cells)
+    ]
+    cell_means = np.zeros((spec.cells, dim), dtype=np.float64)
+    for cell, members in enumerate(lists):
+        if len(members):
+            cell_means[cell] = vectors[members].mean(axis=0)
+    pq = None
+    if spec.kind == "ivfpq":
+        residuals = vectors - cell_means[assignments]
+        pq = PQCodebook.train(
+            residuals,
+            spec.pq_m,
+            spec.pq_bits,
+            seed=spec.seed,
+            train_size=spec.train_size,
+        )
+    return IVFIndex(spec, vectors, coarse.centroids, lists, cell_means, pq)

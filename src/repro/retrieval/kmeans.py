@@ -1,0 +1,152 @@
+"""Deterministic k-means for index construction (NumPy only).
+
+Two flavors, both pure functions of ``(points, k, seed)``:
+
+* :func:`spherical_kmeans` — clusters *directions*: assignments maximize
+  the dot product against unit-norm centroids and centroids are
+  re-normalized means. This is the coarse quantizer geometry for the
+  repository's scoring heads — the NISER-style cosine head scores
+  direction exactly, and the bare dot-product heads are dominated by
+  direction for comparably-normed embeddings (``docs/retrieval.md``).
+* :func:`lloyd_kmeans` — classic L2 Lloyd iterations, used for the
+  product-quantization sub-codebooks where residuals are not unit-norm.
+
+Determinism contract (asserted in ``tests/retrieval/test_kmeans.py``):
+same inputs and seed give bit-identical centroids and assignments — no
+``np.random`` global state, no data-dependent iteration counts, and
+empty-cluster repair picks its replacement point by a fixed rule
+(the currently worst-represented point, earliest index on ties).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeansResult", "lloyd_kmeans", "spherical_kmeans"]
+
+# Assignment matmuls are chunked so a 10^6-point catalogue against ~10^3
+# centroids never materializes an [n, k] block bigger than ~128 MB.
+_CHUNK = 16384
+
+
+class KMeansResult:
+    """Centroids plus the final hard assignment of every training point."""
+
+    def __init__(self, centroids: np.ndarray, assignments: np.ndarray):
+        self.centroids = centroids
+        self.assignments = assignments
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _init_centroids(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Seeded choice of ``k`` distinct points as the starting centroids."""
+    if k > points.shape[0]:
+        raise ValueError(f"k={k} exceeds the number of points ({points.shape[0]})")
+    picks = rng.choice(points.shape[0], size=k, replace=False)
+    # Sorted picks make the centroid order independent of choice() internals
+    # beyond the draw itself (stable across NumPy minor versions in practice,
+    # and the round-trip tests pin it per environment anyway).
+    return points[np.sort(picks)].astype(np.float64, copy=True)
+
+
+def _repair_empty(
+    centroids: np.ndarray, points: np.ndarray, assignments: np.ndarray, best: np.ndarray
+) -> None:
+    """Reseed each empty cluster from the worst-represented point.
+
+    ``best`` is each point's affinity to its chosen centroid (similarity
+    for spherical, negative squared distance for Lloyd) — the *lowest*
+    value marks the point its centroid represents worst. Earliest index
+    wins ties, keeping the repair deterministic.
+    """
+    counts = np.bincount(assignments, minlength=centroids.shape[0])
+    for cell in np.flatnonzero(counts == 0):
+        worst = int(np.argmin(best))
+        centroids[cell] = points[worst]
+        assignments[worst] = cell
+        best[worst] = np.inf  # a reseeded point represents itself perfectly
+
+
+def _normalize_rows(x: np.ndarray) -> np.ndarray:
+    # Mirrors Tensor.l2_normalize: eps inside the sqrt, no clipping.
+    return x / np.sqrt((x * x).sum(axis=1, keepdims=True) + 1e-12)
+
+
+def assign_spherical(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Hard assignment by maximum dot product against unit centroids."""
+    out = np.empty(points.shape[0], dtype=np.int64)
+    for start in range(0, points.shape[0], _CHUNK):
+        sims = points[start : start + _CHUNK] @ centroids.T
+        out[start : start + _CHUNK] = np.argmax(sims, axis=1)
+    return out
+
+
+def spherical_kmeans(
+    points: np.ndarray, k: int, *, seed: int = 0, iters: int = 20
+) -> KMeansResult:
+    """Direction-clustering k-means; centroids come back unit-norm.
+
+    Points are normalized up front (clustering is over directions), the
+    update step is normalize(mean(members)), and a fixed number of
+    iterations runs regardless of convergence so the result is a pure
+    function of the inputs.
+    """
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    unit = _normalize_rows(points)
+    rng = np.random.default_rng(seed)
+    centroids = _normalize_rows(_init_centroids(unit, k, rng))
+    assignments = np.zeros(unit.shape[0], dtype=np.int64)
+    for _ in range(iters):
+        sims = np.empty(unit.shape[0], dtype=np.float64)
+        for start in range(0, unit.shape[0], _CHUNK):
+            block = unit[start : start + _CHUNK] @ centroids.T
+            idx = np.argmax(block, axis=1)
+            assignments[start : start + _CHUNK] = idx
+            sims[start : start + _CHUNK] = block[np.arange(block.shape[0]), idx]
+        _repair_empty(centroids, unit, assignments, sims)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, unit)
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        centroids = _normalize_rows(centroids)
+    return KMeansResult(centroids, assign_spherical(unit, centroids))
+
+
+def assign_l2(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Hard assignment by minimum squared Euclidean distance."""
+    out = np.empty(points.shape[0], dtype=np.int64)
+    sq = (centroids * centroids).sum(axis=1)
+    for start in range(0, points.shape[0], _CHUNK):
+        block = points[start : start + _CHUNK]
+        # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2; ||p||^2 is constant per row.
+        dists = sq[None, :] - 2.0 * (block @ centroids.T)
+        out[start : start + _CHUNK] = np.argmin(dists, axis=1)
+    return out
+
+
+def lloyd_kmeans(points: np.ndarray, k: int, *, seed: int = 0, iters: int = 20) -> KMeansResult:
+    """Classic L2 k-means with the same determinism contract."""
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    rng = np.random.default_rng(seed)
+    centroids = _init_centroids(points, k, rng)
+    assignments = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(iters):
+        sq = (centroids * centroids).sum(axis=1)
+        best = np.empty(points.shape[0], dtype=np.float64)
+        for start in range(0, points.shape[0], _CHUNK):
+            block = points[start : start + _CHUNK]
+            dists = sq[None, :] - 2.0 * (block @ centroids.T)
+            idx = np.argmin(dists, axis=1)
+            assignments[start : start + _CHUNK] = idx
+            best[start : start + _CHUNK] = -dists[np.arange(block.shape[0]), idx]
+        _repair_empty(centroids, points, assignments, best)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, points)
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return KMeansResult(centroids, assign_l2(points, centroids))

@@ -1,0 +1,95 @@
+"""Product quantization of cell residuals (the IVF-PQ regime).
+
+At 10^7 items even the *candidate* scoring of an IVF probe is dominated by
+gathering full-width embedding rows. PQ replaces that with table lookups:
+each residual ``r = v - cell_mean(cell(v))`` is chopped into ``m``
+sub-vectors, each sub-vector is vector-quantized against its own 2^bits
+codebook, and a query precomputes one lookup table per subspace
+(``lut[j] = q_sub . codebook[j]``), so the approximate score of an item is
+
+    score(q, v)  ~=  q . cell_mean  +  sum_m  lut_m[code_m(v)]
+
+— an asymmetric-distance computation (ADC) in inner-product form. The
+approximation only *shortlists*; the pipeline always re-ranks its
+shortlist with exact dot products (``docs/retrieval.md``).
+
+Training is deterministic: sub-codebooks come from seeded
+:func:`~repro.retrieval.kmeans.lloyd_kmeans` with per-subspace seed
+offsets, so an encoded catalogue is a pure function of
+``(vectors, m, bits, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmeans import assign_l2, lloyd_kmeans
+
+__all__ = ["PQCodebook"]
+
+
+class PQCodebook:
+    """Per-subspace codebooks + the codes of every catalogue item.
+
+    Parameters
+    ----------
+    codebooks:
+        ``[m, 2^bits, d // m]`` centroid array.
+    codes:
+        ``[n_items, m]`` uint8/uint16 code matrix.
+    """
+
+    def __init__(self, codebooks: np.ndarray, codes: np.ndarray):
+        self.codebooks = codebooks
+        self.codes = codes
+        self.m = codebooks.shape[0]
+        self.sub_dim = codebooks.shape[2]
+
+    @classmethod
+    def train(
+        cls,
+        residuals: np.ndarray,
+        m: int,
+        bits: int = 8,
+        *,
+        seed: int = 0,
+        iters: int = 15,
+        train_size: int = 65536,
+    ) -> "PQCodebook":
+        """Fit ``m`` sub-codebooks on (a seeded sample of) the residuals."""
+        n, d = residuals.shape
+        if d % m != 0:
+            raise ValueError(f"pq_m={m} must divide the embedding dim {d}")
+        k = 1 << bits
+        if k > n:
+            raise ValueError(f"2^bits={k} centroids need at least that many items, got {n}")
+        rng = np.random.default_rng(seed)
+        if n > train_size:
+            sample = residuals[np.sort(rng.choice(n, size=train_size, replace=False))]
+        else:
+            sample = residuals
+        sub = d // m
+        codebooks = np.empty((m, k, sub), dtype=np.float64)
+        codes = np.empty((n, m), dtype=np.uint16 if bits > 8 else np.uint8)
+        for j in range(m):
+            cols = slice(j * sub, (j + 1) * sub)
+            result = lloyd_kmeans(sample[:, cols], k, seed=seed + 7919 * (j + 1), iters=iters)
+            codebooks[j] = result.centroids
+            codes[:, j] = assign_l2(residuals[:, cols], result.centroids)
+        return cls(codebooks, codes)
+
+    # ------------------------------------------------------------------
+    def lookup_tables(self, query: np.ndarray) -> np.ndarray:
+        """``[m, 2^bits]`` inner-product tables for one query vector."""
+        q = query.reshape(self.m, self.sub_dim)
+        # einsum: table[j, c] = q[j] . codebooks[j, c]
+        return np.einsum("js,jcs->jc", q, self.codebooks)
+
+    def approx_scores(self, tables: np.ndarray, item_rows: np.ndarray) -> np.ndarray:
+        """Sum each item's per-subspace table entries (the ADC residual term)."""
+        codes = self.codes[item_rows]  # [c, m]
+        return tables[np.arange(self.m)[None, :], codes].sum(axis=1)
+
+    def reconstruction_bytes(self) -> int:
+        """Compressed catalogue size (codes only, the serving-relevant part)."""
+        return int(self.codes.nbytes)

@@ -113,19 +113,62 @@ class RecommenderService:
         self._clock = clock
         self._sessions: dict[str, LiveSession] = {}
         self.vocab_misses = 0  # unknown-item events from visitors with no session
+        self.retrieval = None  # optional RetrievalPipeline (ANN candidate path)
 
     @classmethod
-    def from_artifact(cls, artifact, **kwargs) -> "RecommenderService":
+    def from_artifact(cls, artifact, retrieval: str = "exact", nprobe: int | None = None, **kwargs) -> "RecommenderService":
         """Boot a service from a model artifact — no dataset required.
 
         ``artifact`` is a :class:`~repro.artifacts.ModelArtifact` or a path
         to one; the bundle carries the recommender, the vocabulary, and the
         operation count, so this is the whole serving bootstrap.
+
+        ``retrieval`` selects the scoring path: ``"exact"`` (full-catalogue
+        scoring, the default), ``"ivf"`` / ``"ivfpq"`` (ANN candidate
+        generation + exact re-rank), or ``"auto"`` (ANN from
+        :data:`~repro.retrieval.AUTO_ANN_THRESHOLD` items up). The index is
+        rebuilt deterministically from the artifact's stored
+        :class:`~repro.retrieval.IndexSpec` when one exists.
         """
         from .artifacts import ModelArtifact, load_artifact
 
         bundle = artifact if isinstance(artifact, ModelArtifact) else load_artifact(artifact)
-        return cls(bundle.build(), bundle.vocab(), num_ops=bundle.spec.num_ops, **kwargs)
+        service = cls(bundle.build(), bundle.vocab(), num_ops=bundle.spec.num_ops, **kwargs)
+        service.enable_retrieval(retrieval, spec=bundle.retrieval_spec(), nprobe=nprobe)
+        return service
+
+    # ------------------------------------------------------------------
+    def enable_retrieval(self, mode: str, spec=None, nprobe: int | None = None) -> str:
+        """Resolve ``mode`` against the catalogue and attach the ANN path.
+
+        Returns the concrete mode that ended up active ("exact" when the
+        catalogue is below the auto threshold, or when ``mode="exact"``).
+        """
+        from .retrieval import IndexSpec, RetrievalPipeline, resolve_retrieval_kind
+
+        kind = resolve_retrieval_kind(mode, len(self.vocab))
+        if kind == "exact":
+            self.retrieval = None
+            return "exact"
+        if spec is None:
+            spec = IndexSpec(kind=kind)
+        elif spec.kind != kind:
+            from dataclasses import replace
+
+            spec = replace(spec, kind=kind)
+        self.retrieval = RetrievalPipeline.for_recommender(
+            self.recommender, spec=spec, nprobe=nprobe
+        )
+        return kind
+
+    @property
+    def retrieval_mode(self) -> str:
+        """"exact", "ivf", or "ivfpq" — whatever scores requests right now."""
+        return "exact" if self.retrieval is None else self.retrieval.kind
+
+    def retrieval_scope(self):
+        """Cache-key component for the active scoring configuration."""
+        return None if self.retrieval is None else self.retrieval.scope()
 
     # ------------------------------------------------------------------
     def record(self, session_id: str, item: int, operation: int) -> bool:
@@ -201,6 +244,26 @@ class RecommenderService:
             return results
 
         batch = collate(examples)
+        if self.retrieval is not None:
+            # ANN path: probe the index, exact re-rank the candidates. The
+            # seen mask is applied inside the candidate scores (same -inf
+            # semantics as the full path below).
+            seen_classes = None
+            if exclude_seen:
+                seen_classes = []
+                for sid in scoreable:
+                    window_items, _ = self._sessions[sid].window(self.max_macro_len)
+                    seen = sorted(
+                        i - 1
+                        for i in set(window_items)
+                        if i - 1 < self.retrieval.index.n_items
+                    )
+                    seen_classes.append(np.asarray(seen, dtype=np.int64))
+            ranked = self.retrieval.top_k_classes(batch, k, seen_classes=seen_classes)
+            for row, sid in enumerate(scoreable):
+                results[sid] = [self.vocab.decode(int(i) + 1) for i in ranked[row]]
+            return results
+
         scores = np.array(self.recommender.score_batch(batch), dtype=float)
         for row, sid in enumerate(scoreable):
             if exclude_seen:

@@ -51,8 +51,20 @@ class ScoreCache:
         self.invalidations = 0
 
     # ------------------------------------------------------------------
-    def _key(self, session_id: str, fingerprint: Hashable, k: int, exclude_seen: bool) -> tuple:
-        return (session_id, fingerprint, k, exclude_seen)
+    def _key(
+        self,
+        session_id: str,
+        fingerprint: Hashable,
+        k: int,
+        exclude_seen: bool,
+        scope: Hashable = None,
+    ) -> tuple:
+        # ``scope`` names the scoring configuration that produced the entry
+        # (retrieval mode + index generation + nprobe). Without it, an exact
+        # ranking cached before an ANN index was attached — or against an
+        # older index build — would alias the ANN path's answer for the same
+        # session fingerprint.
+        return (session_id, fingerprint, k, exclude_seen, scope)
 
     def generation(self, session_id: str) -> int:
         return self._generations.get(session_id, 0)
@@ -70,10 +82,16 @@ class ScoreCache:
 
     # ------------------------------------------------------------------
     def get(
-        self, session_id: str, fingerprint: Hashable, k: int, exclude_seen: bool = False
+        self,
+        session_id: str,
+        fingerprint: Hashable,
+        k: int,
+        exclude_seen: bool = False,
+        *,
+        scope: Hashable = None,
     ) -> list[int] | None:
         """Cached ranking, or ``None`` on miss/stale (never a wrong answer)."""
-        key = self._key(session_id, fingerprint, k, exclude_seen)
+        key = self._key(session_id, fingerprint, k, exclude_seen, scope)
         now = self._clock()
         with self._lock:
             entry = self._entries.get(key)
@@ -96,8 +114,10 @@ class ScoreCache:
         k: int,
         value: list[int],
         exclude_seen: bool = False,
+        *,
+        scope: Hashable = None,
     ) -> None:
-        key = self._key(session_id, fingerprint, k, exclude_seen)
+        key = self._key(session_id, fingerprint, k, exclude_seen, scope)
         with self._lock:
             self._entries[key] = (self._generations.get(session_id, 0), self._clock(), list(value))
             self._entries.move_to_end(key)

@@ -47,6 +47,9 @@ _BREAKER_STATE_CODES = {
     CircuitBreaker.HALF_OPEN: 2,
 }
 
+# retrieval_mode gauge encoding (docs/retrieval.md)
+_RETRIEVAL_MODE_CODES = {"exact": 0, "ivf": 1, "ivfpq": 2}
+
 
 class GatewayConfig:
     """Tunable knobs of the serving stack, with production-ish defaults."""
@@ -168,22 +171,47 @@ class ServingGateway:
         self._active = r.gauge("active_sessions", "live session-table size")
         self._latency = r.histogram("request_latency_ms", "recommend latency, milliseconds")
 
+        # ANN retrieval instrumentation (exact serving leaves these at rest).
+        self._retrieval_mode = r.gauge("retrieval_mode", "0=exact, 1=ivf, 2=ivfpq")
+        self._retrieval_mode.set(_RETRIEVAL_MODE_CODES[service.retrieval_mode])
+        self._retrieval_candidates = r.histogram(
+            "retrieval_candidates", "ANN candidate-set size per scored session",
+            buckets=(16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0),
+        )
+        self._retrieval_probes = r.histogram(
+            "retrieval_probes", "cells probed per scored session",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        self._retrieval_ann_ms = r.histogram(
+            "retrieval_ann_latency_ms", "candidate generation + shortlist, milliseconds"
+        )
+        self._retrieval_rerank_ms = r.histogram(
+            "retrieval_rerank_latency_ms", "exact re-rank of candidates, milliseconds"
+        )
+        if service.retrieval is not None:
+            service.retrieval.observer = self._observe_retrieval
+
     @classmethod
     def from_artifact(
         cls,
         path,
         config: GatewayConfig | None = None,
         registry: MetricsRegistry | None = None,
+        retrieval: str = "auto",
+        nprobe: int | None = None,
     ) -> "ServingGateway":
         """Boot the full serving stack from one artifact file — no dataset.
 
         The bundle carries the model spec, the weights, the vocabulary, and
         a popularity ranking, so the gateway's degraded path works too.
+        ``retrieval`` picks the scoring path (``auto`` switches to ANN at
+        :data:`~repro.retrieval.AUTO_ANN_THRESHOLD` catalogue items); the
+        active mode is visible at ``/metrics`` as ``retrieval_mode``.
         """
         from ..artifacts import load_artifact
 
         bundle = load_artifact(path)
-        service = RecommenderService.from_artifact(bundle)
+        service = RecommenderService.from_artifact(bundle, retrieval=retrieval, nprobe=nprobe)
         ranked = bundle.metadata.get("popularity") or []
         fallback = PopularityFallback.from_ranked(ranked) if ranked else None
         return cls(service, config=config, fallback=fallback, registry=registry)
@@ -242,7 +270,9 @@ class ServingGateway:
             self._observe_latency(started)
             return result
 
-        cached = self.cache.get(session_id, fingerprint, k, exclude_seen)
+        cached = self.cache.get(
+            session_id, fingerprint, k, exclude_seen, scope=self.service.retrieval_scope()
+        )
         if cached is not None:
             self._cache_hits.inc()
             self._update_hit_rate()
@@ -265,7 +295,14 @@ class ServingGateway:
         finally:
             self._observe_latency(started)
         if rec.source == "model":
-            self.cache.put(session_id, fingerprint, k, rec.items, exclude_seen)
+            self.cache.put(
+                session_id,
+                fingerprint,
+                k,
+                rec.items,
+                exclude_seen,
+                scope=self.service.retrieval_scope(),
+            )
         return {
             "session_id": session_id,
             "items": rec.items,
@@ -280,11 +317,21 @@ class ServingGateway:
             "active_sessions": self.service.active_sessions,
             "queue_depth": self.batcher.queue_depth,
             "breaker": self.breaker.state,
+            "retrieval": self.service.retrieval_mode,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
 
     def _observe_latency(self, started: float) -> None:
         self._latency.observe((time.perf_counter() - started) * 1000.0)
+
+    def _observe_retrieval(self, stats) -> None:
+        """RetrievalPipeline observer: per-session ANN telemetry."""
+        rows = max(1, stats.rows)
+        for _ in range(stats.rows):
+            self._retrieval_candidates.observe(stats.candidates / rows)
+            self._retrieval_probes.observe(stats.probes / rows)
+        self._retrieval_ann_ms.observe(stats.ann_ms)
+        self._retrieval_rerank_ms.observe(stats.rerank_ms)
 
     def _update_hit_rate(self) -> None:
         self._cache_hit_rate.set(self.cache.hit_rate)

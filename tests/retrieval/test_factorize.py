@@ -1,0 +1,76 @@
+"""Factorized scoring must reproduce every model's forward pass bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BERT4Rec, GCSAN, HUP, MKMSR, NARM, RIB, SGNNHN, SRGNN, STAMP
+from repro.core.embsr import EMBSR, EMBSRConfig
+from repro.data.dataset import MacroSession, collate
+from repro.retrieval import factorize
+
+N_ITEMS, N_OPS = 25, 4
+
+
+def batch():
+    return collate(
+        [
+            MacroSession([1, 2, 3], [[1], [2, 1], [3]], target=4),
+            MacroSession([5, 6], [[1], [2]], target=7),
+            MacroSession([8, 9, 10, 11], [[1], [1], [2], [3]], target=12),
+        ]
+    )
+
+
+MODELS = {
+    "narm": lambda: NARM(N_ITEMS, dim=12, seed=1),
+    "stamp": lambda: STAMP(N_ITEMS, dim=12, seed=1),
+    "srgnn": lambda: SRGNN(N_ITEMS, dim=12, seed=1),
+    "gcsan": lambda: GCSAN(N_ITEMS, dim=12, seed=1),
+    "mkm_sr": lambda: MKMSR(N_ITEMS, N_OPS, dim=12, seed=1),
+    "hup": lambda: HUP(N_ITEMS, N_OPS, dim=12, seed=1),
+    "bert4rec": lambda: BERT4Rec(N_ITEMS, dim=12, seed=1),
+    "rib": lambda: RIB(N_ITEMS, N_OPS, dim=12, seed=1),
+    "sgnn_hn": lambda: SGNNHN(N_ITEMS, dim=12, seed=1),
+    "embsr": lambda: EMBSR(EMBSRConfig(num_items=N_ITEMS, num_ops=N_OPS, dim=12, seed=1)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_factorization_matches_forward_bitwise(name):
+    model = MODELS[name]()
+    model.eval()
+    b = batch()
+    full = model(b).data
+    fact = factorize(model)
+    assert fact is not None
+    recon = fact.query_matrix(b) @ fact.item_matrix().T
+    assert np.array_equal(full, recon), f"{name}: max err {np.abs(full - recon).max()}"
+
+
+@pytest.mark.parametrize("name", ["embsr", "sgnn_hn"])
+def test_cosine_heads_detected(name):
+    fact = factorize(MODELS[name]())
+    assert fact.head == "cosine"
+    assert fact.w_k > 0
+    norms = np.sqrt((fact.item_matrix() ** 2).sum(axis=1))
+    assert np.allclose(norms, 1.0, atol=1e-6)
+
+
+def test_dot_head_detected():
+    fact = factorize(MODELS["narm"]())
+    assert fact.head == "dot"
+    assert fact.w_k == 1.0
+
+
+def test_item_matrix_excludes_padding_and_mask_rows():
+    fact = factorize(MODELS["bert4rec"]())
+    # BERT4Rec's table has num_items + 2 rows (padding + [MASK]); the
+    # scoring matrix must carry exactly the real items.
+    assert fact.item_matrix().shape[0] == N_ITEMS
+
+
+def test_unfactorizable_model_returns_none():
+    class Opaque:
+        pass
+
+    assert factorize(Opaque()) is None

@@ -1,0 +1,87 @@
+"""Determinism and geometry of the index-construction k-means."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.kmeans import (
+    KMeansResult,
+    assign_l2,
+    assign_spherical,
+    lloyd_kmeans,
+    spherical_kmeans,
+)
+
+
+def clustered(n=600, k=6, dim=8, seed=0, spread=0.1):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, dim)) * 3.0
+    return centers[rng.integers(0, k, n)] + spread * rng.standard_normal((n, dim))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("fn", [spherical_kmeans, lloyd_kmeans])
+    def test_same_seed_bit_identical(self, fn):
+        points = clustered()
+        a = fn(points, 10, seed=7)
+        b = fn(points, 10, seed=7)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    @pytest.mark.parametrize("fn", [spherical_kmeans, lloyd_kmeans])
+    def test_different_seed_different_init(self, fn):
+        points = clustered()
+        a = fn(points, 50, seed=0, iters=0)
+        b = fn(points, 50, seed=1, iters=0)
+        assert not np.array_equal(a.centroids, b.centroids)
+
+    def test_input_not_mutated(self):
+        points = clustered()
+        copy = points.copy()
+        spherical_kmeans(points, 5, seed=0)
+        lloyd_kmeans(points, 5, seed=0)
+        assert np.array_equal(points, copy)
+
+
+class TestGeometry:
+    def test_spherical_centroids_unit_norm(self):
+        result = spherical_kmeans(clustered(), 8, seed=1)
+        norms = np.sqrt((result.centroids**2).sum(axis=1))
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_recovers_separated_clusters(self):
+        # Widely separated blobs: lloyd must put every blob in its own cell.
+        points = clustered(n=300, k=3, dim=4, spread=0.01)
+        result = lloyd_kmeans(points, 3, seed=0)
+        # All points of one blob share an assignment.
+        rng = np.random.default_rng(0)
+        centers = rng.standard_normal((3, 4)) * 3.0
+        truth = assign_l2(points, centers)
+        for blob in range(3):
+            cells = set(result.assignments[truth == blob].tolist())
+            assert len(cells) == 1
+
+    def test_no_empty_clusters(self):
+        points = clustered(n=100, k=2, dim=4)
+        for fn in (spherical_kmeans, lloyd_kmeans):
+            result = fn(points, 20, seed=3)
+            counts = np.bincount(result.assignments, minlength=20)
+            assert (counts > 0).all(), f"{fn.__name__} left empty clusters"
+
+    def test_assignments_are_argmax_argmin(self):
+        points = clustered()
+        result = spherical_kmeans(points, 6, seed=2)
+        unit = points / np.sqrt((points * points).sum(axis=1, keepdims=True) + 1e-12)
+        assert np.array_equal(result.assignments, assign_spherical(unit, result.centroids))
+
+    def test_result_shape(self):
+        result = lloyd_kmeans(clustered(n=50), 4, seed=0)
+        assert isinstance(result, KMeansResult)
+        assert result.k == 4
+        assert result.centroids.shape == (4, 8)
+        assert result.assignments.shape == (50,)
+
+
+class TestValidation:
+    def test_k_exceeding_points_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            lloyd_kmeans(clustered(n=5), 10)

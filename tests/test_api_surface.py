@@ -33,6 +33,13 @@ PACKAGES = [
     "repro.serving.admission",
     "repro.serving.gateway",
     "repro.serving.loadgen",
+    "repro.retrieval",
+    "repro.retrieval.kmeans",
+    "repro.retrieval.pq",
+    "repro.retrieval.index",
+    "repro.retrieval.factorize",
+    "repro.retrieval.pipeline",
+    "repro.retrieval.evaluate",
     "repro.cli",
 ]
 
