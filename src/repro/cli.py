@@ -13,6 +13,9 @@ Usage (after ``python setup.py develop``):
     repro compare  --dataset dataset.json --models EMBSR SGNN-HN MKM-SR --artifact-dir out/
     repro profile  --dataset dataset.json --model EMBSR --steps 5
     repro serve    --artifact embsr.npz --port 8080
+    repro serve    --artifact embsr.npz --deploy-dir deploy/ --online-interval 30
+    repro deploy   --url http://127.0.0.1:8080 --artifact embsr_v2.npz --canary-pct 10
+    repro deploy   --url http://127.0.0.1:8080 --promote
 
 (Also runnable as ``python -m repro.cli ...`` without installing.)
 
@@ -231,6 +234,49 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         help="scoring path: exact full scoring, ANN candidate generation, or auto by catalogue size",
     )
     p.add_argument("--nprobe", type=int, default=None, help="ANN cells probed per query (default: index spec)")
+    p.add_argument(
+        "--deploy-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the hot-swap control plane (/deploy) with version lineage in DIR; "
+        "boots from DIR's last promoted generation when one exists (docs/deployment.md)",
+    )
+    p.add_argument(
+        "--canary-pct",
+        type=float,
+        default=10.0,
+        help="percent of sessions routed to a staged candidate (sticky per session id)",
+    )
+    p.add_argument(
+        "--shadow-sample",
+        type=float,
+        default=25.0,
+        help="percent of ingested events shadow-scored by both generations",
+    )
+    p.add_argument(
+        "--online-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="snapshot an incrementally trained candidate every N seconds and "
+        "auto-stage it (0 = online training off; requires --deploy-dir)",
+    )
+
+
+def _add_deploy(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "deploy", help="drive the hot-swap control plane of a running gateway"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080", help="gateway base URL")
+    action = p.add_mutually_exclusive_group(required=True)
+    action.add_argument("--artifact", default=None, metavar="PATH", help="stage this artifact as a canary")
+    action.add_argument("--status", action="store_true", help="print the deployment status")
+    action.add_argument("--promote", action="store_true", help="promote the live candidate")
+    action.add_argument("--rollback", action="store_true", help="demote the live candidate")
+    p.add_argument("--canary-pct", type=float, default=None, help="override the gateway's canary split")
+    p.add_argument("--shadow-sample", type=float, default=None, help="override the shadow sampling rate")
+    p.add_argument("--no-wait", action="store_true", help="return before the swap thread finishes")
+    p.add_argument("--reason", default="manual", help="recorded in the deployment timeline")
 
 
 def _add_index(sub: argparse._SubParsersAction) -> None:
@@ -272,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile(sub)
     _add_serve(sub)
     _add_index(sub)
+    _add_deploy(sub)
     return parser
 
 
@@ -491,12 +538,15 @@ def _cmd_serve(args) -> int:
         # Self-describing bundle: model, vocabulary, and popularity fallback
         # all come from the one file — no dataset is generated or loaded.
         try:
-            gateway = ServingGateway.from_artifact(
-                args.artifact,
-                config=gateway_config,
-                retrieval=args.retrieval,
-                nprobe=args.nprobe,
-            )
+            if args.deploy_dir:
+                gateway = _deployed_gateway(args, gateway_config)
+            else:
+                gateway = ServingGateway.from_artifact(
+                    args.artifact,
+                    config=gateway_config,
+                    retrieval=args.retrieval,
+                    nprobe=args.nprobe,
+                )
         except FileNotFoundError:
             print(f"artifact not found: {args.artifact}", file=sys.stderr)
             return 1
@@ -506,6 +556,9 @@ def _cmd_serve(args) -> int:
         model_name = gateway.service.recommender.name
         print(f"retrieval mode: {gateway.service.retrieval_mode}")
         return _serve_loop(args, gateway, model_name)
+    if args.deploy_dir:
+        print("--deploy-dir requires --artifact (lineage needs an on-disk generation)", file=sys.stderr)
+        return 1
 
     config_fn, min_support = _CONFIGS[args.config]
     cfg = config_fn()
@@ -541,6 +594,121 @@ def _cmd_serve(args) -> int:
     gateway = ServingGateway(service, gateway_config, fallback=PopularityFallback(dataset))
     print(f"retrieval mode: {service.retrieval_mode}")
     return _serve_loop(args, gateway, args.model)
+
+
+def _deployed_gateway(args, gateway_config):
+    """Build the serving stack with the hot-swap control plane attached.
+
+    When the deploy dir already records a promoted generation, that
+    generation boots (crash recovery); otherwise ``--artifact`` becomes
+    generation 1. With ``--online-interval``, ingested events feed an
+    :class:`~repro.deploy.OnlineTrainer` whose snapshots auto-stage as
+    canaries.
+    """
+    from .artifacts import load_artifact
+    from .deploy import (
+        DeploymentConfig,
+        DeploymentError,
+        DeploymentManager,
+        DeploymentStore,
+        EventRingBuffer,
+        OnlineTrainer,
+    )
+    from .serve import RecommenderService
+    from .serving import PopularityFallback, ServingGateway
+
+    store = DeploymentStore(args.deploy_dir)
+    deploy_config = DeploymentConfig(
+        canary_pct=args.canary_pct, shadow_sample_pct=args.shadow_sample, seed=args.seed
+    )
+    promoted = store.latest_promoted()
+    if promoted is not None:
+        print(f"recovering generation v{promoted['version']} from {args.deploy_dir}")
+        manager = DeploymentManager.recover(
+            store, config=deploy_config, retrieval=args.retrieval, nprobe=args.nprobe
+        )
+        service = manager.service
+        bundle = load_artifact(promoted["path"])
+    else:
+        bundle = load_artifact(args.artifact)
+        service = RecommenderService.from_artifact(
+            bundle, retrieval=args.retrieval, nprobe=args.nprobe
+        )
+        manager = DeploymentManager(
+            service, store=store, config=deploy_config, incumbent_path=args.artifact
+        )
+    ranked = bundle.metadata.get("popularity") or []
+    fallback = PopularityFallback.from_ranked(ranked) if ranked else None
+
+    if args.online_interval > 0:
+        service.event_buffer = EventRingBuffer()
+        trainer = OnlineTrainer(
+            service.recommender,
+            service.event_buffer,
+            store,
+            base_version=manager.incumbent.version,
+            seed=args.seed,
+        )
+
+        def auto_stage(path) -> None:
+            try:
+                manager.stage(path, wait=False)
+            except DeploymentError:
+                pass  # a canary is already live; next snapshot gets its turn
+
+        trainer.start_loop(args.online_interval, on_snapshot=auto_stage)
+        print(f"online trainer: snapshot every {args.online_interval:.0f}s -> {args.deploy_dir}")
+
+    gateway = ServingGateway(
+        service, gateway_config, fallback=fallback, deployment=manager
+    )
+    print(f"deployment control plane: POST /deploy (lineage in {args.deploy_dir})")
+    return gateway
+
+
+def _cmd_deploy(args) -> int:
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def call(method: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            base + path,
+            method=method,
+            data=json_mod.dumps(payload).encode() if payload is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=300.0) as response:
+                return response.status, json_mod.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as error:
+            return error.code, json_mod.loads(error.read() or b"{}")
+        except urllib.error.URLError as error:
+            print(f"cannot reach gateway at {base}: {error.reason}", file=sys.stderr)
+            raise SystemExit(1)
+
+    if args.status:
+        status, body = call("GET", "/deploy")
+    elif args.promote:
+        status, body = call("POST", "/deploy/promote", {"reason": args.reason})
+    elif args.rollback:
+        status, body = call("POST", "/deploy/rollback", {"reason": args.reason})
+    else:
+        import pathlib
+
+        payload: dict = {
+            "artifact": str(pathlib.Path(args.artifact).resolve()),
+            "wait": not args.no_wait,
+        }
+        if args.canary_pct is not None:
+            payload["canary_pct"] = args.canary_pct
+        if args.shadow_sample is not None:
+            payload["shadow_sample"] = args.shadow_sample
+        status, body = call("POST", "/deploy", payload)
+    print(json_mod.dumps(body, indent=2))
+    return 0 if status < 400 else 1
 
 
 def _index_factorization(path):
@@ -636,6 +804,8 @@ def _serve_loop(args, gateway, model_name: str) -> int:
     print(f"  GET  {gateway.address}/recommend?session_id=...&k=10")
     print(f"  GET  {gateway.address}/healthz")
     print(f"  GET  {gateway.address}/metrics")
+    if getattr(gateway, "deployment", None) is not None:
+        print(f"  GET/POST {gateway.address}/deploy   (+ /deploy/promote, /deploy/rollback)")
     try:
         if args.duration > 0:
             time.sleep(args.duration)
@@ -659,6 +829,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "index": _cmd_index,
+    "deploy": _cmd_deploy,
 }
 
 

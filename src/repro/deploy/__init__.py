@@ -1,0 +1,42 @@
+"""Zero-downtime deployment: online training, hot-swap, canary, rollback.
+
+This package closes the loop the offline pipeline leaves open — models
+must keep learning *while serving* and every new generation must be able
+to fail safely:
+
+* :mod:`~repro.deploy.buffer` — the bounded event ring between ingest and
+  training (backpressure by overwrite-oldest, drop accounting).
+* :mod:`~repro.deploy.trainer` — :class:`OnlineTrainer`, mini-epoch
+  incremental training over recent live sessions, snapshotting candidate
+  artifacts through :mod:`repro.artifacts`.
+* :mod:`~repro.deploy.lineage` — :class:`DeploymentStore`, the atomic
+  on-disk version lineage crash recovery boots from.
+* :mod:`~repro.deploy.canary` — :class:`CanaryRouter`, sticky hash-based
+  assignment of sessions to incumbent vs. candidate.
+* :mod:`~repro.deploy.comparator` — :class:`ShadowComparator`, the live
+  sliding-window HR@k acceptance signal (prequential protocol).
+* :mod:`~repro.deploy.manager` — :class:`DeploymentManager`, the atomic
+  generation pointer: stage → warm → flip → observe → promote/rollback,
+  failpoint-instrumented end to end.
+"""
+
+from .buffer import Event, EventRingBuffer
+from .canary import CanaryRouter
+from .comparator import ShadowComparator
+from .lineage import DeploymentStore, param_hash
+from .manager import DeployedModel, DeploymentConfig, DeploymentError, DeploymentManager
+from .trainer import OnlineTrainer
+
+__all__ = [
+    "Event",
+    "EventRingBuffer",
+    "CanaryRouter",
+    "ShadowComparator",
+    "DeploymentStore",
+    "param_hash",
+    "DeployedModel",
+    "DeploymentConfig",
+    "DeploymentError",
+    "DeploymentManager",
+    "OnlineTrainer",
+]

@@ -1,0 +1,75 @@
+"""Bounded ring buffer for the live micro-behavior event stream.
+
+The gateway ingests events far faster than the online trainer can consume
+them, and a trainer that falls behind must never make ingest block or the
+process grow without bound. :class:`EventRingBuffer` is the backpressure
+seam between the two: ``append`` is O(1) and lock-cheap, capacity is
+fixed, and when the buffer is full the *oldest* unconsumed event is
+overwritten (recency wins for drift adaptation) while ``dropped`` counts
+what training never saw — exposed as a counter/gauge pair at ``/metrics``.
+
+This module imports nothing from the rest of ``repro`` so the serving
+layer can hold a buffer without creating an import cycle with
+:mod:`repro.deploy`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque, namedtuple
+
+__all__ = ["Event", "EventRingBuffer"]
+
+# One ingested micro-behavior: dense (vocabulary-encoded) item id, the
+# operation id, and the service clock time it arrived.
+Event = namedtuple("Event", ["session_id", "item", "operation", "at"])
+
+
+class EventRingBuffer:
+    """Fixed-capacity FIFO of :class:`Event` with overwrite-oldest semantics.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events held between drains. Appending to a full buffer
+        evicts the oldest event and bumps :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[Event] = deque()
+        self._lock = threading.Lock()
+        self.appended = 0  # total events ever offered
+        self.dropped = 0   # events overwritten before any drain saw them
+
+    def append(self, event: Event) -> bool:
+        """Add one event; returns ``False`` when an old event was evicted."""
+        with self._lock:
+            self.appended += 1
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+                self._events.append(event)
+                return False
+            self._events.append(event)
+            return True
+
+    def drain(self, limit: int | None = None) -> list[Event]:
+        """Remove and return up to ``limit`` oldest events (all by default)."""
+        with self._lock:
+            if limit is None or limit >= len(self._events):
+                out = list(self._events)
+                self._events.clear()
+            else:
+                out = [self._events.popleft() for _ in range(limit)]
+            return out
+
+    @property
+    def depth(self) -> int:
+        """Events currently waiting to be drained."""
+        return len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,49 @@
+"""Sticky hash-based canary routing.
+
+During a hot-swap, N% of *sessions* (not requests) route to the candidate
+model. Stickiness matters: a session that flaps between models mid-stream
+would see its ranking jump around and would poison the per-session score
+cache. :class:`CanaryRouter` therefore derives the arm from a CRC32 of
+``(seed, session_id)`` alone — deterministic across processes and
+restarts, independent of request order, and uniform enough that arm
+fractions converge to the configured split (tested in
+``tests/deploy/test_canary.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["CanaryRouter"]
+
+# Assignment resolution: pct is honored to 1/100th of a percent.
+_BUCKETS = 10_000
+
+
+class CanaryRouter:
+    """Deterministic sticky assignment of sessions to incumbent/candidate.
+
+    Parameters
+    ----------
+    pct:
+        Percentage of sessions (0..100) routed to the candidate.
+    seed:
+        Salts the hash so successive deployments sample *different* session
+        populations — one unlucky cohort must not eat every canary.
+    """
+
+    def __init__(self, pct: float, seed: int = 0):
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"canary pct must be within [0, 100], got {pct}")
+        self.pct = float(pct)
+        self.seed = int(seed)
+        self._threshold = int(round(self.pct / 100.0 * _BUCKETS))
+
+    def bucket(self, session_id: str) -> int:
+        """The session's stable bucket in ``[0, 10000)``."""
+        key = f"{self.seed}:{session_id}".encode()
+        return zlib.crc32(key) % _BUCKETS
+
+    def is_candidate(self, session_id: str) -> bool:
+        """Sticky arm decision: ``True`` routes this session to the candidate."""
+        return self.bucket(session_id) < self._threshold

@@ -1,0 +1,120 @@
+"""Online sliding-window HR@k comparison of candidate vs. incumbent.
+
+This is the Ludewig–Jannach streaming-evaluation protocol run *live*
+(PAPERS.md): every sampled ingested event is a prequential test case —
+"given the session prefix the models saw *before* this event, did each
+model's top-k contain the item the user actually went to next?" A bounded
+sliding window of those paired hit/miss outcomes yields a live HR@k for
+both arms over exactly the same traffic slice, so the delta is free of
+cohort bias. The comparator is the acceptance signal of a deployment:
+once enough observations accumulate it votes ``promote`` or ``rollback``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["ShadowComparator"]
+
+
+class ShadowComparator:
+    """Paired sliding-window HR@k accumulator with a promote/rollback vote.
+
+    Parameters
+    ----------
+    k:
+        Cutoff of the online hit-rate proxy (HR@k).
+    window:
+        Observations retained; older ones slide out (drift-friendly).
+    min_observations:
+        No verdict before this many paired observations — a candidate must
+        earn its promotion on real traffic.
+    regression_threshold:
+        Absolute HR@k regression (candidate minus incumbent, in [0, 1])
+        beyond which the verdict is ``rollback``.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        window: int = 200,
+        min_observations: int = 50,
+        regression_threshold: float = 0.10,
+    ):
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if window < min_observations:
+            raise ValueError("window must be >= min_observations")
+        if regression_threshold < 0:
+            raise ValueError("regression_threshold must be >= 0")
+        self.k = k
+        self.window = window
+        self.min_observations = min_observations
+        self.regression_threshold = regression_threshold
+        self._pairs: deque[tuple[bool, bool]] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.observations = 0  # lifetime count, not bounded by the window
+
+    def observe(self, incumbent_hit: bool, candidate_hit: bool) -> None:
+        """Record one paired prequential outcome."""
+        with self._lock:
+            self._pairs.append((bool(incumbent_hit), bool(candidate_hit)))
+            self.observations += 1
+
+    # ------------------------------------------------------------------
+    def _rates(self) -> tuple[int, float, float]:
+        n = len(self._pairs)
+        if n == 0:
+            return 0, 0.0, 0.0
+        inc = sum(1 for i, _ in self._pairs if i) / n
+        cand = sum(1 for _, c in self._pairs if c) / n
+        return n, inc, cand
+
+    @property
+    def incumbent_hr(self) -> float:
+        with self._lock:
+            return self._rates()[1]
+
+    @property
+    def candidate_hr(self) -> float:
+        with self._lock:
+            return self._rates()[2]
+
+    @property
+    def delta(self) -> float:
+        """Candidate HR@k minus incumbent HR@k over the current window."""
+        with self._lock:
+            _, inc, cand = self._rates()
+            return cand - inc
+
+    def verdict(self) -> str | None:
+        """``"promote"``, ``"rollback"``, or ``None`` while undecided.
+
+        A regression past the threshold votes rollback as soon as the
+        minimum sample is in; otherwise the candidate is promotable once
+        the window has proven it no worse than the incumbent.
+        """
+        with self._lock:
+            n, inc, cand = self._rates()
+        if n < self.min_observations:
+            return None
+        if cand - inc < -self.regression_threshold:
+            return "rollback"
+        return "promote"
+
+    def stats(self) -> dict:
+        """JSON-friendly snapshot for ``/deploy`` and the timeline."""
+        with self._lock:
+            n, inc, cand = self._rates()
+        return {
+            "k": self.k,
+            "window": self.window,
+            "min_observations": self.min_observations,
+            "regression_threshold": self.regression_threshold,
+            "observations": self.observations,
+            "window_filled": n,
+            "incumbent_hr": round(inc, 4),
+            "candidate_hr": round(cand, 4),
+            "delta": round(cand - inc, 4),
+        }

@@ -1,0 +1,479 @@
+"""Zero-downtime hot-swap orchestration: stage → canary → decide.
+
+:class:`DeploymentManager` owns the serving generations of one
+:class:`~repro.serve.RecommenderService`:
+
+* **Stage** — a candidate artifact loads and warms on a background thread
+  while the incumbent keeps serving; the flip that makes it live is a
+  single pointer assignment under the service lock, so in-flight batches
+  finish on the model they started with and no request ever waits on a
+  load.
+* **Canary** — a sticky :class:`~repro.deploy.canary.CanaryRouter` sends
+  N% of sessions to the candidate; every session's cache entries are
+  scoped by the version that scored them
+  (:meth:`~repro.serve.RecommenderService.score_scope`), so a demoted
+  generation's rankings can never be served from cache.
+* **Shadow + decide** — sampled ingest events drive the prequential
+  :class:`~repro.deploy.comparator.ShadowComparator`; candidate scoring
+  errors feed a dedicated :class:`~repro.reliability.CircuitBreaker`; and
+  non-finite candidate scores trip a divergence check. Any of the three —
+  breaker open, HR@k regression, divergence — demotes the candidate and
+  restores the incumbent without dropping a request; a clean comparator
+  window promotes it.
+
+Every transition runs through a failpoint (``deploy.swap.load`` /
+``warm`` / ``flip`` / ``commit``, ``deploy.canary.assign`` / ``promote``
+/ ``rollback``) so chaos tests can kill the swap at any step and assert
+recovery from the :class:`~repro.deploy.lineage.DeploymentStore`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..data.dataset import collate
+from ..data.schema import MacroSession
+from ..eval.topk import top_k_indices
+from ..reliability import CircuitBreaker, failpoint
+from .canary import CanaryRouter
+from .comparator import ShadowComparator
+from .lineage import DeploymentStore, param_hash
+
+__all__ = ["DeploymentError", "DeploymentConfig", "DeployedModel", "DeploymentManager"]
+
+_TIMELINE_LIMIT = 256
+_SAMPLE_BUCKETS = 10_000
+
+
+class DeploymentError(RuntimeError):
+    """A deployment operation could not proceed (maps to HTTP 409/400)."""
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Policy knobs for canary routing, shadow scoring, and auto-decisions."""
+
+    canary_pct: float = 10.0          # sessions routed to the candidate
+    shadow_sample_pct: float = 25.0   # ingest events shadow-evaluated
+    seed: int = 0                     # salts canary + shadow hashes
+    hrk: int = 10                     # online HR@k cutoff
+    window: int = 200                 # comparator sliding window
+    min_observations: int = 50        # observations before any verdict
+    regression_threshold: float = 0.10  # absolute HR@k drop that demotes
+    breaker_threshold: int = 5        # consecutive candidate errors to open
+    breaker_reset_s: float = 30.0
+    warm_requests: int = 1            # scoring calls before the flip
+    auto_decide: bool = True          # act on comparator verdicts automatically
+
+
+@dataclass
+class DeployedModel:
+    """One serving generation: a fitted recommender plus its identity."""
+
+    version: int
+    recommender: object
+    param_hash: str | None = None
+    path: str | None = None
+
+    def summary(self) -> dict:
+        return {
+            "version": self.version,
+            "param_hash": self.param_hash,
+            "path": self.path,
+            "model": getattr(self.recommender, "name", "?"),
+        }
+
+
+def _recommender_hash(recommender) -> str | None:
+    """Parameter hash of a recommender, or ``None`` for non-parametric ones."""
+    trainer = getattr(recommender, "trainer", None)
+    if trainer is None:
+        return None
+    return param_hash(trainer.model.state_dict())
+
+
+class DeploymentManager:
+    """Generation pointer, canary policy, and rollback machinery.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.RecommenderService` whose recommender the
+        generations replace; the manager attaches itself via
+        ``service.attach_deployment``.
+    store:
+        Optional :class:`DeploymentStore` for version lineage and crash
+        recovery; without it, lineage lives only in memory.
+    config:
+        :class:`DeploymentConfig` policy; per-stage overrides are allowed.
+    lock:
+        The lock serializing service mutation against scoring — the
+        gateway shares its ``service_lock`` (re-entrant) so flips are
+        atomic with respect to batched scoring.
+    """
+
+    def __init__(
+        self,
+        service,
+        store: DeploymentStore | None = None,
+        config: DeploymentConfig | None = None,
+        lock: threading.RLock | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        incumbent_version: int | None = None,
+        incumbent_path: str | None = None,
+    ):
+        self.service = service
+        self.store = store
+        self.config = config or DeploymentConfig()
+        self.lock = lock or threading.RLock()
+        self.clock = clock
+        self.generation = 0  # promote count since boot
+        self.candidate: DeployedModel | None = None
+        self.router: CanaryRouter | None = None
+        self.comparator: ShadowComparator | None = None
+        self.candidate_breaker: CircuitBreaker | None = None
+        self.shadow_pct = self.config.shadow_sample_pct
+        self.timeline: list[dict] = []
+        self.assignments = {"incumbent": 0, "candidate": 0}
+        self.observer: Callable[[str, dict], None] | None = None
+        self.on_assign: Callable[[str], None] | None = None
+        self._swap_thread: threading.Thread | None = None
+
+        version = incumbent_version or (store.next_version() if store else 1)
+        self.incumbent = DeployedModel(
+            version=version,
+            recommender=service.recommender,
+            param_hash=_recommender_hash(service.recommender),
+            path=incumbent_path,
+        )
+        if store is not None and store.latest_promoted() is None:
+            store.record(
+                version,
+                incumbent_path or "<booted-in-memory>",
+                self.incumbent.param_hash,
+                parent=None,
+                status="promoted",
+            )
+        service.attach_deployment(self)
+        self._record("booted", {"incumbent": self.incumbent.summary()})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, store: DeploymentStore, config: DeploymentConfig | None = None, **service_kwargs):
+        """Rebuild the serving generation from lineage after a crash.
+
+        Boots a fresh :class:`~repro.serve.RecommenderService` from the
+        last *promoted* artifact on disk — candidates that were mid-swap
+        when the process died are simply never loaded, which is the whole
+        rollback story for a hard kill.
+        """
+        from ..serve import RecommenderService
+
+        record = store.latest_promoted()
+        if record is None:
+            raise DeploymentError(f"no promoted generation recorded in {store.directory}")
+        service = RecommenderService.from_artifact(record["path"], **service_kwargs)
+        return cls(
+            service,
+            store=store,
+            config=config,
+            incumbent_version=record["version"],
+            incumbent_path=record["path"],
+        )
+
+    # ------------------------------------------------------------------ stage
+    def stage(
+        self,
+        artifact_path,
+        canary_pct: float | None = None,
+        shadow_sample: float | None = None,
+        wait: bool = True,
+    ) -> bool:
+        """Load, warm, and canary a candidate artifact (background thread).
+
+        With ``wait=True`` the call returns after the swap thread finished
+        (flip done or failure recorded); ``wait=False`` returns as soon as
+        the thread is running. Returns whether a candidate ended up live.
+        Raises :class:`DeploymentError` if a candidate is already staged.
+        """
+        with self.lock:
+            if self.candidate is not None:
+                raise DeploymentError(
+                    f"candidate v{self.candidate.version} is already live; "
+                    "promote or roll it back first"
+                )
+            if self._swap_thread is not None and self._swap_thread.is_alive():
+                raise DeploymentError("a swap is already in progress")
+            pct = self.config.canary_pct if canary_pct is None else float(canary_pct)
+            sample = (
+                self.config.shadow_sample_pct if shadow_sample is None else float(shadow_sample)
+            )
+            thread = threading.Thread(
+                target=self._swap,
+                args=(str(artifact_path), pct, sample),
+                name="deploy-swap",
+                daemon=True,
+            )
+            self._swap_thread = thread
+        thread.start()
+        if wait:
+            thread.join()
+            return self.candidate is not None or self._last_event() == "promoted"
+        return True
+
+    def _swap(self, artifact_path: str, pct: float, sample: float) -> None:
+        """Background swap body; any failure leaves the incumbent serving."""
+        installed = False
+        try:
+            failpoint("deploy.swap.load", artifact_path)
+            model = self._load_candidate(artifact_path)
+            failpoint("deploy.swap.warm", model.version)
+            self._warm(model)
+            with self.lock:
+                failpoint("deploy.swap.flip", model.version)
+                self.candidate = model
+                self.router = CanaryRouter(pct, seed=self.config.seed + model.version)
+                self.comparator = ShadowComparator(
+                    k=self.config.hrk,
+                    window=self.config.window,
+                    min_observations=self.config.min_observations,
+                    regression_threshold=self.config.regression_threshold,
+                )
+                self.candidate_breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_threshold,
+                    reset_timeout_s=self.config.breaker_reset_s,
+                    clock=self.clock,
+                )
+                self.shadow_pct = sample
+                installed = True
+            self._record(
+                "canary_started",
+                {"candidate": model.summary(), "canary_pct": pct, "shadow_sample_pct": sample},
+            )
+            failpoint("deploy.swap.commit", model.version)
+        except BaseException as error:  # noqa: BLE001 — incl. SimulatedCrash
+            if installed:
+                # Crashed after the flip: the only consistent exit is down.
+                self.rollback(reason=f"swap crashed post-flip: {error!r}")
+            else:
+                self._record("swap_failed", {"path": artifact_path, "error": repr(error)})
+
+    def _load_candidate(self, artifact_path: str) -> DeployedModel:
+        from ..artifacts import load_artifact
+        from ..eval.trainer import NeuralRecommender
+
+        bundle = load_artifact(artifact_path)
+        if bundle.spec.num_ops != self.service.num_ops:
+            raise DeploymentError(
+                f"candidate has {bundle.spec.num_ops} operations, service expects "
+                f"{self.service.num_ops}"
+            )
+        if bundle.item_ids != self.service.vocab.ordered_raw_ids():
+            raise DeploymentError(
+                "candidate vocabulary does not match the serving vocabulary; "
+                "live sessions would score against the wrong embedding rows"
+            )
+        version = int(
+            bundle.metadata.get("deployment", {}).get("version", 0)
+        ) or (self.store.next_version() if self.store else self.incumbent.version + 1)
+        recommender = NeuralRecommender.from_artifact(bundle)
+        model = DeployedModel(
+            version=version,
+            recommender=recommender,
+            param_hash=param_hash(bundle.weights),
+            path=artifact_path,
+        )
+        if self.store is not None and not any(
+            r["version"] == version for r in self.store.lineage()
+        ):
+            self.store.record(
+                version, artifact_path, model.param_hash,
+                parent=self.incumbent.version, status="candidate",
+            )
+        return model
+
+    def _warm(self, model: DeployedModel) -> None:
+        """Pre-flip scoring: JIT caches, first-touch allocations, sanity."""
+        example = MacroSession([1], [[0]], target=1)
+        batch = collate([example])
+        for _ in range(max(1, self.config.warm_requests)):
+            scores = np.asarray(model.recommender.score_batch(batch), dtype=float)
+        if not np.isfinite(scores).all():
+            raise DeploymentError(f"candidate v{model.version} produced non-finite warmup scores")
+
+    # ------------------------------------------------------------------ route
+    def arm_for(self, session_id: str) -> DeployedModel:
+        """The generation that scores this session right now (sticky)."""
+        candidate, router = self.candidate, self.router
+        if candidate is None or router is None:
+            self.assignments["incumbent"] += 1
+            return self.incumbent
+        failpoint("deploy.canary.assign", session_id)
+        if router.is_candidate(session_id):
+            self.assignments["candidate"] += 1
+            if self.on_assign is not None:
+                self.on_assign("candidate")
+            return candidate
+        self.assignments["incumbent"] += 1
+        if self.on_assign is not None:
+            self.on_assign("incumbent")
+        return self.incumbent
+
+    def scope_for(self, session_id: str, retrieval_scope) -> tuple:
+        """Cache-scope component: the arm's version + its scoring config.
+
+        The candidate always scores exact (no ANN index is built for a
+        model that may be demoted in seconds), so its scope carries no
+        retrieval component.
+        """
+        arm = self.candidate if (
+            self.candidate is not None
+            and self.router is not None
+            and self.router.is_candidate(session_id)
+        ) else self.incumbent
+        if arm is self.incumbent:
+            return (f"v{arm.version}", retrieval_scope)
+        return (f"v{arm.version}", None)
+
+    def candidate_failure(self, error: Exception) -> None:
+        """A candidate scoring call failed on the serving path."""
+        breaker = self.candidate_breaker
+        if breaker is None:
+            return
+        breaker.record_failure()
+        if breaker.state == CircuitBreaker.OPEN:
+            self.rollback(reason=f"candidate breaker opened: {error!r}")
+
+    # ------------------------------------------------------------------ shadow
+    def wants_shadow(self, session_id: str, step: int) -> bool:
+        """Deterministic per-event sampling decision for shadow scoring."""
+        if self.candidate is None:
+            return False
+        if self.shadow_pct >= 100.0:
+            return True
+        if self.shadow_pct <= 0.0:
+            return False
+        key = f"{self.config.seed}:{session_id}:{step}".encode()
+        return zlib.crc32(key) % _SAMPLE_BUCKETS < self.shadow_pct / 100.0 * _SAMPLE_BUCKETS
+
+    def observe_event(self, example: MacroSession, target_class: int, session_id: str) -> None:
+        """One prequential shadow evaluation: both arms score the pre-event
+        prefix, hit@k against the item the user actually went to next."""
+        with self.lock:
+            candidate, comparator, breaker = self.candidate, self.comparator, self.candidate_breaker
+            incumbent = self.incumbent
+        if candidate is None or comparator is None:
+            return
+        batch = collate([example])
+        try:
+            cand_scores = np.asarray(candidate.recommender.score_batch(batch), dtype=float)
+        except Exception as error:  # noqa: BLE001 — candidate-only failure
+            self.candidate_failure(error)
+            return
+        if not np.isfinite(cand_scores).all():
+            self.rollback(reason="divergence watchdog: candidate scores went non-finite")
+            return
+        if breaker is not None:
+            breaker.record_success()
+        try:
+            inc_scores = np.asarray(incumbent.recommender.score_batch(batch), dtype=float)
+        except Exception:  # noqa: BLE001 — incumbent hiccup: no paired sample
+            return
+        k = comparator.k
+        inc_hit = bool((top_k_indices(inc_scores, k)[0] == target_class).any())
+        cand_hit = bool((top_k_indices(cand_scores, k)[0] == target_class).any())
+        comparator.observe(inc_hit, cand_hit)
+        if self.observer is not None:
+            self.observer("shadow_eval", comparator.stats())
+        if self.config.auto_decide:
+            verdict = comparator.verdict()
+            if verdict == "rollback":
+                self.rollback(reason=f"online HR@{k} regression: {comparator.stats()}")
+            elif verdict == "promote":
+                self.promote(reason=f"online HR@{k} window clean: {comparator.stats()}")
+
+    # ------------------------------------------------------------------ decide
+    def promote(self, reason: str = "manual") -> DeployedModel:
+        """Candidate becomes the incumbent; every session re-routes to it."""
+        with self.lock:
+            candidate = self.candidate
+            if candidate is None:
+                raise DeploymentError("no candidate to promote")
+            failpoint("deploy.canary.promote", candidate.version)
+            previous = self.incumbent
+            self.incumbent = candidate
+            self._clear_candidate()
+            self.generation += 1
+            self.service.adopt_recommender(candidate.recommender)
+        if self.store is not None:
+            self.store.set_status(candidate.version, "promoted")
+        self._record(
+            "promoted",
+            {
+                "candidate": candidate.summary(),
+                "previous": previous.summary(),
+                "reason": reason,
+                "generation": self.generation,
+            },
+        )
+        return candidate
+
+    def rollback(self, reason: str = "manual") -> DeployedModel:
+        """Drop the candidate; the incumbent (never unloaded) keeps serving."""
+        with self.lock:
+            candidate = self.candidate
+            if candidate is None:
+                raise DeploymentError("no candidate to roll back")
+            failpoint("deploy.canary.rollback", candidate.version)
+            self._clear_candidate()
+        if self.store is not None:
+            self.store.set_status(candidate.version, "rolled_back")
+        self._record(
+            "rolled_back",
+            {"candidate": candidate.summary(), "reason": reason,
+             "incumbent": self.incumbent.summary()},
+        )
+        return candidate
+
+    def _clear_candidate(self) -> None:
+        self.candidate = None
+        self.router = None
+        self.comparator = None
+        self.candidate_breaker = None
+
+    # ------------------------------------------------------------------ state
+    def _record(self, event: str, payload: dict) -> None:
+        entry = {"at": self.clock(), "event": event, **payload}
+        self.timeline.append(entry)
+        del self.timeline[:-_TIMELINE_LIMIT]
+        if self.observer is not None:
+            self.observer(event, entry)
+
+    def _last_event(self) -> str | None:
+        return self.timeline[-1]["event"] if self.timeline else None
+
+    def status(self) -> dict:
+        """JSON-friendly snapshot for ``GET /deploy`` and ``/healthz``."""
+        with self.lock:
+            candidate = self.candidate
+            comparator = self.comparator
+            breaker = self.candidate_breaker
+            router = self.router
+        return {
+            "generation": self.generation,
+            "incumbent": self.incumbent.summary(),
+            "candidate": candidate.summary() if candidate is not None else None,
+            "canary_pct": router.pct if router is not None else None,
+            "shadow_sample_pct": self.shadow_pct if candidate is not None else None,
+            "candidate_breaker": breaker.state if breaker is not None else None,
+            "shadow": comparator.stats() if comparator is not None else None,
+            "assignments": dict(self.assignments),
+            "store": str(self.store.directory) if self.store is not None else None,
+            "timeline": list(self.timeline),
+        }

@@ -138,6 +138,8 @@ class CircuitBreaker:
         self._probe_successes = 0
         self._probe_in_flight = False
         self._opened_at = 0.0
+        self._last_transition_at = 0.0
+        self._transition_counts: dict[tuple[str, str], int] = {}
         self._lock = threading.Lock()
 
     @property
@@ -145,10 +147,26 @@ class CircuitBreaker:
         with self._lock:
             return self._state
 
+    @property
+    def last_transition_at(self) -> float:
+        """Clock time of the most recent state change (0.0 if none yet)."""
+        with self._lock:
+            return self._last_transition_at
+
+    def transition_counts(self) -> dict[tuple[str, str], int]:
+        """How many times each ``(old, new)`` edge has been taken."""
+        with self._lock:
+            return dict(self._transition_counts)
+
     def _transition(self, new: str) -> tuple[str, str] | None:
         """Swap states (lock held); returns the edge for post-lock callbacks."""
         old, self._state = self._state, new
-        return (old, new) if old != new else None
+        if old == new:
+            return None
+        self._last_transition_at = self.clock()
+        edge = (old, new)
+        self._transition_counts[edge] = self._transition_counts.get(edge, 0) + 1
+        return edge
 
     def _notify(self, edge: tuple[str, str] | None) -> None:
         if edge is not None and self.on_transition is not None:

@@ -104,6 +104,7 @@ class RecommenderService:
         max_macro_len: int = 20,
         session_ttl: float = 1800.0,
         clock=time.monotonic,
+        event_buffer=None,
     ):
         self.recommender = recommender
         self.vocab = vocab
@@ -114,6 +115,8 @@ class RecommenderService:
         self._sessions: dict[str, LiveSession] = {}
         self.vocab_misses = 0  # unknown-item events from visitors with no session
         self.retrieval = None  # optional RetrievalPipeline (ANN candidate path)
+        self.event_buffer = event_buffer  # optional EventRingBuffer (online training)
+        self.deployment = None  # optional DeploymentManager (hot-swap/canary)
 
     @classmethod
     def from_artifact(cls, artifact, retrieval: str = "exact", nprobe: int | None = None, **kwargs) -> "RecommenderService":
@@ -171,6 +174,43 @@ class RecommenderService:
         return None if self.retrieval is None else self.retrieval.scope()
 
     # ------------------------------------------------------------------
+    def attach_deployment(self, manager) -> None:
+        """Wire a :class:`~repro.deploy.DeploymentManager` into scoring."""
+        self.deployment = manager
+
+    def adopt_recommender(self, recommender: Recommender) -> None:
+        """Replace the serving recommender (a promotion's final step).
+
+        The ANN index, if any, belongs to the *old* model's embeddings, so
+        it is rebuilt from the new one under the same spec; if the new
+        model cannot be factorized, scoring degrades to exact rather than
+        serving stale candidates.
+        """
+        self.recommender = recommender
+        if self.retrieval is not None:
+            from .retrieval import RetrievalPipeline
+
+            old = self.retrieval
+            try:
+                self.retrieval = RetrievalPipeline.for_recommender(
+                    recommender, spec=old.index.spec, nprobe=old.nprobe, observer=old.observer
+                )
+            except Exception:  # noqa: BLE001 — exact scoring is always correct
+                self.retrieval = None
+
+    def score_scope(self, session_id: str):
+        """Cache-key component for *this session's* scoring configuration.
+
+        Includes the serving generation (and canary arm) when a deployment
+        manager is attached, so entries scored by a generation that was
+        later demoted or superseded can never be served again — the scope
+        no longer matches.
+        """
+        if self.deployment is None:
+            return self.retrieval_scope()
+        return self.deployment.scope_for(session_id, self.retrieval_scope())
+
+    # ------------------------------------------------------------------
     def record(self, session_id: str, item: int, operation: int) -> bool:
         """Ingest one micro-behavior event.
 
@@ -192,7 +232,12 @@ class RecommenderService:
                 session.last_event_at = now
             return False
         session = self._sessions.setdefault(session_id, LiveSession())
-        session.record(self.vocab.encode(item), operation, now)
+        dense = self.vocab.encode(item)
+        session.record(dense, operation, now)
+        if self.event_buffer is not None:
+            from .deploy.buffer import Event
+
+            self.event_buffer.append(Event(session_id, dense, operation, now))
         return True
 
     def session(self, session_id: str) -> LiveSession | None:
@@ -229,6 +274,12 @@ class RecommenderService:
         Sessions with no scoreable events yield an empty list rather than
         an error — a brand-new visitor simply has no personalized ranking
         yet.
+
+        With a deployment manager attached and a candidate live, sessions
+        are partitioned by canary arm and each group scores against its
+        own generation (the candidate always via the exact path). A
+        candidate scoring *error* falls that group back to the incumbent
+        and feeds the candidate breaker — callers never see it.
         """
         scoreable: list[str] = []
         examples: list[MacroSession] = []
@@ -243,8 +294,57 @@ class RecommenderService:
         if not examples:
             return results
 
+        deployment = self.deployment
+        if deployment is None or deployment.candidate is None:
+            results.update(
+                self._score_group(self.recommender, self.retrieval, scoreable, examples, k, exclude_seen)
+            )
+            return results
+
+        inc_ids: list[str] = []
+        inc_examples: list[MacroSession] = []
+        cand_ids: list[str] = []
+        cand_examples: list[MacroSession] = []
+        for sid, example in zip(scoreable, examples):
+            arm = deployment.arm_for(sid)
+            if arm is deployment.candidate:
+                cand_ids.append(sid)
+                cand_examples.append(example)
+            else:
+                inc_ids.append(sid)
+                inc_examples.append(example)
+        if inc_ids:
+            results.update(
+                self._score_group(self.recommender, self.retrieval, inc_ids, inc_examples, k, exclude_seen)
+            )
+        if cand_ids:
+            candidate = deployment.candidate  # may have been demoted mid-batch
+            try:
+                if candidate is None:
+                    raise LookupError("candidate demoted before scoring")
+                results.update(
+                    self._score_group(candidate.recommender, None, cand_ids, cand_examples, k, exclude_seen)
+                )
+            except Exception as error:  # noqa: BLE001 — incumbent always answers
+                deployment.candidate_failure(error)
+                results.update(
+                    self._score_group(self.recommender, self.retrieval, cand_ids, cand_examples, k, exclude_seen)
+                )
+        return results
+
+    def _score_group(
+        self,
+        recommender: Recommender,
+        retrieval,
+        scoreable: list[str],
+        examples: list[MacroSession],
+        k: int,
+        exclude_seen: bool,
+    ) -> dict[str, list[int]]:
+        """Score one group of sessions against one generation's model."""
+        results: dict[str, list[int]] = {}
         batch = collate(examples)
-        if self.retrieval is not None:
+        if retrieval is not None:
             # ANN path: probe the index, exact re-rank the candidates. The
             # seen mask is applied inside the candidate scores (same -inf
             # semantics as the full path below).
@@ -256,15 +356,15 @@ class RecommenderService:
                     seen = sorted(
                         i - 1
                         for i in set(window_items)
-                        if i - 1 < self.retrieval.index.n_items
+                        if i - 1 < retrieval.index.n_items
                     )
                     seen_classes.append(np.asarray(seen, dtype=np.int64))
-            ranked = self.retrieval.top_k_classes(batch, k, seen_classes=seen_classes)
+            ranked = retrieval.top_k_classes(batch, k, seen_classes=seen_classes)
             for row, sid in enumerate(scoreable):
                 results[sid] = [self.vocab.decode(int(i) + 1) for i in ranked[row]]
             return results
 
-        scores = np.array(self.recommender.score_batch(batch), dtype=float)
+        scores = np.array(recommender.score_batch(batch), dtype=float)
         for row, sid in enumerate(scoreable):
             if exclude_seen:
                 # Mask only what the model actually scored: dense ids inside

@@ -26,7 +26,7 @@ from .admission import AdmissionController, PopularityFallback, Recommendation
 from .batcher import BatchFuture, DeadlineExceededError, MicroBatcher, QueueFullError
 from .cache import ScoreCache
 from .gateway import GatewayConfig, ServingGateway
-from .loadgen import LoadReport, run_load
+from .loadgen import LoadReport, SessionPersona, run_load
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "GatewayConfig",
     "ServingGateway",
     "LoadReport",
+    "SessionPersona",
     "run_load",
     "Counter",
     "Gauge",

@@ -21,6 +21,12 @@ cache generation); ``GET /healthz`` is a liveness probe; ``GET /metrics``
 renders the registry. Built on ``http.server.ThreadingHTTPServer`` so the
 whole stack needs nothing outside the standard library — the point is the
 architecture (batching, caching, degradation), not the web framework.
+
+With a :class:`~repro.deploy.DeploymentManager` attached (``deployment=``),
+the gateway additionally exposes the hot-swap control plane — ``GET/POST
+/deploy``, ``POST /deploy/promote``, ``POST /deploy/rollback`` — samples
+ingested events into shadow scoring, and scopes every cache entry by the
+generation that produced it (``docs/deployment.md``).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from ..deploy import DeploymentError
 from ..reliability import CircuitBreaker, ReliabilityError, ResilientCaller, RetryPolicy
 from ..serve import RecommenderService
 from .admission import AdmissionController, PopularityFallback
@@ -101,11 +108,14 @@ class ServingGateway:
         config: GatewayConfig | None = None,
         fallback: PopularityFallback | None = None,
         registry: MetricsRegistry | None = None,
+        deployment=None,
     ):
         self.service = service
         self.config = config or GatewayConfig()
         self.registry = registry or MetricsRegistry()
-        self.service_lock = threading.Lock()  # serializes record() vs scoring
+        # Serializes record() vs scoring. Re-entrant: a candidate scoring
+        # failure inside a batch triggers rollback on the same thread.
+        self.service_lock = threading.RLock()
         self.cache = ScoreCache(
             max_entries=self.config.cache_entries, ttl=self.config.cache_ttl
         )
@@ -115,6 +125,9 @@ class ServingGateway:
         breaker_state = r.gauge("breaker_state", "0=closed, 1=open, 2=half-open")
         breaker_transitions = r.counter("breaker_transitions_total", "breaker state changes")
         breaker_opens = r.counter("breaker_open_total", "times the breaker opened")
+        breaker_last = r.gauge(
+            "breaker_last_transition", "monotonic clock of the last breaker state change"
+        )
         self._retries = r.counter("scoring_retries_total", "model-call retry attempts")
         self._score_timeouts = r.counter("scoring_timeouts_total", "model calls over budget")
         self._score_failures = r.counter("scoring_failures_total", "failed model-call attempts")
@@ -122,6 +135,11 @@ class ServingGateway:
         def on_transition(old: str, new: str) -> None:
             breaker_state.set(_BREAKER_STATE_CODES[new])
             breaker_transitions.inc()
+            r.counter(
+                f"breaker_transition_{old}_{new}_total",
+                f"breaker transitions {old} -> {new}",
+            ).inc()
+            breaker_last.set(self.breaker.last_transition_at)
             if new == CircuitBreaker.OPEN:
                 breaker_opens.inc()
 
@@ -191,6 +209,42 @@ class ServingGateway:
         if service.retrieval is not None:
             service.retrieval.observer = self._observe_retrieval
 
+        # Online-training event buffer (satellite of docs/deployment.md).
+        self._buffer_depth = r.gauge("event_buffer_depth", "events awaiting the online trainer")
+        self._buffer_dropped = r.counter(
+            "event_buffer_dropped_total", "events evicted before training saw them"
+        )
+        self._buffer_dropped_seen = 0  # delta-tracking against buffer.dropped
+
+        # Deployment control plane: hot-swap, canary, shadow scoring.
+        self.deployment = deployment
+        if deployment is not None:
+            deployment.lock = self.service_lock  # flips atomic w.r.t. scoring
+            deployment.observer = self._on_deploy_event
+            deployment.on_assign = self._on_canary_assign
+            self._deploy_generation = r.gauge("deploy_generation", "promotions since boot")
+            self._deploy_candidate = r.gauge("deploy_candidate_active", "1 while a canary runs")
+            self._deploy_swaps = r.counter("deploy_swaps_total", "candidates staged")
+            self._deploy_swap_failures = r.counter(
+                "deploy_swap_failures_total", "stagings that never went live"
+            )
+            self._deploy_promotes = r.counter("deploy_promotes_total", "candidates promoted")
+            self._deploy_rollbacks = r.counter("deploy_rollbacks_total", "candidates demoted")
+            self._canary_incumbent = r.counter(
+                "canary_assignments_incumbent_total", "scoring decisions routed to the incumbent"
+            )
+            self._canary_candidate = r.counter(
+                "canary_assignments_candidate_total", "scoring decisions routed to the candidate"
+            )
+            self._shadow_incumbent_hr = r.gauge("shadow_incumbent_hr", "windowed online HR@k, incumbent")
+            self._shadow_candidate_hr = r.gauge("shadow_candidate_hr", "windowed online HR@k, candidate")
+            self._shadow_delta = r.gauge("shadow_delta", "candidate minus incumbent online HR@k")
+            self._shadow_observations = r.gauge(
+                "shadow_observations", "lifetime paired shadow evaluations"
+            )
+            self._deploy_generation.set(deployment.generation)
+            self._deploy_candidate.set(1 if deployment.candidate is not None else 0)
+
     @classmethod
     def from_artifact(
         cls,
@@ -218,8 +272,19 @@ class ServingGateway:
 
     # ------------------------------------------------------------------ ops
     def ingest(self, session_id: str, item: int, operation: int) -> dict:
-        """Apply one event; bumps the session's cache generation."""
+        """Apply one event; bumps the session's cache generation.
+
+        When a canary is live, a deterministic sample of events doubles as
+        shadow-scoring test cases: the *pre-event* session prefix is
+        captured under the lock, then both generations score it against
+        the item the user actually went to (outside the lock — shadow
+        evaluation must never block ingest or scoring).
+        """
+        shadow = None
         with self.service_lock:
+            deployment = self.deployment
+            if deployment is not None and deployment.candidate is not None:
+                shadow = self._capture_shadow(deployment, session_id, item)
             applied = self.service.record(session_id, item, operation)
             session = self.service.session(session_id)
             steps = session.num_macro_steps if session else 0
@@ -229,7 +294,41 @@ class ServingGateway:
         else:
             self._events_dropped.inc()
         self._active.set(self.service.active_sessions)
+        self._observe_buffer()
+        if applied and shadow is not None:
+            example, target_class = shadow
+            self.deployment.observe_event(example, target_class, session_id)
         return {"applied": applied, "session_steps": steps}
+
+    def _capture_shadow(self, deployment, session_id: str, item: int):
+        """Pre-event (example, target) pair, or ``None`` when not sampled.
+
+        Only genuine macro transitions qualify — a repeat of the current
+        macro item carries no next-item signal — and the session must
+        already have a scoreable prefix. Called with the service lock held.
+        """
+        service = self.service
+        session = service.session(session_id)
+        if session is None or session.num_macro_steps == 0:
+            return None
+        if item not in service.vocab:
+            return None
+        dense = service.vocab.encode(item)
+        if session.macro_items[-1] == dense:
+            return None
+        if not deployment.wants_shadow(session_id, session.num_macro_steps):
+            return None
+        return session.to_example(service.max_macro_len), dense - 1
+
+    def _observe_buffer(self) -> None:
+        buffer = self.service.event_buffer
+        if buffer is None:
+            return
+        self._buffer_depth.set(buffer.depth)
+        dropped = buffer.dropped
+        if dropped > self._buffer_dropped_seen:
+            self._buffer_dropped.inc(dropped - self._buffer_dropped_seen)
+            self._buffer_dropped_seen = dropped
 
     def end_session(self, session_id: str) -> None:
         """Drop a session and its cache bookkeeping."""
@@ -270,9 +369,8 @@ class ServingGateway:
             self._observe_latency(started)
             return result
 
-        cached = self.cache.get(
-            session_id, fingerprint, k, exclude_seen, scope=self.service.retrieval_scope()
-        )
+        scope = self.service.score_scope(session_id)
+        cached = self.cache.get(session_id, fingerprint, k, exclude_seen, scope=scope)
         if cached is not None:
             self._cache_hits.inc()
             self._update_hit_rate()
@@ -294,15 +392,11 @@ class ServingGateway:
             )
         finally:
             self._observe_latency(started)
-        if rec.source == "model":
-            self.cache.put(
-                session_id,
-                fingerprint,
-                k,
-                rec.items,
-                exclude_seen,
-                scope=self.service.retrieval_scope(),
-            )
+        if rec.source == "model" and self.service.score_scope(session_id) == scope:
+            # The scope re-check closes a demotion race: if the session's
+            # generation changed while this request was in flight, the
+            # scores belong to a generation that must never serve again.
+            self.cache.put(session_id, fingerprint, k, rec.items, exclude_seen, scope=scope)
         return {
             "session_id": session_id,
             "items": rec.items,
@@ -312,7 +406,7 @@ class ServingGateway:
         }
 
     def health(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "active_sessions": self.service.active_sessions,
             "queue_depth": self.batcher.queue_depth,
@@ -320,6 +414,76 @@ class ServingGateway:
             "retrieval": self.service.retrieval_mode,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
+        if self.deployment is not None:
+            candidate = self.deployment.candidate
+            payload["deployment"] = {
+                "generation": self.deployment.generation,
+                "incumbent": self.deployment.incumbent.version,
+                "candidate": candidate.version if candidate is not None else None,
+            }
+        return payload
+
+    # --------------------------------------------------------------- deploy
+    def deploy_status(self) -> dict:
+        """Control-plane snapshot (``GET /deploy``)."""
+        self._require_deployment()
+        return self.deployment.status()
+
+    def deploy_stage(
+        self,
+        artifact: str,
+        canary_pct: float | None = None,
+        shadow_sample: float | None = None,
+        wait: bool = True,
+    ) -> dict:
+        """Stage a candidate artifact (``POST /deploy``)."""
+        self._require_deployment()
+        live = self.deployment.stage(
+            artifact, canary_pct=canary_pct, shadow_sample=shadow_sample, wait=wait
+        )
+        return {"staged": bool(live), **self.deployment.status()}
+
+    def deploy_promote(self, reason: str = "manual") -> dict:
+        self._require_deployment()
+        promoted = self.deployment.promote(reason=reason)
+        return {"promoted": promoted.version, **self.deployment.status()}
+
+    def deploy_rollback(self, reason: str = "manual") -> dict:
+        self._require_deployment()
+        demoted = self.deployment.rollback(reason=reason)
+        return {"rolled_back": demoted.version, **self.deployment.status()}
+
+    def _require_deployment(self) -> None:
+        if self.deployment is None:
+            raise DeploymentError("no deployment manager attached to this gateway")
+
+    def _on_deploy_event(self, event: str, payload: dict) -> None:
+        """DeploymentManager observer: lifecycle → /metrics."""
+        if event == "canary_started":
+            self._deploy_swaps.inc()
+            self._deploy_candidate.set(1)
+        elif event == "swap_failed":
+            self._deploy_swap_failures.inc()
+        elif event == "promoted":
+            self._deploy_promotes.inc()
+            self._deploy_generation.set(self.deployment.generation)
+            self._deploy_candidate.set(0)
+            # Old-generation cache entries die by scope mismatch; the LRU
+            # evicts them — no flush needed.
+        elif event == "rolled_back":
+            self._deploy_rollbacks.inc()
+            self._deploy_candidate.set(0)
+        elif event == "shadow_eval":
+            self._shadow_incumbent_hr.set(payload.get("incumbent_hr", 0.0))
+            self._shadow_candidate_hr.set(payload.get("candidate_hr", 0.0))
+            self._shadow_delta.set(payload.get("delta", 0.0))
+            self._shadow_observations.set(payload.get("observations", 0))
+
+    def _on_canary_assign(self, arm: str) -> None:
+        if arm == "candidate":
+            self._canary_candidate.inc()
+        else:
+            self._canary_incumbent.inc()
 
     def _observe_latency(self, started: float) -> None:
         self._latency.observe((time.perf_counter() - started) * 1000.0)
@@ -411,8 +575,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, self.gateway.registry.render_text().encode(), "text/plain; version=0.0.4")
             elif url.path == "/recommend":
                 self._recommend(parse_qs(url.query))
+            elif url.path == "/deploy":
+                self._json(200, self.gateway.deploy_status())
             else:
                 self._json(404, {"error": f"no route for {url.path}"})
+        except DeploymentError as error:
+            self._json(409, {"error": str(error)})
         except BrokenPipeError:
             pass
         except Exception as error:  # pragma: no cover - defensive 500
@@ -427,10 +595,20 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = self._body()
                 self.gateway.end_session(str(payload["session_id"]))
                 self._json(200, {"ended": True})
+            elif url.path == "/deploy":
+                self._deploy_stage()
+            elif url.path == "/deploy/promote":
+                payload = self._body()
+                self._json(200, self.gateway.deploy_promote(str(payload.get("reason", "manual"))))
+            elif url.path == "/deploy/rollback":
+                payload = self._body()
+                self._json(200, self.gateway.deploy_rollback(str(payload.get("reason", "manual"))))
             else:
                 self._json(404, {"error": f"no route for {url.path}"})
         except (KeyError, ValueError, json.JSONDecodeError) as error:
             self._json(400, {"error": f"bad request: {error}"})
+        except DeploymentError as error:
+            self._json(409, {"error": str(error)})
         except BrokenPipeError:
             pass
         except Exception as error:  # pragma: no cover - defensive 500
@@ -447,6 +625,20 @@ class _Handler(BaseHTTPRequestHandler):
             str(payload["session_id"]), int(payload["item"]), int(payload["operation"])
         )
         self._json(200, result)
+
+    def _deploy_stage(self) -> None:
+        payload = self._body()
+        result = self.gateway.deploy_stage(
+            str(payload["artifact"]),
+            canary_pct=(
+                float(payload["canary_pct"]) if "canary_pct" in payload else None
+            ),
+            shadow_sample=(
+                float(payload["shadow_sample"]) if "shadow_sample" in payload else None
+            ),
+            wait=bool(payload.get("wait", True)),
+        )
+        self._json(200 if result["staged"] else 409, result)
 
     def _recommend(self, query: dict[str, list[str]]) -> None:
         if "session_id" not in query:

@@ -7,6 +7,12 @@ loop), so concurrency is exactly ``workers`` and measured throughput is
 the system's, not the generator's. Per-request latencies and status
 counts aggregate into a :class:`LoadReport`; ``benchmarks/bench_serving.py``
 and the slow gateway tests both drive it.
+
+Traffic shape is controlled by :class:`SessionPersona`: the default mix
+of burst visitors (short sessions, frequent rotation) can be blended with
+long-lived personas whose sessions survive hot-swaps — the traffic that
+makes canary stickiness and cache-generation scoping actually observable
+(``benchmarks/bench_deploy.py`` relies on them).
 """
 
 from __future__ import annotations
@@ -18,7 +24,41 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["LoadReport", "run_load"]
+__all__ = ["LoadReport", "SessionPersona", "run_load"]
+
+
+@dataclass(frozen=True)
+class SessionPersona:
+    """How one load-generation worker behaves as a "user".
+
+    Parameters
+    ----------
+    name:
+        Label; becomes part of the session id (``load-<name>-<worker>``).
+    event_every:
+        POST an event before every N-th recommend request.
+    session_lifetime:
+        Requests after which the worker abandons its session id and starts
+        a fresh one (``0`` = never — a long-lived session that persists
+        across hot-swaps and keeps one canary arm for its whole life).
+    """
+
+    name: str = "burst"
+    event_every: int = 5
+    session_lifetime: int = 0
+
+    def __post_init__(self):
+        if self.event_every < 1:
+            raise ValueError("event_every must be >= 1")
+        if self.session_lifetime < 0:
+            raise ValueError("session_lifetime must be >= 0")
+
+
+# The default mix: mostly long-lived browsers plus churning visitors.
+DEFAULT_PERSONAS = (
+    SessionPersona(name="longlived", event_every=3, session_lifetime=0),
+    SessionPersona(name="visitor", event_every=5, session_lifetime=25),
+)
 
 
 @dataclass
@@ -66,11 +106,12 @@ def _worker(
     k: int,
     report: LoadReport,
     lock: threading.Lock,
-    event_every: int,
+    persona: SessionPersona,
 ) -> None:
     rng = random.Random(worker_id)
     conn = http.client.HTTPConnection(host, port, timeout=10.0)
-    session_id = f"load-{worker_id}"
+    incarnation = 0
+    session_id = f"load-{persona.name}-{worker_id}"
     local_latencies: list[float] = []
     local_status: dict[int, int] = {}
     local_requests = 0
@@ -78,7 +119,10 @@ def _worker(
     try:
         for i in range(requests_per_worker):
             try:
-                if i % event_every == 0:
+                if persona.session_lifetime and i and i % persona.session_lifetime == 0:
+                    incarnation += 1
+                    session_id = f"load-{persona.name}-{worker_id}-{incarnation}"
+                if i % persona.event_every == 0:
                     body = json.dumps(
                         {
                             "session_id": session_id,
@@ -117,21 +161,33 @@ def run_load(
     workers: int = 16,
     requests_per_worker: int = 50,
     k: int = 10,
-    event_every: int = 5,
+    event_every: int | None = None,
+    personas: tuple[SessionPersona, ...] | None = None,
 ) -> LoadReport:
     """Drive the gateway with ``workers`` closed-loop clients.
 
-    ``items`` are raw (decodable) item ids to sample events from;
-    ``event_every`` controls the event:recommend mix (an event before every
-    N-th recommend keeps sessions growing, so caches must reprove
-    themselves rather than serve one ranking forever).
+    ``items`` are raw (decodable) item ids to sample events from. Workers
+    take personas round-robin from ``personas`` (default
+    :data:`DEFAULT_PERSONAS`: long-lived browsers + churning visitors);
+    passing ``event_every`` keeps the old single-persona behavior — every
+    worker one immortal session with that event:recommend mix.
     """
+    if personas is None:
+        if event_every is not None:
+            personas = (SessionPersona(name="burst", event_every=event_every),)
+        else:
+            personas = DEFAULT_PERSONAS
+    elif event_every is not None:
+        raise ValueError("pass either event_every or personas, not both")
     report = LoadReport()
     lock = threading.Lock()
     threads = [
         threading.Thread(
             target=_worker,
-            args=(host, port, w, items, num_ops, requests_per_worker, k, report, lock, event_every),
+            args=(
+                host, port, w, items, num_ops, requests_per_worker, k, report, lock,
+                personas[w % len(personas)],
+            ),
             daemon=True,
         )
         for w in range(workers)

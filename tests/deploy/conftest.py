@@ -1,0 +1,66 @@
+"""Shared fixtures for the deployment suite.
+
+Artifacts here are *untrained* registry modules — seeded random init makes
+their rankings deterministic without paying for training, which is all the
+deployment machinery needs (it moves weights, it never judges them).
+"""
+
+import numpy as np
+import pytest
+
+from repro import reliability as rel
+from repro.artifacts import save_artifact
+from repro.registry import ModelSpec, build_module
+
+N_ITEMS = 60
+NUM_OPS = 4
+RAW_IDS = list(range(1000, 1000 + N_ITEMS))
+SPEC = ModelSpec(
+    name="STAMP", family="stamp", num_items=N_ITEMS, num_ops=NUM_OPS,
+    params={"dim": 8, "seed": 3},
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    """No armed failpoint may leak into (or out of) any test."""
+    rel.disarm_all()
+    yield
+    rel.disarm_all()
+
+
+@pytest.fixture(scope="session")
+def base_weights():
+    return {k: v.copy() for k, v in build_module(SPEC).state_dict().items()}
+
+
+@pytest.fixture()
+def make_artifact(tmp_path, base_weights):
+    """Factory: write an artifact, optionally with corrupted/custom weights."""
+
+    def _make(name="model.npz", weights=None, metadata=None, item_ids=None):
+        path = tmp_path / name
+        save_artifact(
+            path,
+            spec=SPEC,
+            weights=weights or base_weights,
+            item_ids=item_ids or RAW_IDS,
+            metadata={"popularity": RAW_IDS[:10], **(metadata or {})},
+        )
+        return path
+
+    return _make
+
+
+@pytest.fixture()
+def artifact_path(make_artifact):
+    return make_artifact("v1.npz")
+
+
+def corrupt_weights(weights, seed=0):
+    """Shuffle the item-embedding rows: structurally valid, semantically wrong."""
+    out = {k: v.copy() for k, v in weights.items()}
+    key = max(out, key=lambda k: out[k].shape[0])  # the item embedding table
+    rng = np.random.default_rng(seed)
+    out[key] = out[key][rng.permutation(out[key].shape[0])]
+    return out

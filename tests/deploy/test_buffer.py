@@ -1,0 +1,59 @@
+"""EventRingBuffer: bounded capacity, overwrite-oldest, drop accounting."""
+
+import threading
+
+from repro.deploy import Event, EventRingBuffer
+
+
+def ev(i):
+    return Event(f"s{i}", i, 0, float(i))
+
+
+class TestRingBuffer:
+    def test_append_then_drain_preserves_order(self):
+        buf = EventRingBuffer(capacity=8)
+        for i in range(5):
+            assert buf.append(ev(i))
+        assert [e.item for e in buf.drain()] == [0, 1, 2, 3, 4]
+        assert buf.depth == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        buf = EventRingBuffer(capacity=3)
+        for i in range(5):
+            buf.append(ev(i))
+        assert buf.dropped == 2
+        assert buf.appended == 5
+        assert [e.item for e in buf.drain()] == [2, 3, 4]  # recency wins
+
+    def test_append_returns_false_on_eviction(self):
+        buf = EventRingBuffer(capacity=1)
+        assert buf.append(ev(0)) is True
+        assert buf.append(ev(1)) is False
+
+    def test_partial_drain(self):
+        buf = EventRingBuffer(capacity=8)
+        for i in range(6):
+            buf.append(ev(i))
+        assert [e.item for e in buf.drain(limit=2)] == [0, 1]
+        assert buf.depth == 4
+        assert [e.item for e in buf.drain()] == [2, 3, 4, 5]
+
+    def test_capacity_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EventRingBuffer(capacity=0)
+
+    def test_concurrent_appends_never_exceed_capacity(self):
+        buf = EventRingBuffer(capacity=64)
+        threads = [
+            threading.Thread(target=lambda s: [buf.append(ev(s * 1000 + i)) for i in range(200)], args=(t,))
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert buf.depth == 64
+        assert buf.appended == 800
+        assert buf.dropped == 800 - 64

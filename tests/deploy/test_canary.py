@@ -1,0 +1,75 @@
+"""Sticky canary routing: determinism, convergence, reassignment."""
+
+import pytest
+
+from repro.deploy import CanaryRouter
+
+
+class TestStickiness:
+    def test_same_session_same_arm_for_fixed_seed_and_pct(self):
+        router = CanaryRouter(10.0, seed=7)
+        for sid in (f"session-{i}" for i in range(50)):
+            first = router.is_candidate(sid)
+            for _ in range(20):  # request order must not matter
+                assert router.is_candidate(sid) == first
+
+    def test_assignment_survives_router_reconstruction(self):
+        a = CanaryRouter(25.0, seed=3)
+        b = CanaryRouter(25.0, seed=3)  # e.g. after a process restart
+        for i in range(200):
+            sid = f"s{i}"
+            assert a.is_candidate(sid) == b.is_candidate(sid)
+
+    def test_different_seed_samples_a_different_cohort(self):
+        a = CanaryRouter(20.0, seed=0)
+        b = CanaryRouter(20.0, seed=1)
+        sids = [f"s{i}" for i in range(2000)]
+        assert [a.is_candidate(s) for s in sids] != [b.is_candidate(s) for s in sids]
+
+
+class TestFractionConvergence:
+    @pytest.mark.parametrize("pct", [5.0, 10.0, 25.0, 50.0])
+    def test_candidate_fraction_converges_to_pct(self, pct):
+        router = CanaryRouter(pct, seed=11)
+        n = 20_000
+        hits = sum(router.is_candidate(f"session-{i}") for i in range(n))
+        assert abs(hits / n - pct / 100.0) < 0.01  # CRC32 is uniform enough
+
+    def test_extremes(self):
+        none = CanaryRouter(0.0)
+        everyone = CanaryRouter(100.0)
+        for i in range(100):
+            assert not none.is_candidate(f"s{i}")
+            assert everyone.is_candidate(f"s{i}")
+
+    def test_pct_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CanaryRouter(-1.0)
+        with pytest.raises(ValueError):
+            CanaryRouter(100.5)
+
+
+class TestReassignment:
+    def test_promote_and_rollback_reassign_every_session(self, artifact_path):
+        """After promote (or rollback) no session routes to a candidate —
+        reassignment is total, not incremental."""
+        from repro.deploy import DeploymentConfig, DeploymentManager
+        from repro.serve import RecommenderService
+
+        service = RecommenderService.from_artifact(artifact_path)
+        manager = DeploymentManager(
+            service, config=DeploymentConfig(canary_pct=50.0, auto_decide=False)
+        )
+        manager.stage(artifact_path, wait=True)
+        sids = [f"s{i}" for i in range(300)]
+        arms = {sid: manager.arm_for(sid) for sid in sids}
+        assert any(a is manager.candidate for a in arms.values())
+        assert any(a is manager.incumbent for a in arms.values())
+
+        promoted = manager.promote()
+        assert all(manager.arm_for(sid) is promoted for sid in sids)
+        assert manager.router is None
+
+        manager.stage(artifact_path, wait=True)
+        manager.rollback()
+        assert all(manager.arm_for(sid) is manager.incumbent for sid in sids)

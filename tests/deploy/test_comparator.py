@@ -1,0 +1,78 @@
+"""ShadowComparator: prequential window, verdicts, thresholds."""
+
+import pytest
+
+from repro.deploy import ShadowComparator
+
+
+def feed(comp, n, inc=True, cand=True):
+    for _ in range(n):
+        comp.observe(inc, cand)
+
+
+class TestWindow:
+    def test_no_verdict_below_min_observations(self):
+        comp = ShadowComparator(min_observations=10, window=20)
+        feed(comp, 9, inc=True, cand=False)
+        assert comp.verdict() is None
+
+    def test_rates_and_delta(self):
+        comp = ShadowComparator(min_observations=2, window=100)
+        feed(comp, 30, inc=True, cand=True)
+        feed(comp, 10, inc=True, cand=False)
+        assert comp.incumbent_hr == 1.0
+        assert comp.candidate_hr == pytest.approx(0.75)
+        assert comp.delta == pytest.approx(-0.25)
+
+    def test_window_slides_old_outcomes_out(self):
+        comp = ShadowComparator(min_observations=5, window=10)
+        feed(comp, 10, inc=True, cand=False)  # terrible start
+        feed(comp, 10, inc=True, cand=True)   # recovery fills the window
+        assert comp.candidate_hr == 1.0
+        assert comp.verdict() == "promote"
+
+    def test_lifetime_observations_not_bounded_by_window(self):
+        comp = ShadowComparator(min_observations=1, window=5)
+        feed(comp, 25)
+        assert comp.observations == 25
+        assert comp.stats()["window_filled"] == 5
+
+
+class TestVerdict:
+    def test_regression_beyond_threshold_votes_rollback(self):
+        comp = ShadowComparator(min_observations=10, window=50, regression_threshold=0.10)
+        feed(comp, 40, inc=True, cand=False)
+        assert comp.verdict() == "rollback"
+
+    def test_no_worse_candidate_votes_promote(self):
+        comp = ShadowComparator(min_observations=10, window=50, regression_threshold=0.10)
+        feed(comp, 40, inc=True, cand=True)
+        assert comp.verdict() == "promote"
+
+    def test_regression_within_threshold_still_promotes(self):
+        comp = ShadowComparator(min_observations=10, window=100, regression_threshold=0.20)
+        feed(comp, 90, inc=True, cand=True)
+        feed(comp, 10, inc=True, cand=False)  # 10% drop < 20% threshold
+        assert comp.verdict() == "promote"
+
+    def test_better_candidate_promotes(self):
+        comp = ShadowComparator(min_observations=10, window=50)
+        feed(comp, 40, inc=False, cand=True)
+        assert comp.verdict() == "promote"
+
+
+class TestValidation:
+    def test_window_smaller_than_min_observations_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowComparator(min_observations=50, window=10)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowComparator(regression_threshold=-0.1)
+
+    def test_stats_is_json_friendly(self):
+        import json
+
+        comp = ShadowComparator()
+        feed(comp, 3)
+        json.dumps(comp.stats())

@@ -1,0 +1,79 @@
+"""DeploymentStore lineage + param_hash bit-identity semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.deploy import DeploymentStore, param_hash
+from repro.reliability import SimulatedCrash, armed, crashing
+
+
+class TestParamHash:
+    def test_identical_weights_hash_equal(self):
+        w = {"a": np.arange(6, dtype=np.float64).reshape(2, 3), "b": np.ones(4)}
+        assert param_hash(w) == param_hash({k: v.copy() for k, v in w.items()})
+
+    def test_one_bit_flip_changes_hash(self):
+        w = {"a": np.zeros(8)}
+        flipped = {"a": w["a"].copy()}
+        flipped["a"][3] = 1e-300  # smallest perturbation imaginable
+        assert param_hash(w) != param_hash(flipped)
+
+    def test_dtype_and_shape_are_identity(self):
+        a = {"w": np.zeros(4, dtype=np.float64)}
+        b = {"w": np.zeros(4, dtype=np.float32)}
+        c = {"w": np.zeros((2, 2), dtype=np.float64)}
+        assert len({param_hash(a), param_hash(b), param_hash(c)}) == 3
+
+    def test_name_order_does_not_matter(self):
+        w1 = dict([("a", np.ones(2)), ("b", np.zeros(2))])
+        w2 = dict([("b", np.zeros(2)), ("a", np.ones(2))])
+        assert param_hash(w1) == param_hash(w2)
+
+
+class TestStore:
+    def test_record_and_next_version(self, tmp_path):
+        store = DeploymentStore(tmp_path)
+        assert store.next_version() == 1
+        store.record(1, tmp_path / "v0001.npz", "h1", status="promoted")
+        store.record(2, tmp_path / "v0002.npz", "h2", parent=1)
+        assert store.next_version() == 3
+        assert [r["version"] for r in store.lineage()] == [1, 2]
+        assert store.lineage()[1]["parent"] == 1
+
+    def test_promotion_supersedes_previous(self, tmp_path):
+        store = DeploymentStore(tmp_path)
+        store.record(1, "a", "h1", status="promoted")
+        store.record(2, "b", "h2", parent=1, status="candidate")
+        store.set_status(2, "promoted")
+        statuses = {r["version"]: r["status"] for r in store.lineage()}
+        assert statuses == {1: "superseded", 2: "promoted"}
+        assert store.latest_promoted()["version"] == 2
+
+    def test_latest_promoted_ignores_rolled_back(self, tmp_path):
+        store = DeploymentStore(tmp_path)
+        store.record(1, "a", "h1", status="promoted")
+        store.record(2, "b", "h2", parent=1, status="candidate")
+        store.set_status(2, "rolled_back")
+        assert store.latest_promoted()["version"] == 1
+
+    def test_empty_store(self, tmp_path):
+        store = DeploymentStore(tmp_path / "fresh")
+        assert store.lineage() == []
+        assert store.latest_promoted() is None
+
+    def test_lineage_written_atomically(self, tmp_path):
+        """A crash mid-write leaves the previous lineage intact, no debris."""
+        store = DeploymentStore(tmp_path)
+        store.record(1, "a", "h1", status="promoted")
+        with armed("serialization.mid_write", crashing()):
+            with pytest.raises(SimulatedCrash):
+                store.record(2, "b", "h2")
+        survived = json.loads(store.lineage_path.read_text())
+        assert [r["version"] for r in survived] == [1]
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_artifact_path_layout(self, tmp_path):
+        store = DeploymentStore(tmp_path)
+        assert store.artifact_path(7).name == "v0007.npz"

@@ -1,0 +1,225 @@
+"""DeploymentManager: stage/warm/flip, decisions, and crash chaos.
+
+The chaos class kills the swap (SimulatedCrash — uncatchable by ``except
+Exception``) at every ``deploy.swap.*`` failpoint and asserts the
+incumbent keeps serving bit-identically and recovery from the lineage
+store reboots the exact promoted generation (param-hash equality).
+"""
+
+import numpy as np
+import pytest
+
+from repro.artifacts import load_artifact
+from repro.deploy import (
+    DeploymentConfig,
+    DeploymentError,
+    DeploymentManager,
+    DeploymentStore,
+    param_hash,
+)
+from repro.reliability import armed, crashing, raising
+from repro.serve import RecommenderService
+
+from .conftest import NUM_OPS, RAW_IDS, corrupt_weights
+
+SWAP_FAILPOINTS = ["deploy.swap.load", "deploy.swap.warm", "deploy.swap.flip", "deploy.swap.commit"]
+
+
+def make_manager(artifact_path, tmp_path, **config_kwargs):
+    service = RecommenderService.from_artifact(artifact_path)
+    store = DeploymentStore(tmp_path / "deploy")
+    config = DeploymentConfig(auto_decide=False, **config_kwargs)
+    manager = DeploymentManager(
+        service, store=store, config=config, incumbent_path=str(artifact_path)
+    )
+    return manager
+
+
+def drive(service, sid="u1"):
+    for item, op in [(1005, 1), (1006, 2), (1010, 0)]:
+        service.record(sid, item, op)
+
+
+class TestStage:
+    def test_stage_installs_candidate(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path, canary_pct=50.0)
+        assert manager.stage(make_artifact("v2.npz"), wait=True)
+        assert manager.candidate is not None
+        assert manager.candidate.version == 2
+        assert manager.router is not None and manager.comparator is not None
+        assert manager.status()["candidate"]["version"] == 2
+        statuses = {r["version"]: r["status"] for r in manager.store.lineage()}
+        assert statuses == {1: "promoted", 2: "candidate"}
+
+    def test_second_stage_rejected_while_candidate_live(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        manager.stage(make_artifact("v2.npz"), wait=True)
+        with pytest.raises(DeploymentError):
+            manager.stage(make_artifact("v3.npz"))
+
+    def test_vocab_mismatch_fails_cleanly(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        bad = make_artifact("bad.npz", item_ids=[i + 1 for i in RAW_IDS])
+        assert not manager.stage(bad, wait=True)
+        assert manager.candidate is None
+        assert manager.timeline[-1]["event"] == "swap_failed"
+        assert "vocabulary" in manager.timeline[-1]["error"]
+
+    def test_nonfinite_warmup_fails_cleanly(self, artifact_path, base_weights, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        poisoned = {k: v.copy() for k, v in base_weights.items()}
+        key = next(iter(poisoned))
+        poisoned[key] = np.full_like(poisoned[key], np.nan)
+        assert not manager.stage(make_artifact("nan.npz", weights=poisoned), wait=True)
+        assert manager.candidate is None
+        assert manager.timeline[-1]["event"] == "swap_failed"
+
+    def test_incumbent_serves_throughout_staging(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        service = manager.service
+        drive(service)
+        before = service.top_k("u1", k=5)
+        manager.stage(make_artifact("v2.npz"), wait=True)
+        # Incumbent-arm sessions still score identically mid-canary.
+        incumbent_sid = next(
+            f"s{i}" for i in range(100) if not manager.router.is_candidate(f"s{i}")
+        )
+        drive(service, incumbent_sid)
+        assert service.top_k(incumbent_sid, k=5) == before
+
+
+class TestDecisions:
+    def test_promote_swaps_serving_generation(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        v2 = make_artifact("v2.npz", weights=corrupt_weights(load_artifact(artifact_path).weights))
+        manager.stage(v2, wait=True)
+        candidate_hash = manager.candidate.param_hash
+        promoted = manager.promote(reason="test")
+        assert manager.generation == 1
+        assert manager.candidate is None
+        assert manager.incumbent is promoted
+        assert manager.service.recommender is promoted.recommender
+        assert promoted.param_hash == candidate_hash == param_hash(load_artifact(v2).weights)
+        statuses = {r["version"]: r["status"] for r in manager.store.lineage()}
+        assert statuses == {1: "superseded", 2: "promoted"}
+
+    def test_rollback_restores_incumbent_bit_identically(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        incumbent_hash = manager.incumbent.param_hash
+        incumbent_rec = manager.service.recommender
+        manager.stage(make_artifact("v2.npz"), wait=True)
+        manager.rollback(reason="test")
+        assert manager.candidate is None
+        assert manager.generation == 0
+        assert manager.service.recommender is incumbent_rec
+        assert manager.incumbent.param_hash == incumbent_hash
+        statuses = {r["version"]: r["status"] for r in manager.store.lineage()}
+        assert statuses[2] == "rolled_back"
+
+    def test_promote_without_candidate_raises(self, artifact_path, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        with pytest.raises(DeploymentError):
+            manager.promote()
+        with pytest.raises(DeploymentError):
+            manager.rollback()
+
+    def test_candidate_breaker_open_demotes(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path, breaker_threshold=3)
+        manager.stage(make_artifact("v2.npz"), wait=True)
+        for _ in range(3):
+            manager.candidate_failure(RuntimeError("boom"))
+        assert manager.candidate is None
+        assert manager.timeline[-1]["event"] == "rolled_back"
+        assert "breaker" in manager.timeline[-1]["reason"]
+
+    def test_divergence_watchdog_demotes(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        manager.stage(make_artifact("v2.npz"), wait=True)
+        service = manager.service
+        drive(service)
+        example = service.session("u1").to_example(service.max_macro_len)
+
+        class Diverged:
+            name = "nan"
+
+            def score_batch(self, batch):
+                return np.full((batch.batch_size, len(RAW_IDS)), np.nan)
+
+        manager.candidate.recommender = Diverged()
+        manager.observe_event(example, 0, "u1")
+        assert manager.candidate is None
+        assert "divergence" in manager.timeline[-1]["reason"]
+
+
+class TestSwapChaos:
+    """Process kill at every deploy.swap.* site: incumbent survives, lineage recovers."""
+
+    @pytest.mark.parametrize("site", SWAP_FAILPOINTS)
+    def test_crash_never_loses_the_incumbent(self, site, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        service = manager.service
+        incumbent_hash = manager.incumbent.param_hash
+        drive(service)
+        before = service.top_k("u1", k=5)
+
+        v2 = make_artifact("v2.npz")
+        with armed(site, crashing()):
+            manager.stage(v2, wait=True)  # swap thread absorbs the crash
+
+        # The incumbent still serves, bit-identically.
+        assert service.top_k("u1", k=5) == before
+        assert manager.incumbent.param_hash == incumbent_hash
+        if site == "deploy.swap.commit":
+            # Crash landed *after* the flip: the only consistent exit is a
+            # recorded rollback of the just-installed candidate.
+            assert manager.timeline[-1]["event"] == "rolled_back"
+        else:
+            assert manager.timeline[-1]["event"] == "swap_failed"
+        assert manager.candidate is None
+
+        # A fresh process recovering from the lineage store boots the
+        # incumbent generation, bit-identical by param hash.
+        recovered = DeploymentManager.recover(manager.store)
+        assert recovered.incumbent.param_hash == incumbent_hash
+
+    @pytest.mark.parametrize("site", SWAP_FAILPOINTS)
+    def test_next_swap_succeeds_after_crash(self, site, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        with armed(site, crashing(), times=1):
+            manager.stage(make_artifact("v2.npz"), wait=True)
+        assert manager.candidate is None
+        assert manager.stage(make_artifact("v3.npz"), wait=True)
+        assert manager.candidate is not None
+
+    def test_exception_at_load_is_contained(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        with armed("deploy.swap.load", raising(OSError("disk gone"))):
+            assert not manager.stage(make_artifact("v2.npz"), wait=True)
+        assert manager.timeline[-1]["event"] == "swap_failed"
+
+
+class TestRecovery:
+    def test_recover_boots_latest_promoted(self, artifact_path, make_artifact, tmp_path):
+        manager = make_manager(artifact_path, tmp_path)
+        v2 = make_artifact("v2.npz", weights=corrupt_weights(load_artifact(artifact_path).weights))
+        manager.stage(v2, wait=True)
+        manager.promote()
+        promoted_hash = manager.incumbent.param_hash
+
+        recovered = DeploymentManager.recover(manager.store)
+        assert recovered.incumbent.version == 2
+        assert recovered.incumbent.param_hash == promoted_hash
+        assert recovered.service.num_ops == NUM_OPS
+        assert recovered.service.vocab.ordered_raw_ids() == RAW_IDS
+
+    def test_recover_from_empty_store_raises(self, tmp_path):
+        with pytest.raises(DeploymentError):
+            DeploymentManager.recover(DeploymentStore(tmp_path / "empty"))
+
+    def test_version_comes_from_artifact_metadata_when_present(
+        self, artifact_path, make_artifact, tmp_path
+    ):
+        manager = make_manager(artifact_path, tmp_path)
+        tagged = make_artifact("tagged.npz", metadata={"deployment": {"version": 9, "parent": 1}})
+        manager.stage(tagged, wait=True)
+        assert manager.candidate.version == 9

@@ -249,3 +249,41 @@ class TestResilientCaller:
             caller.call(lambda: time.sleep(0.5))
         assert isinstance(excinfo.value.__cause__, ScoringTimeoutError)
         assert timeouts == [1]
+
+
+class TestTransitionTelemetry:
+    """Satellites of the deployment control plane: every breaker edge is
+    timestamped and counted so /metrics can expose flap history."""
+
+    def test_last_transition_at_tracks_the_clock(self):
+        breaker, clock, _ = make_breaker(failure_threshold=2, reset_timeout_s=10.0)
+        assert breaker.last_transition_at == 0.0  # never transitioned
+        clock.advance(5.0)
+        breaker.record_failure()
+        breaker.record_failure()  # -> OPEN at t=105
+        assert breaker.last_transition_at == 105.0
+        clock.advance(20.0)
+        assert breaker.allow()  # -> HALF_OPEN at t=125
+        assert breaker.last_transition_at == 125.0
+
+    def test_transition_counts_accumulate_per_edge(self):
+        breaker, clock, transitions = make_breaker(
+            failure_threshold=1, reset_timeout_s=1.0, half_open_successes=1
+        )
+        for _ in range(2):  # two full open -> half-open -> closed cycles
+            breaker.record_failure()
+            clock.advance(2.0)
+            breaker.allow()
+            breaker.record_success()
+        counts = breaker.transition_counts()
+        assert counts[(CircuitBreaker.CLOSED, CircuitBreaker.OPEN)] == 2
+        assert counts[(CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN)] == 2
+        assert counts[(CircuitBreaker.HALF_OPEN, CircuitBreaker.CLOSED)] == 2
+        assert sum(counts.values()) == len(transitions)
+
+    def test_counts_are_a_snapshot_copy(self):
+        breaker, _, _ = make_breaker(failure_threshold=1)
+        breaker.record_failure()
+        snapshot = breaker.transition_counts()
+        snapshot.clear()
+        assert breaker.transition_counts() != {}

@@ -1,0 +1,132 @@
+"""Load-generator personas: rotation, stickiness, and back-compat.
+
+Runs against a stub HTTP server (no model, no gateway) so the traffic
+shape itself — which session ids hit the wire, and when — is asserted
+exactly.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import pytest
+
+from repro.serving import SessionPersona, run_load
+from repro.serving.loadgen import DEFAULT_PERSONAS
+
+
+class _StubServer:
+    """Answers the loadgen protocol and records every session id seen."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.recommend_sessions: list[str] = []
+        self.event_sessions: list[str] = []
+        stub = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):
+                pass
+
+            def _json(self, payload):
+                body = json.dumps(payload).encode()
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                url = urlparse(self.path)
+                sid = parse_qs(url.query)["session_id"][0]
+                with stub.lock:
+                    stub.recommend_sessions.append(sid)
+                self._json({"items": [], "source": "stub", "cached": False})
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length))
+                with stub.lock:
+                    stub.event_sessions.append(payload["session_id"])
+                self._json({"applied": True})
+
+        self.server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=self.server.serve_forever, daemon=True).start()
+
+    @property
+    def port(self):
+        return self.server.server_address[1]
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture()
+def stub():
+    server = _StubServer()
+    yield server
+    server.close()
+
+
+def load(stub, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("requests_per_worker", 12)
+    return run_load("127.0.0.1", stub.port, items=[1, 2, 3], num_ops=4, **kwargs)
+
+
+class TestPersonaValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            SessionPersona(event_every=0)
+        with pytest.raises(ValueError):
+            SessionPersona(session_lifetime=-1)
+
+    def test_event_every_and_personas_are_exclusive(self, stub):
+        with pytest.raises(ValueError):
+            load(stub, event_every=3, personas=(SessionPersona(),))
+
+
+class TestTrafficShape:
+    def test_long_lived_persona_never_rotates(self, stub):
+        report = load(
+            stub,
+            workers=2,
+            requests_per_worker=30,
+            personas=(SessionPersona(name="pinned", event_every=3, session_lifetime=0),),
+        )
+        assert report.errors == 0
+        assert set(stub.recommend_sessions) == {"load-pinned-0", "load-pinned-1"}
+
+    def test_short_lived_persona_rotates_on_schedule(self, stub):
+        load(
+            stub,
+            workers=1,
+            requests_per_worker=25,
+            personas=(SessionPersona(name="visitor", event_every=5, session_lifetime=10),),
+        )
+        # 25 requests, rotation at i=10 and i=20 → three incarnations.
+        assert set(stub.recommend_sessions) == {
+            "load-visitor-0",
+            "load-visitor-0-1",
+            "load-visitor-0-2",
+        }
+
+    def test_workers_take_personas_round_robin(self, stub):
+        load(stub, workers=4, requests_per_worker=4)  # DEFAULT_PERSONAS mix
+        names = {s.split("-")[1] for s in stub.recommend_sessions}
+        assert names == {p.name for p in DEFAULT_PERSONAS}
+
+    def test_event_every_keeps_single_burst_persona(self, stub):
+        report = load(stub, workers=1, requests_per_worker=10, event_every=5)
+        assert report.requests == 10
+        assert set(stub.recommend_sessions) == {"load-burst-0"}
+        assert len(stub.event_sessions) == 2  # i = 0 and i = 5
+
+    def test_default_mix_includes_a_survivor_session(self, stub):
+        """The default mix keeps at least one session alive end to end —
+        the traffic hot-swap benchmarks rely on to observe stickiness."""
+        load(stub, workers=2, requests_per_worker=30)
+        longlived = [s for s in stub.recommend_sessions if "longlived" in s]
+        assert len(set(longlived)) == 1
+        assert len(longlived) == 30

@@ -33,6 +33,13 @@ PACKAGES = [
     "repro.serving.admission",
     "repro.serving.gateway",
     "repro.serving.loadgen",
+    "repro.deploy",
+    "repro.deploy.buffer",
+    "repro.deploy.canary",
+    "repro.deploy.comparator",
+    "repro.deploy.lineage",
+    "repro.deploy.manager",
+    "repro.deploy.trainer",
     "repro.retrieval",
     "repro.retrieval.kmeans",
     "repro.retrieval.pq",
