@@ -55,10 +55,22 @@ _DEFAULT_DTYPE = np.dtype(np.float64)
 # _set_profiler so the hot path pays a single global load when disabled.
 _PROFILER = None
 
+# Active trace tape (repro.compile.tape.Tape) or None. While a tape is
+# active, every op registers an in-place *replay* closure alongside its
+# backward closure, so one recorded step can be re-executed as a flat loop
+# over the same buffers with zero graph construction (docs/performance.md,
+# "Compiled step"). The hot path pays one global None-check per op.
+_TAPE = None
+
 
 def _set_profiler(profiler) -> None:
     global _PROFILER
     _PROFILER = profiler
+
+
+def _set_tape(tape) -> None:
+    global _TAPE
+    _TAPE = tape
 
 
 @contextlib.contextmanager
@@ -118,12 +130,19 @@ def _as_array(value, dtype=None) -> np.ndarray:
 
 
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function (shared with repro.perf.fused)."""
-    return np.where(
-        x >= 0,
-        1.0 / (1.0 + np.exp(-np.clip(x, -500, None))),
-        np.exp(np.clip(x, None, 500)) / (1.0 + np.exp(np.clip(x, None, 500))),
-    )
+    """Numerically stable logistic function (shared with repro.perf.fused).
+
+    ``e = exp(-|x|)`` never overflows; the result is ``1/(1+e)`` for
+    ``x >= 0`` and ``e/(1+e)`` otherwise — element-for-element the same
+    float ops (hence the same bits) as the textbook two-branch form, in
+    six array passes instead of ten.
+    """
+    e = np.abs(x)
+    np.negative(e, out=e)
+    np.exp(e, out=e)
+    numer = np.where(x >= 0, 1.0, e)
+    np.divide(numer, e + 1.0, out=numer)
+    return numer
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -178,6 +197,8 @@ class Tensor:
         # avoids a fresh zeros(num_embeddings, dim) allocation every step.
         self._grad_buffer: np.ndarray | None = None
         self._topo_cache: list[Tensor] | None = None
+        if _TAPE is not None:
+            _TAPE._on_tensor(self)
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -241,6 +262,8 @@ class Tensor:
         out._backward = backward
         if _PROFILER is not None:
             _PROFILER._record_node(backward)
+        if _TAPE is not None:
+            _TAPE._on_node(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -348,6 +371,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(out.grad, other.shape))
 
         out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.add(self.data, other.data, out=out_data))
         return out
 
     __radd__ = __add__
@@ -360,6 +385,9 @@ class Tensor:
             self._accumulate(-out.grad)
 
         out = Tensor._make(-self.data, (self,), backward)
+        if _TAPE is not None:
+            dst = out.data
+            _TAPE._record(out, lambda: np.negative(self.data, out=dst))
         return out
 
     def __sub__(self, other) -> "Tensor":
@@ -375,6 +403,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(-out.grad, other.shape))
 
         out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.subtract(self.data, other.data, out=out_data))
         return out
 
     def __rsub__(self, other) -> "Tensor":
@@ -393,6 +423,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
 
         out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.multiply(self.data, other.data, out=out_data))
         return out
 
     __rmul__ = __mul__
@@ -411,6 +443,8 @@ class Tensor:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
         out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.divide(self.data, other.data, out=out_data))
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
@@ -427,6 +461,10 @@ class Tensor:
             self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # ``**`` has value-specific fast paths (square, sqrt); replaying
+            # the same expression keeps the replay bitwise-identical.
+            _TAPE._record(out, lambda: np.copyto(out_data, self.data**exponent))
         return out
 
     # ------------------------------------------------------------------
@@ -441,6 +479,8 @@ class Tensor:
             self._accumulate(out.grad * out_data)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.exp(self.data, out=out_data))
         return out
 
     def log(self) -> "Tensor":
@@ -452,6 +492,8 @@ class Tensor:
             self._accumulate(out.grad / self.data)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.log(self.data, out=out_data))
         return out
 
     def sqrt(self) -> "Tensor":
@@ -463,6 +505,8 @@ class Tensor:
             self._accumulate(out.grad * 0.5 / out_data)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.sqrt(self.data, out=out_data))
         return out
 
     def tanh(self) -> "Tensor":
@@ -474,6 +518,8 @@ class Tensor:
             self._accumulate(out.grad * (1.0 - out_data**2))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.tanh(self.data, out=out_data))
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -485,6 +531,8 @@ class Tensor:
             self._accumulate(out.grad * out_data * (1.0 - out_data))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.copyto(out_data, _stable_sigmoid(self.data)))
         return out
 
     def relu(self) -> "Tensor":
@@ -497,6 +545,15 @@ class Tensor:
             self._accumulate(out.grad * mask)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                # ``mask`` is captured by the backward closure: refresh it
+                # in place so both forward and backward see current values.
+                np.greater(self.data, 0, out=mask)
+                np.multiply(self.data, mask, out=out_data)
+
+            _TAPE._record(out, replay)
         return out
 
     def abs(self) -> "Tensor":
@@ -509,6 +566,13 @@ class Tensor:
             self._accumulate(out.grad * sign)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                np.sign(self.data, out=sign)
+                np.absolute(self.data, out=out_data)
+
+            _TAPE._record(out, replay)
         return out
 
     # ------------------------------------------------------------------
@@ -547,6 +611,8 @@ class Tensor:
                 other._accumulate(grad_b)
 
         out = Tensor._make(out_data, (self, other), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.matmul(self.data, other.data, out=out_data))
         return out
 
     def __matmul__(self, other) -> "Tensor":
@@ -571,6 +637,10 @@ class Tensor:
             self._accumulate(grad)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(
+                out, lambda: np.sum(self.data, axis=axis, keepdims=keepdims, out=out_data)
+            )
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -599,6 +669,10 @@ class Tensor:
             self._accumulate(grad * mask / counts)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(
+                out, lambda: np.max(self.data, axis=axis, keepdims=keepdims, out=out_data)
+            )
         return out
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -620,6 +694,14 @@ class Tensor:
             self._accumulate(out.grad.reshape(original))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            # View op: rebind to a fresh view each replay (handles both the
+            # view and the copy-on-non-contiguous case); backward only reads
+            # ``out.grad``, so rebinding is safe.
+            def replay() -> None:
+                out.data = self.data.reshape(shape)
+
+            _TAPE._record(out, replay)
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -636,6 +718,12 @@ class Tensor:
             self._accumulate(out.grad.transpose(inverse))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                out.data = self.data.transpose(axes)
+
+            _TAPE._record(out, replay)
         return out
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
@@ -652,6 +740,12 @@ class Tensor:
             self._accumulate(np.squeeze(out.grad, axis=axis))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                out.data = np.expand_dims(self.data, axis)
+
+            _TAPE._record(out, replay)
         return out
 
     def squeeze(self, axis: int) -> "Tensor":
@@ -663,6 +757,12 @@ class Tensor:
             self._accumulate(np.expand_dims(out.grad, axis))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+
+            def replay() -> None:
+                out.data = np.squeeze(self.data, axis=axis)
+
+            _TAPE._record(out, replay)
         return out
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
@@ -675,6 +775,8 @@ class Tensor:
             self._accumulate(_unbroadcast(out.grad, original))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(out, lambda: np.copyto(out_data, self.data))
         return out
 
     # ------------------------------------------------------------------
@@ -683,7 +785,15 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = np.array(self.data[index], copy=True)
         if not (_GRAD_ENABLED and self.requires_grad):
-            return Tensor(out_data)
+            out = Tensor(out_data)
+            if _TAPE is not None:
+                _TAPE._record_const(
+                    out,
+                    "getitem",
+                    lambda: np.copyto(out_data, self.data[index]),
+                    operands=index if isinstance(index, tuple) else (index,),
+                )
+            return out
 
         def backward() -> None:
             grad = np.zeros_like(self.data)
@@ -691,6 +801,12 @@ class Tensor:
             self._accumulate(grad)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(
+                out,
+                lambda: np.copyto(out_data, self.data[index]),
+                operands=index if isinstance(index, tuple) else (index,),
+            )
         return out
 
     def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
@@ -710,6 +826,12 @@ class Tensor:
             self._accumulate(grad)
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            _TAPE._record(
+                out,
+                lambda: np.copyto(out_data, np.take(self.data, indices, axis=axis)),
+                operands=(indices,),
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -734,6 +856,16 @@ class Tensor:
             self._accumulate(out_data * (g - dot))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            tmp = np.empty_like(out_data)
+
+            def replay() -> None:
+                x = self.data
+                np.subtract(x, x.max(axis=axis, keepdims=True), out=tmp)
+                np.exp(tmp, out=tmp)
+                np.divide(tmp, tmp.sum(axis=axis, keepdims=True), out=out_data)
+
+            _TAPE._record(out, replay)
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
@@ -754,6 +886,16 @@ class Tensor:
             self._accumulate(g - np.exp(out_data) * g.sum(axis=axis, keepdims=True))
 
         out = Tensor._make(out_data, (self,), backward)
+        if _TAPE is not None:
+            tmp = np.empty_like(out_data)
+
+            def replay() -> None:
+                x = self.data
+                np.subtract(x, x.max(axis=axis, keepdims=True), out=tmp)
+                lse = np.log(np.exp(tmp).sum(axis=axis, keepdims=True))
+                np.subtract(tmp, lse, out=out_data)
+
+            _TAPE._record(out, replay)
         return out
 
     def l2_normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
@@ -778,6 +920,10 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(out.grad[tuple(slicer)])
 
     out = Tensor._make(out_data, tensors, backward)
+    if _TAPE is not None:
+        _TAPE._record(
+            out, lambda: np.concatenate([t.data for t in tensors], axis=axis, out=out_data)
+        )
     return out
 
 
@@ -794,11 +940,20 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(np.take(out.grad, i, axis=axis))
 
     out = Tensor._make(out_data, tensors, backward)
+    if _TAPE is not None:
+        dst_rows = np.moveaxis(out_data, axis, 0)
+
+        def replay() -> None:
+            for i, t in enumerate(tensors):
+                np.copyto(dst_rows[i], t.data)
+
+        _TAPE._record(out, replay)
     return out
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable selection; ``condition`` is a constant boolean array."""
+    cond_src = condition
     condition = np.asarray(condition, dtype=bool)
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
@@ -813,6 +968,15 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
             b._accumulate(_unbroadcast(out.grad * ~condition, b.shape))
 
     out = Tensor._make(out_data, (a, b), backward)
+    if _TAPE is not None:
+
+        def replay() -> None:
+            if cond_src is not condition:
+                np.not_equal(cond_src, 0, out=condition)
+            np.copyto(out_data, b.data)
+            np.copyto(out_data, a.data, where=condition)
+
+        _TAPE._record(out, replay, operands=(cond_src,))
     return out
 
 
@@ -835,4 +999,14 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
             b._accumulate(_unbroadcast(out.grad * (b_wins + 0.5 * tie), b.shape))
 
     out = Tensor._make(out_data, (a, b), backward)
+    if _TAPE is not None:
+
+        def replay() -> None:
+            np.greater(a.data, b.data, out=a_wins)
+            np.equal(a.data, b.data, out=tie)
+            np.logical_or(a_wins, tie, out=b_wins)
+            np.logical_not(b_wins, out=b_wins)
+            np.maximum(a.data, b.data, out=out_data)
+
+        _TAPE._record(out, replay)
     return out

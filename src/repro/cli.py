@@ -99,6 +99,18 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         help="gradient summation-tree grid; 0 = auto (follows --workers), "
         "1 = the classic whole-batch path (docs/performance.md, Parallelism)",
     )
+    p.add_argument(
+        "--compile",
+        action="store_true",
+        help="trace/validate/replay the training step per padded shape; "
+        "bitwise-identical to eager (docs/performance.md, Compiled step)",
+    )
+    p.add_argument(
+        "--bucket-lengths",
+        action="store_true",
+        help="quantize padded batch dims to a bucket ladder so compiled "
+        "shape keys repeat (changes padding, hence the numeric trajectory)",
+    )
 
 
 def _add_train(sub: argparse._SubParsersAction) -> None:
@@ -196,6 +208,12 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
         help="profile the model from this artifact (spec + weights) instead of building fresh",
     )
     p.add_argument("--no-fusion", action="store_true", help="profile the unfused composed ops")
+    p.add_argument(
+        "--compiled",
+        action="store_true",
+        help="run the steps through the trace/replay engine (repro.compile); "
+        "per-slot replay timings appear in their own profile section",
+    )
     p.add_argument("--json", default=None, metavar="PATH", help="also dump the profile as JSON")
     p.add_argument(
         "--trace",
@@ -234,6 +252,13 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         help="scoring path: exact full scoring, ANN candidate generation, or auto by catalogue size",
     )
     p.add_argument("--nprobe", type=int, default=None, help="ANN cells probed per query (default: index spec)")
+    p.add_argument(
+        "--compute",
+        choices=["native", "float32", "float16", "int8"],
+        default="native",
+        help="inference precision of the exact scoring path; quantized modes "
+        "finish with an exact float32 re-rank (docs/performance.md)",
+    )
     p.add_argument(
         "--deploy-dir",
         default=None,
@@ -363,6 +388,8 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
         resume_from=getattr(args, "resume", None),
         workers=getattr(args, "workers", 1),
         grad_shards=getattr(args, "grad_shards", 0),
+        compile=getattr(args, "compile", False),
+        bucket_lengths=getattr(args, "bucket_lengths", False),
     )
     return ExperimentRunner(dataset, config)
 
@@ -489,27 +516,48 @@ def _cmd_profile(args) -> int:
         model = recommender.model if args.artifact else recommender.build_model()
         optimizer = Adam(model.parameters(), lr=args.lr)
         loader = DataLoader(
-            runner.dataset.train, batch_size=args.batch_size, shuffle=True, seed=args.seed
+            runner.dataset.train,
+            batch_size=args.batch_size,
+            shuffle=True,
+            seed=args.seed,
+            # Compiled profiling needs repeating shape keys to reach replays.
+            bucket_lengths=args.compiled,
         )
         batches = list(loader)
         model.train()
+        engine = None
+        if args.compiled:
+            from .compile.step import CompileEngine
+
+            engine = CompileEngine(model)
         profiler = OpProfiler()
         start = time.perf_counter()
         with profiler:
             for step in range(args.steps):
                 batch = batches[step % len(batches)]
                 optimizer.zero_grad()
-                loss = cross_entropy(model(batch), batch.target_classes)
-                loss.backward()
+                if engine is not None:
+                    engine.step(batch)
+                else:
+                    loss = cross_entropy(model(batch), batch.target_classes)
+                    loss.backward()
                 clip_grad_norm(model.parameters(), 5.0)
                 optimizer.step()
         elapsed = time.perf_counter() - start
     mode = "unfused" if args.no_fusion else "fused"
+    if engine is not None:
+        mode += ", compiled"
     print(
         f"{args.model} ({mode}, {args.dtype}): {args.steps} steps in {elapsed:.3f}s "
         f"({args.steps / elapsed:.2f} steps/s), "
         f"{profiler.backward_nodes} backward nodes"
     )
+    if engine is not None:
+        st = engine.stats
+        print(
+            f"compile: {st.traces} traces, {st.validations} validations, "
+            f"{st.replays} replays, {st.eager_steps} eager fallbacks"
+        )
     print()
     print(profiler.table())
     if args.json:
@@ -554,6 +602,8 @@ def _cmd_serve(args) -> int:
             print(f"cannot serve {args.artifact}: {error}", file=sys.stderr)
             return 1
         model_name = gateway.service.recommender.name
+        if not _apply_compute(gateway.service, args.compute):
+            return 1
         print(f"retrieval mode: {gateway.service.retrieval_mode}")
         return _serve_loop(args, gateway, model_name)
     if args.deploy_dir:
@@ -591,9 +641,28 @@ def _cmd_serve(args) -> int:
     except ValueError as error:
         print(f"retrieval unavailable for {args.model}: {error}", file=sys.stderr)
         return 1
+    if not _apply_compute(service, args.compute):
+        return 1
     gateway = ServingGateway(service, gateway_config, fallback=PopularityFallback(dataset))
     print(f"retrieval mode: {service.retrieval_mode}")
     return _serve_loop(args, gateway, args.model)
+
+
+def _apply_compute(service, mode: str) -> bool:
+    """Select the serving precision; False (with stderr detail) on failure."""
+    if mode == "native":
+        return True
+    try:
+        service.enable_compute(mode)
+    except ValueError as error:
+        print(f"--compute {mode} unavailable: {error}", file=sys.stderr)
+        return False
+    info = service._quantized.describe()
+    print(
+        f"compute mode: {mode} (item matrix {info['storage_nbytes'] / 1024:.0f} KiB, "
+        f"exact re-rank top {info['rerank_top']})"
+    )
+    return True
 
 
 def _deployed_gateway(args, gateway_config):

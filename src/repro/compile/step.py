@@ -1,0 +1,310 @@
+"""Compiled training step: trace once per shape key, then replay flat.
+
+:class:`CompileEngine` owns the lifecycle of one model's tapes:
+
+1. **Trace** — the first batch of a new shape key runs as a normal eager
+   step with a :class:`~repro.compile.tape.Tape` recording. The results
+   (loss + gradients) are the real step's results, so tracing wastes no
+   work; if the audit rejects the trace the key simply stays eager.
+2. **Validate** — the second batch of the key runs twice: once through
+   the replay, then (after restoring the RNG streams the replay consumed
+   and zeroing the gradients it wrote) eagerly. Loss and every parameter
+   gradient must match *bitwise*; the eager results are kept either way,
+   so the training trajectory is exactly the eager trajectory no matter
+   the outcome. A mismatch permanently falls the key back to eager.
+3. **Replay** — every later batch of a validated key copies its arrays
+   into the staged buffers and runs the flat slot loop: no graph
+   construction, no closure allocation. Replays are transactional — any
+   exception restores the RNG state, zeroes gradients, reruns the batch
+   eagerly, and retires the key.
+
+Shape keys are ``(B, n, k, t, loss divisor, dtype, training)``; models
+that build session graphs get the content-driven distinct-node count
+``c`` appended (learned from the first trace), because every array shape
+downstream of the graph depends on it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autograd import tensor as _tensor
+from ..data.dataset import SessionBatch
+from ..nn.loss import cross_entropy
+from ..parallel.sharding import collect_rng_modules
+from .tape import Tape, recording
+
+__all__ = ["CompileEngine", "CompileStats", "StagedBatch", "session_node_count"]
+
+_BATCH_FIELDS = (
+    "items", "item_mask", "ops", "op_mask",
+    "micro_items", "micro_ops", "micro_mask", "last_op", "targets",
+)
+
+
+def session_node_count(batch: SessionBatch) -> int:
+    """The distinct-node count ``c`` that ``BatchGraph.from_batch`` would use.
+
+    Mirrors its per-row scan (break at the first masked position) without
+    building any arrays — cheap enough to run per batch as a cache key.
+    """
+    items, mask = batch.items, batch.item_mask
+    n = items.shape[1]
+    prefix = np.cumprod(mask != 0, axis=1).astype(bool)
+    same = (items[:, :, None] == items[:, None, :]) & prefix[:, :, None] & prefix[:, None, :]
+    is_new = (same.argmax(axis=2) == np.arange(n)) & prefix
+    return max(1, int(is_new.sum(axis=1).max()))
+
+
+class StagedBatch:
+    """Persistent copies of a batch's arrays that a traced step reads from.
+
+    The copies keep the collate dtypes (int64 ids, float64 masks), so a
+    step traced against the staged batch is bitwise the step on the
+    original batch at any tensor dtype. ``target_classes`` is materialized
+    once (the :class:`SessionBatch` property allocates fresh) and
+    refreshed alongside the rest.
+    """
+
+    def __init__(self, batch: SessionBatch) -> None:
+        self.batch = SessionBatch(
+            **{name: np.array(getattr(batch, name)) for name in _BATCH_FIELDS}
+        )
+        self.target_classes = self.batch.targets - 1
+
+    def copy_from(self, batch: SessionBatch) -> None:
+        for name in _BATCH_FIELDS:
+            np.copyto(getattr(self.batch, name), getattr(batch, name))
+        np.subtract(self.batch.targets, 1, out=self.target_classes)
+
+    def register_into(self, tape: Tape) -> None:
+        for name in _BATCH_FIELDS:
+            tape.register(getattr(self.batch, name))
+        tape.register(self.target_classes)
+
+
+class _CompiledStep:
+    """One validated (or pending) tape plus its replay state."""
+
+    __slots__ = ("tape", "staged", "loss", "order", "seed", "validated")
+
+    def __init__(self, tape: Tape, staged: StagedBatch, loss) -> None:
+        self.tape = tape
+        self.staged = staged
+        self.loss = loss
+        self.order = loss._topo_cache  # cached by backward(retain_graph=True)
+        self.seed = np.ones_like(loss.data)
+        self.validated = False
+
+
+@dataclass
+class CompileStats:
+    """Counters for observability and the benchmark/tests."""
+
+    traces: int = 0
+    validations: int = 0
+    replays: int = 0
+    eager_steps: int = 0
+    fallbacks: dict = field(default_factory=dict)  # base key -> reason
+
+
+class CompileEngine:
+    """Trace/validate/replay executor for one model's training steps.
+
+    ``step`` is a drop-in for the eager forward/backward pair: gradients
+    land on ``p.grad`` and the loss float is returned. The caller remains
+    responsible for ``optimizer.zero_grad()`` / clipping / ``step()``,
+    exactly as on the eager path.
+    """
+
+    def __init__(self, model, max_tapes: int = 8) -> None:
+        self.model = model
+        self.max_tapes = max_tapes
+        self.stats = CompileStats()
+        self._tapes: OrderedDict[tuple, _CompiledStep] = OrderedDict()
+        self._meta: dict[tuple, str] = {}  # base key -> "flat" | "graph"
+        self._fallback: set[tuple] = set()
+        self._rng_modules = collect_rng_modules(model)
+        self._params = list(model.parameters())
+
+    # -- keys ------------------------------------------------------------
+    def _base_key(self, batch: SessionBatch, total: int | None) -> tuple:
+        return (
+            batch.items.shape[0],
+            batch.items.shape[1],
+            batch.ops.shape[2],
+            batch.micro_items.shape[1],
+            total,
+            _tensor._DEFAULT_DTYPE.str,
+            bool(self.model.training),
+        )
+
+    # -- public entry ----------------------------------------------------
+    def step(self, batch: SessionBatch, total: int | None = None) -> float:
+        """One forward/backward for ``batch``; grads on ``p.grad``."""
+        base = self._base_key(batch, total)
+        if base in self._fallback:
+            self.stats.eager_steps += 1
+            return self._eager(batch, total)
+        full = base
+        if self._meta.get(base) == "graph":
+            full = base + (session_node_count(batch),)
+        entry = self._tapes.get(full)
+        if entry is None:
+            return self._trace(base, batch, total)
+        self._tapes.move_to_end(full)
+        if not entry.validated:
+            return self._validate(base, full, entry, batch, total)
+        return self._replay(base, full, entry, batch, total)
+
+    # -- phases ----------------------------------------------------------
+    def _eager(self, batch: SessionBatch, total: int | None) -> float:
+        logits = self.model(batch)
+        loss = cross_entropy(logits, batch.target_classes, total=total)
+        value = float(loss.item())
+        loss.backward()
+        return value
+
+    def _trace(self, base: tuple, batch: SessionBatch, total: int | None) -> float:
+        staged = StagedBatch(batch)
+        tape = Tape()
+        staged.register_into(tape)
+        # The trace IS a real step: recording is passive, so loss and
+        # gradients below are valid even if the audit rejects the tape.
+        with recording(tape):
+            logits = self.model(staged.batch)
+            loss = cross_entropy(logits, staged.target_classes, total=total)
+            value = float(loss.item())
+            loss.backward(retain_graph=True)
+        reason = tape.finalize()
+        if reason is not None:
+            self._retire(base, reason)
+        else:
+            full = base
+            if tape.graph_dims:
+                self._meta[base] = "graph"
+                full = base + (max(tape.graph_dims),)
+            else:
+                self._meta[base] = "flat"
+            self._tapes[full] = _CompiledStep(tape, staged, loss)
+            while len(self._tapes) > self.max_tapes:
+                self._tapes.popitem(last=False)
+        self.stats.traces += 1
+        return value
+
+    def _validate(
+        self, base: tuple, full: tuple, entry: _CompiledStep,
+        batch: SessionBatch, total: int | None,
+    ) -> float:
+        """Second hit: replay, then rerun eagerly and require bitwise equality.
+
+        The eager rerun's results are what the caller gets, so a run's
+        trajectory is the eager trajectory whether or not the tape passes.
+        """
+        snapshot = self._rng_snapshot()
+        try:
+            replay_value = self._run_tape(entry, batch)
+            replay_grads = [
+                None if p.grad is None else np.array(p.grad) for p in self._params
+            ]
+        except Exception as exc:  # noqa: BLE001 - any replay fault means eager
+            self._restore_rng(snapshot)
+            self._zero_grads()
+            self._retire(base, f"replay raised during validation: {exc!r}")
+            self.stats.eager_steps += 1
+            return self._eager(batch, total)
+        self._restore_rng(snapshot)
+        self._zero_grads()
+        value = self._eager(batch, total)
+        identical = _bits_equal(np.float64(value), np.float64(replay_value))
+        if identical:
+            for p, g in zip(self._params, replay_grads):
+                if (p.grad is None) != (g is None):
+                    identical = False
+                    break
+                if g is not None and not _bits_equal(p.grad, g):
+                    identical = False
+                    break
+        if identical:
+            entry.validated = True
+            self.stats.validations += 1
+        else:
+            self._retire(base, "replay disagreed with the eager step bitwise")
+        return value
+
+    def _replay(
+        self, base: tuple, full: tuple, entry: _CompiledStep,
+        batch: SessionBatch, total: int | None,
+    ) -> float:
+        snapshot = self._rng_snapshot()
+        try:
+            value = self._run_tape(entry, batch)
+        except Exception as exc:  # noqa: BLE001 - transactional recovery
+            self._restore_rng(snapshot)
+            self._zero_grads()
+            self._retire(base, f"replay raised: {exc!r}")
+            self.stats.eager_steps += 1
+            return self._eager(batch, total)
+        self.stats.replays += 1
+        return value
+
+    # -- replay machinery ------------------------------------------------
+    def _run_tape(self, entry: _CompiledStep, batch: SessionBatch) -> float:
+        entry.staged.copy_from(batch)
+        profiler = _tensor._PROFILER
+        if profiler is None:
+            for _, _, fn in entry.tape.slots:
+                fn()
+        else:
+            run_slot = profiler._run_replay_slot
+            for _, name, fn in entry.tape.slots:
+                run_slot(name, fn)
+        value = float(entry.loss.data)
+        loss = entry.loss
+        loss.grad = entry.seed
+        loss._grad_owned = True
+        if profiler is None:
+            for node in reversed(entry.order):
+                if node._backward is not None and node.grad is not None:
+                    node._backward()
+                    node.grad = None
+                    node._grad_owned = False
+        else:
+            for node in reversed(entry.order):
+                if node._backward is not None and node.grad is not None:
+                    profiler._run_backward(node._backward)
+                    node.grad = None
+                    node._grad_owned = False
+        return value
+
+    def _rng_snapshot(self):
+        return [(m.rng, m.rng.bit_generator.state) for m in self._rng_modules]
+
+    @staticmethod
+    def _restore_rng(snapshot) -> None:
+        for rng, state in snapshot:
+            rng.bit_generator.state = state
+
+    def _zero_grads(self) -> None:
+        for p in self._params:
+            p.zero_grad()
+
+    def _retire(self, base: tuple, reason: str) -> None:
+        """Permanently fall this base key back to eager execution."""
+        self._fallback.add(base)
+        self.stats.fallbacks[base] = reason
+        for key in [k for k in self._tapes if k[: len(base)] == base]:
+            del self._tapes[key]
+
+
+def _bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise array equality (NaNs with equal payloads compare equal)."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    flat_a = np.ascontiguousarray(a).reshape(-1).view(np.uint8)
+    flat_b = np.ascontiguousarray(b).reshape(-1).view(np.uint8)
+    return bool(np.array_equal(flat_a, flat_b))

@@ -156,6 +156,29 @@ def padded_dims(
     return n_max, k_max, t_max
 
 
+# Rungs for padded-length bucketing: a dimension is rounded up to the next
+# rung (then to the next multiple of the last rung beyond it). Few rungs =
+# few distinct padded shapes = few compiled tapes (repro.compile) while
+# wasting little padding on short sessions.
+_BUCKET_LADDER = (1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+def quantize_length(value: int, ladder: Sequence[int] = _BUCKET_LADDER) -> int:
+    """Round ``value`` up to the bucketing ladder (deterministic, monotone)."""
+    if value <= 0:
+        return value
+    for rung in ladder:
+        if value <= rung:
+            return rung
+    top = ladder[-1]
+    return ((value + top - 1) // top) * top
+
+
+def bucketed_dims(dims: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Quantize each padded dimension of ``padded_dims`` to the ladder."""
+    return tuple(quantize_length(d) for d in dims)
+
+
 def collate(
     examples: Sequence[MacroSession],
     max_ops_per_item: int | None = None,
@@ -250,6 +273,7 @@ class DataLoader:
         seed: int = 0,
         max_ops_per_item: int | None = 6,
         reuse_buffers: bool = False,
+        bucket_lengths: bool = False,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -259,6 +283,11 @@ class DataLoader:
         self.seed = seed
         self.epoch = 0  # epoch of the *next* pass; auto-advances per __iter__
         self.max_ops_per_item = max_ops_per_item
+        # Quantize padded dims to _BUCKET_LADDER rungs. Padding is math-
+        # bearing (masked ops still run, dropout draws per padded element),
+        # so this changes the numeric trajectory and is resume-critical —
+        # but the (seed, epoch) permutation is untouched either way.
+        self.bucket_lengths = bucket_lengths
         # Opt-in: each yielded batch aliases a shared buffer pool and is
         # only valid until the next one (safe for consume-as-you-go loops
         # like Trainer.fit; NOT for `list(loader)`). See CollateBuffers.
@@ -297,6 +326,17 @@ class DataLoader:
             rng.shuffle(order)
         return order
 
+    def padded_dims_for(self, examples: Sequence[MacroSession]) -> tuple[int, int, int]:
+        """The ``(n, k, t)`` padding this loader gives ``examples``.
+
+        Shard workers call this instead of raw :func:`padded_dims` so their
+        per-shard ``pad_to`` agrees with the parent loader's bucketing.
+        """
+        dims = padded_dims(examples, self.max_ops_per_item)
+        if self.bucket_lengths:
+            dims = bucketed_dims(dims)
+        return dims
+
     def collate_indices(self, indices: Sequence[int]) -> SessionBatch:
         """Collate the examples at ``indices`` (honoring buffer reuse).
 
@@ -306,8 +346,12 @@ class DataLoader:
         batches this way without ever streaming through earlier ones.
         """
         chunk = [self.examples[i] for i in indices]
+        pad_to = self.padded_dims_for(chunk) if self.bucket_lengths else None
         return collate(
-            chunk, max_ops_per_item=self.max_ops_per_item, buffers=self._buffers
+            chunk,
+            max_ops_per_item=self.max_ops_per_item,
+            buffers=self._buffers,
+            pad_to=pad_to,
         )
 
     def __iter__(self) -> Iterator[SessionBatch]:

@@ -28,8 +28,11 @@ MODEL_NAMES = list(TABLE3_MODELS)
 # and the worker count (parallelism changes wall-clock, never the math;
 # the math-bearing knob, grad_shards, IS portable) have no business
 # inside a portable ModelSpec.
+# ``compile`` joins them: trace/replay execution is bitwise the eager
+# step, so it is an execution detail like the worker count.
+# ``bucket_lengths`` stays portable — bucketed padding changes the math.
 _NON_PORTABLE_TRAIN_FIELDS = frozenset(
-    {"checkpoint_path", "checkpoint_every", "resume_from", "verbose", "workers"}
+    {"checkpoint_path", "checkpoint_every", "resume_from", "verbose", "workers", "compile"}
 )
 
 
@@ -55,6 +58,9 @@ class ExperimentConfig:
     # Data-parallel training (docs/performance.md, "Parallelism").
     workers: int = 1
     grad_shards: int = 0  # 0 = auto (follows workers); 1 = classic path
+    # Compiled training step (docs/performance.md, "Compiled step").
+    compile: bool = False
+    bucket_lengths: bool = False
 
     def train_config(self) -> TrainConfig:
         return TrainConfig(
@@ -69,6 +75,8 @@ class ExperimentConfig:
             resume_from=self.resume_from,
             workers=self.workers,
             grad_shards=self.grad_shards,
+            compile=self.compile,
+            bucket_lengths=self.bucket_lengths,
         )
 
 

@@ -56,6 +56,12 @@ _RESUME_CRITICAL_FIELDS = (
     "seed",
     "dtype",
     "grad_shards",
+    # Padded-length bucketing changes padded shapes, and padding is
+    # math-bearing (masked positions still draw dropout), so a resumed run
+    # must keep the same bucketing choice. ``compile`` is deliberately
+    # absent: trace/replay is bitwise the eager step, so it may toggle
+    # freely across restarts.
+    "bucket_lengths",
 )
 
 # Popularity rankings embedded in artifacts are capped so an artifact for a
@@ -82,6 +88,9 @@ class TrainConfig:
     verbose: bool = False
     # -- parallelism knobs (docs/performance.md, "Parallelism") ------------
     workers: int = 1           # forked data-parallel workers (1 = in-process)
+    # -- compiled-step knobs (docs/performance.md, "Compiled step") --------
+    compile: bool = False      # trace/validate/replay training steps (bitwise-safe)
+    bucket_lengths: bool = False  # quantize padded dims so tape shape keys repeat
     grad_shards: int = 0       # summation-tree grid; 0 = auto (max(workers, 1)).
                                # 1 trains the classic whole-batch path bit-for-bit;
                                # G > 1 is bit-identical across ANY worker count.
@@ -176,6 +185,7 @@ class Trainer:
         # checkpoint trained with — resuming never silently changes math.
         saved = dict(saved)
         saved.setdefault("grad_shards", 1)
+        saved.setdefault("bucket_lengths", False)  # pre-bucketing checkpoints
         if not current.get("grad_shards"):
             current["grad_shards"] = saved["grad_shards"]
         mismatched = {
@@ -222,7 +232,12 @@ class Trainer:
         cfg = self.config
         workers = min(max(int(cfg.workers), 1), grad_shards)
         if workers <= 1:
-            return SerialShardExecutor(self.model, grad_shards=grad_shards, seed=cfg.seed), None
+            return (
+                SerialShardExecutor(
+                    self.model, grad_shards=grad_shards, seed=cfg.seed, compile=cfg.compile
+                ),
+                None,
+            )
         engine = DataParallelEngine(
             self.model,
             train_loader,
@@ -232,8 +247,17 @@ class Trainer:
             dtype=cfg.dtype,
             eval_splits={"validation": dataset.validation},
             num_items=dataset.num_items,
+            compile=cfg.compile,
         )
         return engine, engine
+
+    def _make_compiled(self):
+        """A :class:`~repro.compile.step.CompileEngine` when enabled, else None."""
+        if not self.config.compile:
+            return None
+        from ..compile.step import CompileEngine
+
+        return CompileEngine(self.model)
 
     def _run(self, dataset: PreparedDataset, state: TrainingState | None) -> "Trainer":
         cfg = self.config
@@ -246,8 +270,10 @@ class Trainer:
             seed=cfg.seed,
             max_ops_per_item=cfg.max_ops_per_item,
             reuse_buffers=True,  # batches are consumed before the next collate
+            bucket_lengths=cfg.bucket_lengths,
         )
         grad_shards = self._resolved_grad_shards(state)
+        compiled = self._make_compiled() if grad_shards <= 1 else None
 
         best_metric = -np.inf
         best_state: dict[str, np.ndarray] | None = None
@@ -320,6 +346,7 @@ class Trainer:
                     loss_value = self._train_batch(
                         batch, optimizer, watchdog,
                         epoch=epoch, batch_index=batch_index, executor=executor,
+                        compiled=compiled,
                     )
                     global_step += 1
                     losses.append(loss_value)
@@ -365,6 +392,7 @@ class Trainer:
         epoch: int,
         batch_index: int,
         executor=None,
+        compiled=None,
     ) -> float:
         """One optimization step, retried under the divergence watchdog.
 
@@ -378,7 +406,15 @@ class Trainer:
         retry = 0
         while True:
             optimizer.zero_grad()
-            if executor is None:
+            if executor is None and compiled is not None:
+                # The engine guarantees replayed steps are bitwise the eager
+                # forward/backward (validated per shape key, transactional
+                # fallback otherwise), so this branch trains the exact
+                # classic trajectory.
+                loss = _LossProbe(compiled.step(batch))
+                failpoint("trainer.loss", loss)
+                loss_value = float(loss.item())
+            elif executor is None:
                 logits = self.model(batch)
                 loss = cross_entropy(logits, batch.target_classes)
                 failpoint("trainer.loss", loss)

@@ -52,7 +52,75 @@ class BatchGraph:
 
     @classmethod
     def from_batch(cls, batch: SessionBatch) -> "BatchGraph":
-        """Build graph arrays for every session in ``batch``."""
+        """Build graph arrays for every session in ``batch``.
+
+        Fully vectorized — a compiled replay (``repro.compile``) rebuilds
+        the graph from refreshed batch buffers on every step, so this is
+        on the per-step hot path, not just in the data pipeline. The
+        per-row reference construction is kept as
+        :meth:`_from_batch_loops` and asserted equal in
+        ``tests/graphs/test_batch_graph.py``.
+        """
+        items, item_mask = batch.items, batch.item_mask
+        B, n = items.shape
+        t = batch.micro_items.shape[1]
+
+        # Node discovery stops at the first masked position (prefix scan).
+        prefix = np.cumprod(item_mask != 0, axis=1).astype(bool)
+        # first[b, p]: earliest prefix position holding the same item.
+        same = (items[:, :, None] == items[:, None, :]) & prefix[:, :, None] & prefix[:, None, :]
+        first = same.argmax(axis=2)
+        is_new = (first == np.arange(n)) & prefix
+        order = np.cumsum(is_new, axis=1) - 1  # node index of each new position
+        alias = np.where(prefix, np.take_along_axis(order, first, axis=1), 0)
+
+        counts = is_new.sum(axis=1)
+        c = max(1, int(counts.max()))
+        node_items = np.zeros((B, c), dtype=np.int64)
+        nb, npos = np.nonzero(is_new)
+        node_items[nb, order[nb, npos]] = items[nb, npos]
+        node_mask = (np.arange(c) < counts[:, None]).astype(np.float64)
+
+        # Positions outside the prefix but still mask-valid keep alias 0,
+        # exactly like the reference loop (alias is initialized to zero).
+        gather = np.zeros((B, n, c))
+        vb, vp = np.nonzero(item_mask.astype(bool))
+        gather[vb, vp, alias[vb, vp]] = 1.0
+
+        n_trans = max(1, n - 1)
+        scatter_in = np.zeros((B, c, n_trans))
+        scatter_out = np.zeros((B, c, n_trans))
+        trans_mask = np.zeros((B, n_trans))
+        lengths = item_mask.sum(axis=1).astype(np.int64)
+        if n > 1:
+            tb, tp = np.nonzero(np.arange(n - 1) < (lengths - 1)[:, None])
+            scatter_in[tb, alias[tb, tp + 1], tp] = 1.0
+            scatter_out[tb, alias[tb, tp], tp] = 1.0
+            trans_mask[tb, tp] = 1.0
+
+        micro_gather = np.zeros((B, t, c))
+        mprefix = np.cumprod(batch.micro_mask != 0, axis=1).astype(bool)
+        node_valid = np.arange(c) < counts[:, None]
+        hit = (batch.micro_items[:, :, None] == node_items[:, None, :]) & node_valid[:, None, :]
+        if not hit.any(axis=2)[mprefix].all():
+            raise KeyError("micro item not present among the session's macro nodes")
+        mb, ms = np.nonzero(mprefix)
+        micro_gather[mb, ms, hit.argmax(axis=2)[mb, ms]] = 1.0
+
+        return cls(
+            node_items=node_items,
+            node_mask=node_mask,
+            alias=alias,
+            gather=gather,
+            scatter_in=scatter_in,
+            scatter_out=scatter_out,
+            micro_gather=micro_gather,
+            trans_mask=trans_mask,
+        )
+
+    @classmethod
+    def _from_batch_loops(cls, batch: SessionBatch) -> "BatchGraph":
+        """Reference per-row construction (the pre-vectorization semantics)."""
         B, n = batch.items.shape
         t = batch.micro_items.shape[1]
 

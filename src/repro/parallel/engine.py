@@ -57,7 +57,7 @@ import traceback
 import numpy as np
 
 from ..autograd import default_dtype, no_grad
-from ..data.dataset import CollateBuffers, DataLoader, SessionBatch, collate, padded_dims
+from ..data.dataset import CollateBuffers, DataLoader, SessionBatch, collate
 from ..nn.loss import cross_entropy
 from .sharding import (
     ParamLayout,
@@ -89,6 +89,19 @@ class WorkerError(RuntimeError):
     """A data-parallel worker failed or died; tracebacks are on stderr."""
 
 
+def _make_compiled(model, enabled: bool):
+    """A fresh :class:`~repro.compile.step.CompileEngine`, or ``None``.
+
+    Imported lazily so the parallel engine has no hard dependency on the
+    compile package at import time.
+    """
+    if not enabled:
+        return None
+    from ..compile.step import CompileEngine
+
+    return CompileEngine(model)
+
+
 class SerialShardExecutor:
     """The canonical shard grid, executed sequentially in one process.
 
@@ -98,12 +111,15 @@ class SerialShardExecutor:
     run checkpointed under N workers can resume anywhere.
     """
 
-    def __init__(self, model, *, grad_shards: int, seed: int) -> None:
+    def __init__(
+        self, model, *, grad_shards: int, seed: int, compile: bool = False
+    ) -> None:
         if grad_shards < 1:
             raise ValueError("grad_shards must be >= 1")
         self.model = model
         self.grad_shards = grad_shards
         self.seed = seed
+        self._compiled = _make_compiled(model, compile)
         self._layout = ParamLayout(model.parameters())
         self._rng_modules = collect_rng_modules(model)
         total = self._layout.total
@@ -134,10 +150,16 @@ class SerialShardExecutor:
                 p.zero_grad()
             generator = shard_generator(self.seed, epoch, batch_index, s, retry)
             with shard_rng(self._rng_modules, generator):
-                logits = self.model(shard)
-                loss = cross_entropy(logits, shard.target_classes, total=total_rows)
-                self._losses[s] = float(loss.item())
-                loss.backward()
+                if self._compiled is not None:
+                    # Trace/validate/replay is bitwise the eager step (the
+                    # engine enforces it), so sharded compiled runs keep the
+                    # parity contract with the multi-process engine.
+                    self._losses[s] = self._compiled.step(shard, total=total_rows)
+                else:
+                    logits = self.model(shard)
+                    loss = cross_entropy(logits, shard.target_classes, total=total_rows)
+                    self._losses[s] = float(loss.item())
+                    loss.backward()
             self._layout.write_grads(self._grads[s])
         reduce_shards(self._grads, self._acc)
         self._layout.assign_grads(self._acc)
@@ -175,6 +197,7 @@ class DataParallelEngine:
         eval_splits: dict | None = None,
         num_items: int = 0,
         timeout: float = 600.0,
+        compile: bool = False,
     ) -> None:
         if workers < 2:
             raise ValueError("DataParallelEngine needs workers >= 2; use SerialShardExecutor")
@@ -190,6 +213,7 @@ class DataParallelEngine:
         self.dtype = dtype
         self.timeout = timeout
         self.num_items = num_items
+        self.compile = compile
         self._eval_splits = [(name, list(examples)) for name, examples in (eval_splits or {}).items()]
         self._split_index = {name: i for i, (name, _) in enumerate(self._eval_splits)}
         self._layout = ParamLayout(model.parameters())
@@ -379,6 +403,9 @@ def _worker_main(engine: DataParallelEngine, worker_id: int) -> None:
     layout = engine._layout
     layout.bind_params(engine._params)
     rng_modules = collect_rng_modules(engine.model)
+    # Each worker owns its own tape cache: shapes repeat per worker just
+    # like per process, and tapes hold process-local buffer references.
+    compiled = _make_compiled(engine.model, engine.compile)
     buffers = CollateBuffers()
     shard_lo, shard_hi = shard_bounds(engine.grad_shards, engine.workers)[worker_id]
     order_cache: dict[int, np.ndarray] = {}
@@ -408,7 +435,7 @@ def _worker_main(engine: DataParallelEngine, worker_id: int) -> None:
                     if cmd == _CMD_TRAIN:
                         _worker_train(
                             engine, rng_modules, buffers, order_cache,
-                            shard_lo, shard_hi,
+                            shard_lo, shard_hi, compiled,
                             epoch=int(ctrl[1]), batch_index=int(ctrl[2]), retry=int(ctrl[3]),
                         )
                     elif cmd == _CMD_EVAL:
@@ -431,6 +458,7 @@ def _worker_train(
     order_cache: dict,
     shard_lo: int,
     shard_hi: int,
+    compiled,
     *,
     epoch: int,
     batch_index: int,
@@ -447,7 +475,7 @@ def _worker_train(
     chunk = [loader.examples[i] for i in order[start : start + loader.batch_size]]
     total_rows = len(chunk)
     bounds = shard_bounds(total_rows, engine.grad_shards)
-    dims = padded_dims(chunk, loader.max_ops_per_item)
+    dims = loader.padded_dims_for(chunk)
     model = engine.model
     model.train()
     layout = engine._layout
@@ -469,10 +497,13 @@ def _worker_train(
             p.zero_grad()
         generator = shard_generator(engine.seed, epoch, batch_index, s, retry)
         with shard_rng(rng_modules, generator):
-            logits = model(shard)
-            loss = cross_entropy(logits, shard.target_classes, total=total_rows)
-            engine._losses[s] = float(loss.item())
-            loss.backward()
+            if compiled is not None:
+                engine._losses[s] = compiled.step(shard, total=total_rows)
+            else:
+                logits = model(shard)
+                loss = cross_entropy(logits, shard.target_classes, total=total_rows)
+                engine._losses[s] = float(loss.item())
+                loss.backward()
         layout.write_grads(engine._grads[s])
 
 

@@ -92,27 +92,36 @@ def addmm(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     The weight gradient is one GEMM over the flattened leading dims instead
     of a matmul-backward plus an unbroadcast reduction for the bias.
     """
-    x_data, w_data = x.data, weight.data
-    out_data = np.matmul(x_data, w_data)
+    out_data = np.matmul(x.data, weight.data)
     if bias is not None:
         out_data += bias.data
     if not _tracking(x, weight, bias):
         return Tensor(out_data)
 
     def backward() -> None:
+        # Read .data at call time: optimizers rebind parameter arrays, and a
+        # replayed tape runs this closure across many steps.
         g = out.grad
         if x.requires_grad:
-            x._accumulate(np.matmul(g, w_data.T))
+            x._accumulate(np.matmul(g, weight.data.T))
         if weight.requires_grad or (bias is not None and bias.requires_grad):
             g2 = g.reshape(-1, g.shape[-1])
             if weight.requires_grad:
-                x2 = x_data.reshape(-1, x_data.shape[-1])
+                x2 = x.data.reshape(-1, x.data.shape[-1])
                 weight._accumulate(x2.T @ g2)
             if bias is not None and bias.requires_grad:
                 bias._accumulate(g2.sum(axis=0))
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     out = Tensor._make(out_data, parents, backward)
+    if _tensor._TAPE is not None:
+
+        def replay() -> None:
+            np.matmul(x.data, weight.data, out=out_data)
+            if bias is not None:
+                np.add(out_data, bias.data, out=out_data)
+
+        _tensor._TAPE._record(out, replay)
     return out
 
 
@@ -184,9 +193,9 @@ def gru_cell(
     out_data = mask_col * h_new + (1.0 - mask_col) * h.data if mask_col is not None else h_new
     if not _tracking(x, h, w_ih, w_hh, b_ih, b_hh):
         return Tensor(out_data)
-    x_data, h_data = x.data, h.data
 
     def backward() -> None:
+        x_data, h_data = x.data, h.data
         dgi, dgh, dh_prev = _gru_backward_step(
             out.grad, h_data, x_data, z, r, n, gh_n, w_ih.data, w_hh.data, mask_col
         )
@@ -204,6 +213,25 @@ def gru_cell(
             b_hh._accumulate(dgh.sum(axis=0))
 
     out = Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
+    if _tensor._TAPE is not None:
+
+        def replay() -> None:
+            # Refresh the gate activations captured by the backward closure.
+            h_new2, z2, r2, n2, gh_n2 = _gru_forward_step(
+                x.data, h.data, w_ih.data, w_hh.data, b_ih.data, b_hh.data, d
+            )
+            np.copyto(z, z2)
+            np.copyto(r, r2)
+            np.copyto(n, n2)
+            np.copyto(gh_n, gh_n2)
+            if mask_col is not None:
+                np.multiply(mask_col, h_new2, out=out_data)
+                np.add(out_data, (1.0 - mask_col) * h.data, out=out_data)
+            else:
+                np.copyto(out_data, h_new2)
+
+        operands = () if mask_col is None else (mask_col,)
+        _tensor._TAPE._record(out, replay, operands=operands)
     return out
 
 
@@ -258,18 +286,23 @@ def gru_sequence(
         return Tensor(out_data)
 
     def backward() -> None:
+        # Re-read parameter/input arrays at call time — optimizers rebind
+        # ``p.data``, and a replayed tape reuses this closure across steps.
+        x_data = x.data
+        w_ih_d, w_hh_d = w_ih.data, w_hh.data
+        h_first = h0.data if h0 is not None else h0_data
         g_out = out.grad  # [B, T, d]
         need_w = w_ih.requires_grad or w_hh.requires_grad
         need_b = b_ih.requires_grad or b_hh.requires_grad
         d_w_ih = np.zeros_like(w_ih_d) if w_ih.requires_grad else None
         d_w_hh = np.zeros_like(w_hh_d) if w_hh.requires_grad else None
-        d_b_ih = np.zeros_like(b_ih_d) if b_ih.requires_grad else None
-        d_b_hh = np.zeros_like(b_hh_d) if b_hh.requires_grad else None
+        d_b_ih = np.zeros_like(b_ih.data) if b_ih.requires_grad else None
+        d_b_hh = np.zeros_like(b_hh.data) if b_hh.requires_grad else None
         d_x = np.empty_like(x_data) if x.requires_grad else None
         dh = np.zeros((B, d), dtype=x_data.dtype)
         for t in range(T - 1, -1, -1):
             g = g_out[:, t, :] + dh
-            h_before = out_data[:, t - 1, :] if t > 0 else h0_data
+            h_before = out_data[:, t - 1, :] if t > 0 else h_first
             m = m_cols[:, t, :] if m_cols is not None else None
             dgi, dgh, dh = _gru_backward_step(
                 g, h_before, x_data[:, t, :], zs[t], rs[t], ns[t], gh_ns[t], w_ih_d, w_hh_d, m
@@ -305,12 +338,53 @@ def gru_sequence(
     if h0 is not None:
         parents.append(h0)
     out = Tensor._make(out_data, tuple(parents), backward)
+    if _tensor._TAPE is not None:
+
+        def replay() -> None:
+            xd = x.data
+            wi, wh, bi, bh = w_ih.data, w_hh.data, b_ih.data, b_hh.data
+            if m_cols is not None:
+                np.copyto(m_cols[..., 0], mask)  # refresh mask snapshot
+            h_prev = h0.data if h0 is not None else h0_data
+            for t in range(T):
+                h_new, z, r, n, gh_n = _gru_forward_step(xd[:, t, :], h_prev, wi, wh, bi, bh, d)
+                if m_cols is not None:
+                    m = m_cols[:, t, :]
+                    h_prev = m * h_new + (1.0 - m) * h_prev
+                else:
+                    h_prev = h_new
+                out_data[:, t, :] = h_prev
+                # copy into the buffers the backward closure captured
+                np.copyto(zs[t], z)
+                np.copyto(rs[t], r)
+                np.copyto(ns[t], n)
+                np.copyto(gh_ns[t], gh_n)
+
+        operands = () if mask is None else (mask,)
+        _tensor._TAPE._record(out, replay, operands=operands)
     return out
 
 
 # ----------------------------------------------------------------------
 # Embedding
 # ----------------------------------------------------------------------
+def _scatter_add_rows(buf: np.ndarray, indices: np.ndarray, g: np.ndarray) -> None:
+    """``buf[indices] += g`` over rows, via one flattened ``bincount``.
+
+    ``np.add.at`` takes the slow buffered-ufunc path; a single bincount
+    over ``index * d + col`` keys is an order of magnitude faster. Both
+    scan contributions in occurrence order, so the accumulation is
+    deterministic; bincount sums in float64, hence the dtype gate.
+    """
+    if buf.dtype != np.float64:
+        np.add.at(buf, indices, g)
+        return
+    rows, d = buf.shape
+    flat_keys = (indices.reshape(-1)[:, None] * d + np.arange(d)).ravel()
+    sums = np.bincount(flat_keys, weights=g.reshape(-1), minlength=rows * d)
+    buf += sums.reshape(rows, d)
+
+
 def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Row gather with a vectorized ``np.add.at`` scatter backward.
 
@@ -320,6 +394,7 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     reused across steps — embedding tables are the largest tensors in
     every model here, so this is the single biggest allocation saved.
     """
+    idx_src = indices
     indices = np.asarray(indices, dtype=np.int64)
     out_data = np.take(weight.data, indices, axis=0)
     if not _tracking(weight):
@@ -343,9 +418,18 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
         elif not weight._grad_owned:
             weight.grad = weight.grad.copy()
             weight._grad_owned = True
-        np.add.at(weight.grad, indices, g)
+        _scatter_add_rows(weight.grad, indices, g)
 
     out = Tensor._make(out_data, (weight,), backward)
+    if _tensor._TAPE is not None:
+
+        def replay() -> None:
+            if idx_src is not indices:
+                # the int64 cast copied; refresh it from the live source
+                np.copyto(indices, idx_src, casting="unsafe")
+            np.take(weight.data, indices, axis=0, out=out_data)
+
+        _tensor._TAPE._record(out, replay, operands=(idx_src,))
     return out
 
 
@@ -374,23 +458,33 @@ def relation_scores(q: Tensor, table: Tensor, rel_ids: np.ndarray) -> Tensor:
     scalars. Same math, different summation order — parity with the
     composed version holds to roundoff, not bit-exactly.
     """
+    ids_src = rel_ids
     rel_ids = np.asarray(rel_ids, dtype=np.int64)
-    q_data, table_data = q.data, table.data
-    R = table_data.shape[0]
-    projected = np.matmul(q_data, table_data.T)  # [B, T, R]
+    R = table.data.shape[0]
+    projected = np.matmul(q.data, table.data.T)  # [B, T, R]
     out_data = np.take_along_axis(projected, rel_ids, axis=2)
     if not _tracking(q, table):
         return Tensor(out_data)
 
     def backward() -> None:
+        q_data = q.data
         d_projected = _scatter_relations(out.grad, rel_ids, R)  # [B, T, R]
         if q.requires_grad:
-            q._accumulate(np.matmul(d_projected, table_data))
+            q._accumulate(np.matmul(d_projected, table.data))
         if table.requires_grad:
             flat = d_projected.reshape(-1, R)
             table._accumulate(flat.T @ q_data.reshape(-1, q_data.shape[-1]))
 
     out = Tensor._make(out_data, (q, table), backward)
+    if _tensor._TAPE is not None:
+
+        def replay() -> None:
+            if ids_src is not rel_ids:
+                np.copyto(rel_ids, ids_src, casting="unsafe")
+            np.matmul(q.data, table.data.T, out=projected)
+            np.copyto(out_data, np.take_along_axis(projected, rel_ids, axis=2))
+
+        _tensor._TAPE._record(out, replay, operands=(ids_src,))
     return out
 
 
@@ -402,23 +496,32 @@ def relation_values(alpha: Tensor, table: Tensor, rel_ids: np.ndarray) -> Tensor
     gather, no giant broadcast multiply, and the backward scatters scalars
     instead of d-vectors.
     """
+    ids_src = rel_ids
     rel_ids = np.asarray(rel_ids, dtype=np.int64)
-    alpha_data, table_data = alpha.data, table.data
-    R = table_data.shape[0]
-    bucketed = _scatter_relations(alpha_data, rel_ids, R)  # [B, T, R]
-    out_data = np.matmul(bucketed, table_data)  # [B, T, d]
+    R = table.data.shape[0]
+    bucketed = _scatter_relations(alpha.data, rel_ids, R)  # [B, T, R]
+    out_data = np.matmul(bucketed, table.data)  # [B, T, d]
     if not _tracking(alpha, table):
         return Tensor(out_data)
 
     def backward() -> None:
         g = out.grad  # [B, T, d]
         if alpha.requires_grad:
-            d_bucketed = np.matmul(g, table_data.T)  # [B, T, R]
+            d_bucketed = np.matmul(g, table.data.T)  # [B, T, R]
             alpha._accumulate(np.take_along_axis(d_bucketed, rel_ids, axis=2))
         if table.requires_grad:
             table._accumulate(bucketed.reshape(-1, R).T @ g.reshape(-1, g.shape[-1]))
 
     out = Tensor._make(out_data, (alpha, table), backward)
+    if _tensor._TAPE is not None:
+
+        def replay() -> None:
+            if ids_src is not rel_ids:
+                np.copyto(rel_ids, ids_src, casting="unsafe")
+            np.copyto(bucketed, _scatter_relations(alpha.data, rel_ids, R))
+            np.matmul(bucketed, table.data, out=out_data)
+
+        _tensor._TAPE._record(out, replay, operands=(ids_src,))
     return out
 
 
@@ -437,6 +540,7 @@ def log_softmax_nll(logits: Tensor, targets: np.ndarray, total: int | None = Non
     divide by the full batch size, so summing shard losses in fixed order
     reproduces the whole-batch mean objective.
     """
+    tgt_src = targets
     targets = np.asarray(targets, dtype=np.int64)
     batch = logits.data.shape[0]
     divisor = batch if total is None else int(total)
@@ -458,4 +562,20 @@ def log_softmax_nll(logits: Tensor, targets: np.ndarray, total: int | None = Non
         logits._accumulate(d_logits)
 
     out = Tensor._make(np.asarray(out_data), (logits,), backward)
+    if _tensor._TAPE is not None:
+        dst = out.data  # 0-d loss buffer
+
+        def replay() -> None:
+            if tgt_src is not targets:
+                np.copyto(targets, tgt_src, casting="unsafe")
+            ld = logits.data
+            np.subtract(ld, ld.max(axis=1, keepdims=True), out=shifted)
+            np.log(np.exp(shifted).sum(axis=1, keepdims=True), out=lse)
+            lpt = shifted[rows, targets] - lse[:, 0]
+            if divisor == batch:
+                dst[...] = -lpt.mean()
+            else:
+                dst[...] = -(lpt.sum() / divisor)
+
+        _tensor._TAPE._record(out, replay, operands=(tgt_src,))
     return out

@@ -117,6 +117,8 @@ class RecommenderService:
         self.retrieval = None  # optional RetrievalPipeline (ANN candidate path)
         self.event_buffer = event_buffer  # optional EventRingBuffer (online training)
         self.deployment = None  # optional DeploymentManager (hot-swap/canary)
+        self.compute = "native"  # or float32/float16/int8 (QuantizedScorer)
+        self._quantized = None  # QuantizedScorer when compute != "native"
 
     @classmethod
     def from_artifact(cls, artifact, retrieval: str = "exact", nprobe: int | None = None, **kwargs) -> "RecommenderService":
@@ -169,9 +171,56 @@ class RecommenderService:
         """"exact", "ivf", or "ivfpq" — whatever scores requests right now."""
         return "exact" if self.retrieval is None else self.retrieval.kind
 
+    def enable_compute(self, mode: str, rerank_top: int = 128) -> str:
+        """Select the inference precision of the exact scoring path.
+
+        ``"native"`` scores through the recommender at the model's training
+        dtype (the default). ``"float32"``, ``"float16"`` and ``"int8"``
+        snapshot the item matrix into a
+        :class:`~repro.compile.quantize.QuantizedScorer`; the quantized
+        modes finish with an exact float32 re-rank of the top candidates
+        (docs/performance.md, "Quantized inference"). Raises ``ValueError``
+        when the model lacks the ``encode_sessions`` factorization seam or
+        when an ANN retrieval path is active (it owns candidate scoring).
+        """
+        from .compile.quantize import COMPUTE_MODES
+
+        if mode not in COMPUTE_MODES:
+            raise ValueError(f"compute must be one of {COMPUTE_MODES}, got {mode!r}")
+        if mode == "native":
+            self.compute, self._quantized = "native", None
+            return mode
+        if self.retrieval is not None:
+            raise ValueError(
+                "--compute requires exact retrieval; the ANN path already "
+                "re-ranks its own candidate set"
+            )
+        self._quantized = self._build_quantized(mode, rerank_top)
+        self.compute = mode
+        return mode
+
+    def _build_quantized(self, mode: str, rerank_top: int = 128):
+        from .compile.quantize import QuantizedScorer
+        from .retrieval.factorize import factorize
+
+        dtype = getattr(getattr(self.recommender, "train_config", None), "dtype", "float64")
+        fact = factorize(self.recommender.model, dtype=dtype)
+        if fact is None:
+            raise ValueError(
+                f"{getattr(self.recommender, 'name', type(self.recommender).__name__)} "
+                "does not expose encode_sessions(); quantized scoring needs the "
+                "factorized head"
+            )
+        return QuantizedScorer(fact, compute=mode, rerank_top=rerank_top)
+
     def retrieval_scope(self):
         """Cache-key component for the active scoring configuration."""
-        return None if self.retrieval is None else self.retrieval.scope()
+        base = None if self.retrieval is None else self.retrieval.scope()
+        if self.compute == "native":
+            return base
+        # Reduced-precision scores must never be served to (or from) a
+        # cache entry produced under a different precision.
+        return ("compute", self.compute, base)
 
     # ------------------------------------------------------------------
     def attach_deployment(self, manager) -> None:
@@ -197,6 +246,15 @@ class RecommenderService:
                 )
             except Exception:  # noqa: BLE001 — exact scoring is always correct
                 self.retrieval = None
+        if self._quantized is not None:
+            # The snapshot belongs to the old weights; requantize the new
+            # ones (or degrade to native if the new model can't factorize).
+            try:
+                self._quantized = self._build_quantized(
+                    self.compute, self._quantized.rerank_top
+                )
+            except Exception:  # noqa: BLE001 — native scoring is always correct
+                self.compute, self._quantized = "native", None
 
     def score_scope(self, session_id: str):
         """Cache-key component for *this session's* scoring configuration.
@@ -364,7 +422,12 @@ class RecommenderService:
                 results[sid] = [self.vocab.decode(int(i) + 1) for i in ranked[row]]
             return results
 
-        scores = np.array(recommender.score_batch(batch), dtype=float)
+        if self._quantized is not None and recommender is self.recommender:
+            # Reduced-precision exact path (canary candidates above always
+            # score native: their generation owns no quantized snapshot).
+            scores = np.array(self._quantized.score_batch(batch), dtype=float)
+        else:
+            scores = np.array(recommender.score_batch(batch), dtype=float)
         for row, sid in enumerate(scoreable):
             if exclude_seen:
                 # Mask only what the model actually scored: dense ids inside

@@ -1,0 +1,74 @@
+"""Checkpoint portability across the compile flag.
+
+``compile`` is execution-only (bitwise-safe) and deliberately absent from
+``_RESUME_CRITICAL_FIELDS``: a run checkpointed eager may resume compiled
+and vice versa, landing on the same parameters as the uninterrupted eager
+run. ``bucket_lengths`` *is* resume-critical (padding is math-bearing), so
+every arm here trains with it enabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro import reliability as rel
+from repro.core import EMBSRConfig, build_sgnn_self
+from repro.eval import TrainConfig, Trainer
+
+TRAIN = dict(epochs=3, lr=0.01, seed=1, bucket_lengths=True)
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    rel.disarm_all()
+    yield
+    rel.disarm_all()
+
+
+def new_model(dataset):
+    cfg = EMBSRConfig(
+        num_items=dataset.num_items, num_ops=dataset.num_operations, dim=12, seed=0
+    )
+    return build_sgnn_self(cfg)
+
+
+def assert_same_params(a, b):
+    assert a.keys() == b.keys()
+    for name in a:
+        assert np.array_equal(a[name], b[name]), f"parameter {name} differs"
+
+
+def crashed_checkpoint(dataset, path, *, compile):
+    """Crash mid-epoch-1 under the given compile flag, leave a state file."""
+    per_epoch = (len(dataset.train) + 63) // 64
+    cfg = TrainConfig(
+        **TRAIN, checkpoint_path=str(path), checkpoint_every=1, compile=compile
+    )
+    trainer = Trainer(new_model(dataset), cfg)
+    rel.arm("trainer.after_batch", rel.crashing(), skip=per_epoch + max(1, per_epoch // 2))
+    with pytest.raises(rel.SimulatedCrash):
+        trainer.fit(dataset)
+    rel.disarm("trainer.after_batch")
+    assert path.exists()
+
+
+@pytest.fixture(scope="module")
+def baseline(dataset):
+    """The uninterrupted all-eager run every resumed arm must reproduce."""
+    trainer = Trainer(new_model(dataset), TrainConfig(**TRAIN))
+    trainer.fit(dataset)
+    return trainer.model.state_dict()
+
+
+@pytest.mark.parametrize(
+    "crash_compiled,resume_compiled",
+    [(False, True), (True, False), (True, True)],
+    ids=["eager_to_compiled", "compiled_to_eager", "compiled_to_compiled"],
+)
+def test_resume_across_compile_flag(dataset, tmp_path, baseline, crash_compiled, resume_compiled):
+    state_path = tmp_path / "state.npz"
+    crashed_checkpoint(dataset, state_path, compile=crash_compiled)
+
+    cfg = TrainConfig(**TRAIN, resume_from=str(state_path), compile=resume_compiled)
+    trainer = Trainer(new_model(dataset), cfg)
+    trainer.fit(dataset)
+    assert_same_params(trainer.model.state_dict(), baseline)

@@ -1,0 +1,71 @@
+"""Compiled training must reproduce eager training, not approximate it.
+
+The contract (docs/performance.md, "Compiled step"): with ``compile=True``
+the trace/validate/replay engine produces the *same* training run as the
+eager path — bitwise at float64, and within 1e-6 on per-epoch losses at
+float32 (where BLAS accumulation order inside the identical kernels is the
+only permitted wiggle; in practice the replays are bitwise there too).
+Both arms train with ``bucket_lengths=True`` so the padding — which is
+math-bearing — is held fixed and only the execution strategy varies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentConfig, ExperimentRunner
+
+MODELS = ["EMBSR", "NARM", "SR-GNN"]
+
+
+def _fit(dataset, model_name, dtype, *, compile, batch_size=32):
+    config = ExperimentConfig(
+        dim=12,
+        epochs=2,
+        batch_size=batch_size,
+        seed=5,
+        dtype=dtype,
+        patience=2,
+        compile=compile,
+        bucket_lengths=True,
+    )
+    recommender = ExperimentRunner(dataset, config).build(model_name)
+    recommender.fit(dataset)
+    state = {k: v.copy() for k, v in recommender.model.state_dict().items()}
+    history = [(h.epoch, h.train_loss, h.valid_metric) for h in recommender.trainer.history]
+    return state, history
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_float64_bitwise(dataset, model_name):
+    eager_state, eager_history = _fit(dataset, model_name, "float64", compile=False)
+    comp_state, comp_history = _fit(dataset, model_name, "float64", compile=True)
+    assert comp_history == eager_history
+    assert set(comp_state) == set(eager_state)
+    for name in sorted(eager_state):
+        assert np.array_equal(comp_state[name], eager_state[name]), (
+            f"{model_name}: parameter {name!r} diverged under compile, "
+            f"max|Δ|={np.max(np.abs(comp_state[name] - eager_state[name])):.3e}"
+        )
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_float32_losses_within_1e6(dataset, model_name):
+    _, eager_history = _fit(dataset, model_name, "float32", compile=False)
+    comp_state, comp_history = _fit(dataset, model_name, "float32", compile=True)
+    assert len(comp_history) == len(eager_history)
+    for (_, eager_loss, _), (_, comp_loss, _) in zip(eager_history, comp_history):
+        assert abs(comp_loss - eager_loss) <= 1e-6
+
+
+@pytest.mark.parametrize("batch_size", [16, 48])
+def test_embsr_parity_across_batch_sizes(dataset, batch_size):
+    """Odd batch sizes exercise ragged tails and multiple shape buckets."""
+    eager_state, eager_history = _fit(
+        dataset, "EMBSR", "float64", compile=False, batch_size=batch_size
+    )
+    comp_state, comp_history = _fit(
+        dataset, "EMBSR", "float64", compile=True, batch_size=batch_size
+    )
+    assert comp_history == eager_history
+    for name in sorted(eager_state):
+        assert np.array_equal(comp_state[name], eager_state[name]), name

@@ -87,3 +87,45 @@ class TestBatchGraphBatched:
             session_items = set(batch.items[b][batch.item_mask[b] > 0].tolist())
             node_items = set(g.node_items[b][g.node_mask[b] > 0].tolist())
             assert session_items == node_items
+
+
+class TestVectorizedMatchesLoops:
+    """``from_batch`` (hot-path, vectorized) vs the per-row reference build."""
+
+    FIELDS = (
+        "node_items",
+        "node_mask",
+        "alias",
+        "gather",
+        "scatter_in",
+        "scatter_out",
+        "micro_gather",
+        "trans_mask",
+    )
+
+    @pytest.fixture(scope="class")
+    def batches(self):
+        cfg = jd_appliances_config()
+        ds = prepare_dataset(generate_dataset(cfg, 300, seed=4), cfg.operations, min_support=2)
+        return list(DataLoader(ds.train, batch_size=32))
+
+    def test_every_field_identical_on_real_batches(self, batches):
+        for batch in batches:
+            fast = BatchGraph.from_batch(batch)
+            slow = BatchGraph._from_batch_loops(batch)
+            for field in self.FIELDS:
+                assert np.array_equal(getattr(fast, field), getattr(slow, field)), field
+
+    def test_identical_on_degenerate_sessions(self):
+        # Single-item, all-repeats, and a self-loop-heavy session in one batch.
+        batch = collate(
+            [
+                MacroSession([5], [[0]], target=1),
+                MacroSession([3, 3, 3, 3], [[0]] * 4, target=3),
+                MacroSession([1, 2, 1, 2, 2], [[0]] * 5, target=2),
+            ]
+        )
+        fast = BatchGraph.from_batch(batch)
+        slow = BatchGraph._from_batch_loops(batch)
+        for field in self.FIELDS:
+            assert np.array_equal(getattr(fast, field), getattr(slow, field)), field
