@@ -372,7 +372,11 @@ class Tensor:
 
         out = Tensor._make(out_data, (self, other), backward)
         if _TAPE is not None:
-            _TAPE._record(out, lambda: np.add(self.data, other.data, out=out_data))
+            # Record against out.data, not the raw ufunc result: for 0-d
+            # operands (composite scalar losses) NumPy hands back a scalar,
+            # which is not a legal ``out=`` buffer on replay.
+            dst = out.data
+            _TAPE._record(out, lambda: np.add(self.data, other.data, out=dst))
         return out
 
     __radd__ = __add__
@@ -404,7 +408,8 @@ class Tensor:
 
         out = Tensor._make(out_data, (self, other), backward)
         if _TAPE is not None:
-            _TAPE._record(out, lambda: np.subtract(self.data, other.data, out=out_data))
+            dst = out.data  # ndarray even for 0-d results (see __add__)
+            _TAPE._record(out, lambda: np.subtract(self.data, other.data, out=dst))
         return out
 
     def __rsub__(self, other) -> "Tensor":
@@ -424,7 +429,8 @@ class Tensor:
 
         out = Tensor._make(out_data, (self, other), backward)
         if _TAPE is not None:
-            _TAPE._record(out, lambda: np.multiply(self.data, other.data, out=out_data))
+            dst = out.data  # ndarray even for 0-d results (see __add__)
+            _TAPE._record(out, lambda: np.multiply(self.data, other.data, out=dst))
         return out
 
     __rmul__ = __mul__
@@ -444,7 +450,8 @@ class Tensor:
 
         out = Tensor._make(out_data, (self, other), backward)
         if _TAPE is not None:
-            _TAPE._record(out, lambda: np.divide(self.data, other.data, out=out_data))
+            dst = out.data  # ndarray even for 0-d results (see __add__)
+            _TAPE._record(out, lambda: np.divide(self.data, other.data, out=dst))
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
@@ -464,7 +471,8 @@ class Tensor:
         if _TAPE is not None:
             # ``**`` has value-specific fast paths (square, sqrt); replaying
             # the same expression keeps the replay bitwise-identical.
-            _TAPE._record(out, lambda: np.copyto(out_data, self.data**exponent))
+            dst = out.data  # ndarray even for 0-d results (see __add__)
+            _TAPE._record(out, lambda: np.copyto(dst, self.data**exponent))
         return out
 
     # ------------------------------------------------------------------

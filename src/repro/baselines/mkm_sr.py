@@ -52,6 +52,20 @@ class MKMSR(Module):
 
         return self.combine(concat([item_rep, op_rep], axis=1))
 
+    def operation_logits(self, batch: SessionBatch) -> Tensor:
+        """[B*T, num_ops] next-operation scores from the operation GRU.
+
+        Row ``b * T + t`` scores the operation at micro position ``t + 1``
+        of session ``b`` from the GRU state after position ``t``, against
+        the tied (transposed) operation embedding table. Feeds the
+        ``op-aux`` objective (MKM-SR's original auxiliary task).
+        """
+        ops = self.dropout(self.op_embedding(batch.micro_ops))
+        states, _ = self.op_gru(ops, mask=batch.micro_mask)
+        batch_size, steps, dim = states.shape
+        flat = states.reshape(batch_size * steps, dim)
+        return flat @ self.op_embedding.weight[1:].T
+
     def forward(self, batch: SessionBatch, graph: BatchGraph | None = None) -> Tensor:
         session = self.encode_sessions(batch, graph)
         return session @ self.item_embedding.weight[1:].T

@@ -113,6 +113,25 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_objective_args(p: argparse.ArgumentParser) -> None:
+    """Training-objective knobs shared by train/compare (docs/objectives.md)."""
+    p.add_argument(
+        "--objective",
+        choices=["ce", "infonce", "ssl", "op-aux"],
+        default=None,
+        help="training objective; default defers to the model's registry entry "
+        "(EMBSR-SSL pins ssl, MKM-SR-OP pins op-aux, everything else ce)",
+    )
+    p.add_argument(
+        "--cl-weight",
+        type=float,
+        default=None,
+        metavar="W",
+        help="weight of the auxiliary term in composite objectives "
+        "(ssl: InfoNCE, op-aux: next-operation loss); default from the registry entry",
+    )
+
+
 def _add_train(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("train", help="train one system and save a checkpoint")
     p.add_argument("--dataset", required=True)
@@ -150,6 +169,7 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
         help="continue an interrupted run from this training-state file",
     )
     _add_parallel_args(p)
+    _add_objective_args(p)
 
 
 def _add_evaluate(sub: argparse._SubParsersAction) -> None:
@@ -181,6 +201,7 @@ def _add_compare(sub: argparse._SubParsersAction) -> None:
         help="save an artifact bundle per trained (neural) model into this directory",
     )
     _add_parallel_args(p)
+    _add_objective_args(p)
     p.add_argument(
         "--cell-workers",
         type=int,
@@ -390,12 +411,14 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
         grad_shards=getattr(args, "grad_shards", 0),
         compile=getattr(args, "compile", False),
         bucket_lengths=getattr(args, "bucket_lengths", False),
+        objective=getattr(args, "objective", None),
+        cl_weight=getattr(args, "cl_weight", None),
     )
     return ExperimentRunner(dataset, config)
 
 
 def _cmd_models(args) -> int:
-    from .registry import FIXED_BETA_PREFIX, registered_models
+    from .registry import FIXED_BETA_PREFIX, FIXED_CL_PREFIX, registered_models
 
     rows = [
         [entry.name, entry.kind, entry.family, ", ".join(entry.param_fields) or "-", entry.description]
@@ -403,6 +426,7 @@ def _cmd_models(args) -> int:
     ]
     print(render_table(["name", "kind", "family", "params", "description"], rows))
     print(f"\npattern: {FIXED_BETA_PREFIX}<float>  (Fig. 6 constant fusion weight)")
+    print(f"pattern: {FIXED_CL_PREFIX}<float>  (contrastive-weight sweep, docs/objectives.md)")
     return 0
 
 
@@ -499,7 +523,8 @@ def _cmd_profile(args) -> int:
     from .autograd import default_dtype
     from .data.dataset import DataLoader
     from .eval.trainer import NeuralRecommender
-    from .nn import Adam, clip_grad_norm, cross_entropy
+    from .nn import Adam, clip_grad_norm
+    from .objectives import StepContext, build_objective
     from .perf import OpProfiler, fusion
 
     runner = _runner(args, epochs=0)
@@ -512,6 +537,15 @@ def _cmd_profile(args) -> int:
         if not isinstance(recommender, NeuralRecommender):
             print(f"{args.model} is not a neural model", file=sys.stderr)
             return 1
+    # The profiled steps optimize exactly what training would: the spec's
+    # portable objective (EMBSR-SSL profiles its contrastive term too).
+    spec = recommender.spec
+    train_defaults = dict(spec.train or {})
+    objective = build_objective(
+        train_defaults.get("objective", "ce"),
+        cl_weight=float(train_defaults.get("cl_weight", 0.1)),
+        num_ops=spec.num_ops,
+    )
     with default_dtype(args.dtype), fusion(not args.no_fusion):
         model = recommender.model if args.artifact else recommender.build_model()
         optimizer = Adam(model.parameters(), lr=args.lr)
@@ -529,18 +563,23 @@ def _cmd_profile(args) -> int:
         if args.compiled:
             from .compile.step import CompileEngine
 
-            engine = CompileEngine(model)
+            engine = CompileEngine(model, objective=objective)
         profiler = OpProfiler()
+        components: dict[str, float] = {}
         start = time.perf_counter()
         with profiler:
             for step in range(args.steps):
                 batch = batches[step % len(batches)]
                 optimizer.zero_grad()
+                ctx = StepContext(seed=args.seed, epoch=0, batch_index=step)
                 if engine is not None:
-                    engine.step(batch)
+                    engine.step(batch, ctx=ctx)
+                    components = dict(engine.last_components)
                 else:
-                    loss = cross_entropy(model(batch), batch.target_classes)
-                    loss.backward()
+                    objective.begin_step(ctx)
+                    parts = objective.compute(model, batch)
+                    parts.loss.backward()
+                    components = parts.component_values()
                 clip_grad_norm(model.parameters(), 5.0)
                 optimizer.step()
         elapsed = time.perf_counter() - start
@@ -552,6 +591,9 @@ def _cmd_profile(args) -> int:
         f"({args.steps / elapsed:.2f} steps/s), "
         f"{profiler.backward_nodes} backward nodes"
     )
+    if components:
+        pretty = ", ".join(f"{k}={v:.4f}" for k, v in components.items())
+        print(f"objective {objective.name} (last step): {pretty}")
     if engine is not None:
         st = engine.stats
         print(

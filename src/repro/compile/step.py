@@ -33,7 +33,6 @@ import numpy as np
 
 from ..autograd import tensor as _tensor
 from ..data.dataset import SessionBatch
-from ..nn.loss import cross_entropy
 from ..parallel.sharding import collect_rng_modules
 from .tape import Tape, recording
 
@@ -89,12 +88,13 @@ class StagedBatch:
 class _CompiledStep:
     """One validated (or pending) tape plus its replay state."""
 
-    __slots__ = ("tape", "staged", "loss", "order", "seed", "validated")
+    __slots__ = ("tape", "staged", "loss", "components", "order", "seed", "validated")
 
-    def __init__(self, tape: Tape, staged: StagedBatch, loss) -> None:
+    def __init__(self, tape: Tape, staged: StagedBatch, loss, components=None) -> None:
         self.tape = tape
         self.staged = staged
         self.loss = loss
+        self.components = dict(components or {})  # name -> live graph Tensor
         self.order = loss._topo_cache  # cached by backward(retain_graph=True)
         self.seed = np.ones_like(loss.data)
         self.validated = False
@@ -120,8 +120,14 @@ class CompileEngine:
     exactly as on the eager path.
     """
 
-    def __init__(self, model, max_tapes: int = 8) -> None:
+    def __init__(self, model, max_tapes: int = 8, objective=None) -> None:
+        if objective is None:
+            from ..objectives import CrossEntropyObjective  # lazy: avoids cycle
+
+            objective = CrossEntropyObjective()
         self.model = model
+        self.objective = objective
+        self.last_components: dict[str, float] = {}
         self.max_tapes = max_tapes
         self.stats = CompileStats()
         self._tapes: OrderedDict[tuple, _CompiledStep] = OrderedDict()
@@ -143,8 +149,15 @@ class CompileEngine:
         )
 
     # -- public entry ----------------------------------------------------
-    def step(self, batch: SessionBatch, total: int | None = None) -> float:
-        """One forward/backward for ``batch``; grads on ``p.grad``."""
+    def step(self, batch: SessionBatch, total: int | None = None, ctx=None) -> float:
+        """One forward/backward for ``batch``; grads on ``p.grad``.
+
+        ``ctx`` (a :class:`~repro.objectives.StepContext`) is installed on
+        the objective *before* dispatch so replay host slots — which
+        rebuild objective randomness such as augmented views — read the
+        current step's coordinates, not the traced step's.
+        """
+        self.objective.begin_step(ctx)
         base = self._base_key(batch, total)
         if base in self._fallback:
             self.stats.eager_steps += 1
@@ -162,10 +175,10 @@ class CompileEngine:
 
     # -- phases ----------------------------------------------------------
     def _eager(self, batch: SessionBatch, total: int | None) -> float:
-        logits = self.model(batch)
-        loss = cross_entropy(logits, batch.target_classes, total=total)
-        value = float(loss.item())
-        loss.backward()
+        parts = self.objective.compute(self.model, batch, total=total)
+        value = float(parts.loss.item())
+        parts.loss.backward()
+        self.last_components = parts.component_values()
         return value
 
     def _trace(self, base: tuple, batch: SessionBatch, total: int | None) -> float:
@@ -175,10 +188,11 @@ class CompileEngine:
         # The trace IS a real step: recording is passive, so loss and
         # gradients below are valid even if the audit rejects the tape.
         with recording(tape):
-            logits = self.model(staged.batch)
-            loss = cross_entropy(logits, staged.target_classes, total=total)
+            parts = self.objective.compute(self.model, staged.batch, total=total)
+            loss = parts.loss
             value = float(loss.item())
             loss.backward(retain_graph=True)
+        self.last_components = parts.component_values()
         reason = tape.finalize()
         if reason is not None:
             self._retire(base, reason)
@@ -189,7 +203,7 @@ class CompileEngine:
                 full = base + (max(tape.graph_dims),)
             else:
                 self._meta[base] = "flat"
-            self._tapes[full] = _CompiledStep(tape, staged, loss)
+            self._tapes[full] = _CompiledStep(tape, staged, loss, parts.components)
             while len(self._tapes) > self.max_tapes:
                 self._tapes.popitem(last=False)
         self.stats.traces += 1
@@ -248,6 +262,9 @@ class CompileEngine:
             self._retire(base, f"replay raised: {exc!r}")
             self.stats.eager_steps += 1
             return self._eager(batch, total)
+        self.last_components = {
+            name: float(t.data) for name, t in entry.components.items()
+        }
         self.stats.replays += 1
         return value
 

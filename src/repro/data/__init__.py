@@ -1,5 +1,6 @@
 """Micro-behavior data substrate: schema, generators, preprocessing, batching."""
 
+from .augment import AugmentConfig, augment_batch, augment_views, view_generator
 from .dataset import DataLoader, SessionBatch, collate
 from .io import (
     EventLogFormat,
@@ -61,6 +62,10 @@ __all__ = [
     "SessionBatch",
     "collate",
     "DataLoader",
+    "AugmentConfig",
+    "augment_batch",
+    "augment_views",
+    "view_generator",
     "DatasetStats",
     "EventLogFormat",
     "load_event_log",

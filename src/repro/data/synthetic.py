@@ -89,10 +89,34 @@ class GeneratorConfig:
     targets_per_context: int = 4       # size of each (category, persona) target pool
     pool_zipf_exponent: float = 1.0    # concentration of target choice within a pool
     op_strength: dict[int, float] = field(default_factory=dict)
+    # P(session is a low-signal "drifter"): short, one uninformative
+    # micro-operation per item — the cold/sparse regime the EMBSR-SSL
+    # ablation measures (benchmarks/bench_ssl_ablation.py). At the default
+    # 0.0 the generator consumes exactly the same RNG draws as before the
+    # knob existed, so existing datasets stay bit-identical.
+    sparsity: float = 0.0
 
     @property
     def num_operations(self) -> int:
         return len(self.operations)
+
+
+def _drifter_persona(personas: list[Persona]) -> Persona:
+    """The low-signal persona sparse sessions fall back to.
+
+    One uniformly-drawn entry operation per item and nothing else: the
+    micro-operations carry no persona information, so models must lean on
+    item-representation quality alone — the regime where the contrastive
+    objective (docs/objectives.md) is expected to help.
+    """
+    entry_ops = sorted({op for p in personas for op in p.entry_probs})
+    return Persona(
+        name="drifter",
+        entry_probs={op: 1.0 for op in entry_ops},
+        transition={},
+        stop_prob=1.0,
+        max_ops_per_item=1,
+    )
 
 
 def _normalize(probs: dict[int, float]) -> tuple[np.ndarray, np.ndarray]:
@@ -107,6 +131,7 @@ class SyntheticSessionGenerator:
     def __init__(self, config: GeneratorConfig, seed: int = 0):
         self.config = config
         self.rng = np.random.default_rng(seed)
+        self._drifter = _drifter_persona(config.personas)  # consumes no RNG
         self._build_catalogue()
         self._build_target_pools()
 
@@ -228,8 +253,16 @@ class SyntheticSessionGenerator:
         category = int(self.rng.integers(cfg.num_categories))
         persona_id = int(self.rng.integers(len(cfg.personas)))
         persona = cfg.personas[persona_id]
+        # Short-circuit keeps the draw count unchanged at sparsity=0.0
+        # (bit-identical datasets for every pre-existing config).
+        drifter = cfg.sparsity > 0.0 and self.rng.random() < cfg.sparsity
+        if drifter:
+            persona = self._drifter
 
         macro_len = self._sample_macro_length()
+        if drifter:
+            # Cold sessions are short as well as micro-sparse.
+            macro_len = min(macro_len, cfg.min_macro_len + 1)
         items: list[int] = []
         op_lists: list[list[int]] = []
         current_category = category
@@ -255,7 +288,7 @@ class SyntheticSessionGenerator:
             alternatives = [i for i in pool if i != items[-1]]
             target = int(self.rng.choice(alternatives)) if alternatives else self._sample_item(category, exclude=items[-1])
         items.append(target)
-        op_lists.append([self._sample_ops(self.config.personas[persona_id])[0]])
+        op_lists.append([self._sample_ops(persona)[0]])
 
         interactions = [
             Interaction(int(item), int(op))
@@ -344,9 +377,10 @@ def _jd_op_strength() -> dict[int, float]:
     }
 
 
-def jd_appliances_config() -> GeneratorConfig:
+def jd_appliances_config(sparsity: float = 0.0) -> GeneratorConfig:
     """JD-Appliances analogue: heavier repeat purchases, denser sessions."""
     return GeneratorConfig(
+        sparsity=sparsity,
         name="jd-appliances",
         operations=JD_OPERATIONS,
         personas=_jd_personas(),
@@ -362,9 +396,10 @@ def jd_appliances_config() -> GeneratorConfig:
     )
 
 
-def jd_computers_config() -> GeneratorConfig:
+def jd_computers_config(sparsity: float = 0.0) -> GeneratorConfig:
     """JD-Computers analogue: larger catalogue, harder prediction."""
     return GeneratorConfig(
+        sparsity=sparsity,
         name="jd-computers",
         operations=JD_OPERATIONS,
         personas=_jd_personas(),
@@ -419,10 +454,11 @@ def _trivago_personas() -> list[Persona]:
     return [visual, dealer, reader]
 
 
-def trivago_config() -> GeneratorConfig:
+def trivago_config(sparsity: float = 0.0) -> GeneratorConfig:
     """Trivago analogue: exploration-only targets (S-POP scores zero)."""
     op = TRIVAGO_OPERATIONS.id_of
     return GeneratorConfig(
+        sparsity=sparsity,
         name="trivago",
         operations=TRIVAGO_OPERATIONS,
         personas=_trivago_personas(),

@@ -24,7 +24,7 @@ import numpy as np
 from ..autograd import default_dtype
 from ..data.dataset import collate
 from ..data.schema import MacroSession
-from ..nn import Adam, clip_grad_norm, cross_entropy
+from ..nn import Adam, clip_grad_norm
 from ..serve import LiveSession
 from .buffer import EventRingBuffer
 from .lineage import DeploymentStore, param_hash
@@ -134,26 +134,44 @@ class OnlineTrainer:
 
     # ------------------------------------------------------------------
     def _mini_fit(self, examples: list[MacroSession]) -> tuple[dict, float]:
-        """Run the mini-epochs from the current weights; returns (state, loss)."""
+        """Run the mini-epochs from the current weights; returns (state, loss).
+
+        The objective comes from the spec's portable train settings, so a
+        model offline-trained under EMBSR-SSL keeps its contrastive term
+        while adapting online — the spec is the single source of truth for
+        *what* is optimized on every path.
+        """
+        from ..objectives import StepContext, build_objective
+
         spec = self.base.spec
-        rng = np.random.default_rng(self.seed + self.snapshots_emitted)
+        train = dict(spec.train or {})
+        objective = build_objective(
+            train.get("objective", "ce"),
+            cl_weight=float(train.get("cl_weight", 0.1)),
+            num_ops=spec.num_ops,
+        )
+        run_seed = self.seed + self.snapshots_emitted
+        rng = np.random.default_rng(run_seed)
         with default_dtype(spec.dtype):
             model = self.base.build_model()
             model.load_state_dict(self._weights)
             model.train()
             optimizer = Adam(model.parameters(), lr=self.lr)
             losses: list[float] = []
-            for _ in range(self.mini_epochs):
+            for mini_epoch in range(self.mini_epochs):
                 order = rng.permutation(len(examples))
-                for start in range(0, len(order), self.batch_size):
+                for batch_no, start in enumerate(range(0, len(order), self.batch_size)):
                     chunk = [examples[i] for i in order[start : start + self.batch_size]]
                     batch = collate(chunk, max_ops_per_item=self.max_ops_per_item)
                     optimizer.zero_grad()
-                    loss = cross_entropy(model(batch), batch.target_classes)
-                    loss.backward()
+                    objective.begin_step(
+                        StepContext(seed=run_seed, epoch=mini_epoch, batch_index=batch_no)
+                    )
+                    parts = objective.compute(model, batch)
+                    parts.loss.backward()
                     clip_grad_norm(model.parameters(), self.grad_clip)
                     optimizer.step()
-                    losses.append(float(loss.item()))
+                    losses.append(float(parts.loss.item()))
             return model.state_dict(), float(np.mean(losses))
 
     def snapshot(self) -> pathlib.Path | None:

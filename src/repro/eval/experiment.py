@@ -61,8 +61,17 @@ class ExperimentConfig:
     # Compiled training step (docs/performance.md, "Compiled step").
     compile: bool = False
     bucket_lengths: bool = False
+    # Training objective (docs/objectives.md). None = defer to the model's
+    # registry entry (EMBSR-SSL pins "ssl"); set explicitly to override.
+    objective: str | None = None
+    cl_weight: float | None = None
 
     def train_config(self) -> TrainConfig:
+        overrides = {}
+        if self.objective is not None:
+            overrides["objective"] = self.objective
+        if self.cl_weight is not None:
+            overrides["cl_weight"] = self.cl_weight
         return TrainConfig(
             epochs=self.epochs,
             batch_size=self.batch_size,
@@ -77,6 +86,7 @@ class ExperimentConfig:
             grad_shards=self.grad_shards,
             compile=self.compile,
             bucket_lengths=self.bucket_lengths,
+            **overrides,
         )
 
 
@@ -104,10 +114,18 @@ class ExperimentRunner:
         """The portable slice of the train config, for embedding in specs."""
         from dataclasses import asdict
 
+        drop = set(_NON_PORTABLE_TRAIN_FIELDS)
+        # Objective knobs the user left on auto must not shadow the model's
+        # registry defaults (spec_for merges caller train over entry.train,
+        # so EMBSR-SSL's {"objective": "ssl"} only survives if absent here).
+        if self.config.objective is None:
+            drop.add("objective")
+        if self.config.cl_weight is None:
+            drop.add("cl_weight")
         return {
             k: v
             for k, v in asdict(self.config.train_config()).items()
-            if k not in _NON_PORTABLE_TRAIN_FIELDS
+            if k not in drop
         }
 
     def spec_for(self, name: str):
@@ -129,11 +147,24 @@ class ExperimentRunner:
         """Construct the (unfitted) system registered under ``name``.
 
         Resolution is delegated to :mod:`repro.registry`: all Table III
-        names, every EMBSR analysis variant, and the ``EMBSR-beta=<x>``
-        pattern of the Fig. 6 fixed-fusion sweep. Unknown names raise
+        names, every EMBSR analysis variant, and the ``EMBSR-beta=<x>`` /
+        ``EMBSR-SSL-cl=<x>`` pattern sweeps. Unknown names raise
         ``KeyError`` listing what *is* registered.
+
+        The runtime train config derives from the *spec* (entry defaults
+        merged with this runner's knobs) plus the non-portable runtime
+        fields, so a model's registry objective survives into training.
         """
-        return REGISTRY.build(self.spec_for(name), train=self.config.train_config())
+        cfg = self.config
+        spec = self.spec_for(name)
+        runtime = spec.train_config(
+            checkpoint_path=cfg.checkpoint_path,
+            checkpoint_every=cfg.checkpoint_every,
+            resume_from=cfg.resume_from,
+            workers=cfg.workers,
+            compile=cfg.compile,
+        )
+        return REGISTRY.build(spec, train=runtime)
 
     # ------------------------------------------------------------------
     def score_on_test(self, recommender: Recommender) -> tuple[np.ndarray, np.ndarray]:

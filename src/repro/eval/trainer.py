@@ -17,14 +17,15 @@ aborts with a clear error once its retry budget is spent.
 from __future__ import annotations
 
 import pathlib
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..autograd import default_dtype, no_grad
 from ..data.dataset import DataLoader, SessionBatch
 from ..data.preprocess import PreparedDataset
-from ..nn import Adam, Module, StepLR, clip_grad_norm, cross_entropy
+from ..nn import Adam, Module, StepLR, clip_grad_norm
+from ..objectives import Objective, StepContext, build_objective
 from ..reliability import (
     DivergenceWatchdog,
     TrainingState,
@@ -62,6 +63,11 @@ _RESUME_CRITICAL_FIELDS = (
     # absent: trace/replay is bitwise the eager step, so it may toggle
     # freely across restarts.
     "bucket_lengths",
+    # The objective IS the math being optimized: resuming a run under a
+    # different objective (or auxiliary weight) would silently train a
+    # different model while reporting the old identity.
+    "objective",
+    "cl_weight",
 )
 
 # Popularity rankings embedded in artifacts are capped so an artifact for a
@@ -86,6 +92,9 @@ class TrainConfig:
     seed: int = 0
     dtype: str = "float64"     # "float32" halves memory traffic (docs/performance.md)
     verbose: bool = False
+    # -- training objective (docs/objectives.md) ---------------------------
+    objective: str = "ce"      # "ce" | "ssl" | "infonce" | "op-aux"
+    cl_weight: float = 0.1     # weight of the auxiliary term in composites
     # -- parallelism knobs (docs/performance.md, "Parallelism") ------------
     workers: int = 1           # forked data-parallel workers (1 = in-process)
     # -- compiled-step knobs (docs/performance.md, "Compiled step") --------
@@ -108,6 +117,9 @@ class EpochStats:
     epoch: int
     train_loss: float
     valid_metric: float
+    # Per-component mean training losses, e.g. {"ce": ..., "infonce": ...}.
+    # Empty for histories written before composable objectives existed.
+    components: dict = field(default_factory=dict)
 
 
 class _LossProbe:
@@ -136,10 +148,19 @@ class Trainer:
     config diff instead of a parameter shape mismatch deep in NumPy.
     """
 
-    def __init__(self, model: Module, config: TrainConfig, spec: dict | None = None):
+    def __init__(
+        self,
+        model: Module,
+        config: TrainConfig,
+        spec: dict | None = None,
+        objective: Objective | None = None,
+    ):
         self.model = model
         self.config = config
         self.spec = spec
+        # Usually resolved from config.objective at fit time (it needs the
+        # dataset's operation count); an explicit instance wins.
+        self.objective = objective
         self.history: list[EpochStats] = []
 
     # ------------------------------------------------------------------
@@ -186,6 +207,9 @@ class Trainer:
         saved = dict(saved)
         saved.setdefault("grad_shards", 1)
         saved.setdefault("bucket_lengths", False)  # pre-bucketing checkpoints
+        # Pre-objective checkpoints trained plain cross-entropy.
+        saved.setdefault("objective", "ce")
+        saved.setdefault("cl_weight", 0.1)
         if not current.get("grad_shards"):
             current["grad_shards"] = saved["grad_shards"]
         mismatched = {
@@ -234,7 +258,8 @@ class Trainer:
         if workers <= 1:
             return (
                 SerialShardExecutor(
-                    self.model, grad_shards=grad_shards, seed=cfg.seed, compile=cfg.compile
+                    self.model, grad_shards=grad_shards, seed=cfg.seed,
+                    compile=cfg.compile, objective=self.objective,
                 ),
                 None,
             )
@@ -248,6 +273,7 @@ class Trainer:
             eval_splits={"validation": dataset.validation},
             num_items=dataset.num_items,
             compile=cfg.compile,
+            objective=self.objective,
         )
         return engine, engine
 
@@ -257,7 +283,7 @@ class Trainer:
             return None
         from ..compile.step import CompileEngine
 
-        return CompileEngine(self.model)
+        return CompileEngine(self.model, objective=self.objective)
 
     def _run(self, dataset: PreparedDataset, state: TrainingState | None) -> "Trainer":
         cfg = self.config
@@ -272,6 +298,12 @@ class Trainer:
             reuse_buffers=True,  # batches are consumed before the next collate
             bucket_lengths=cfg.bucket_lengths,
         )
+        if self.objective is None:
+            self.objective = build_objective(
+                cfg.objective,
+                cl_weight=cfg.cl_weight,
+                num_ops=dataset.num_operations,
+            )
         grad_shards = self._resolved_grad_shards(state)
         compiled = self._make_compiled() if grad_shards <= 1 else None
 
@@ -280,6 +312,7 @@ class Trainer:
         stale = 0
         start_epoch = start_batch = global_step = 0
         epoch_losses: list[float] = []
+        epoch_components: list[dict] = []
         if state is not None:
             self.model.load_state_dict(state.model_state)
             optimizer.load_state_dict(state.optimizer_state)
@@ -290,6 +323,7 @@ class Trainer:
             best_metric, best_state, stale = state.best_metric, state.best_state, state.stale
             self.history = [EpochStats(**h) for h in state.history]
             epoch_losses = list(state.epoch_losses)
+            epoch_components = [dict(c) for c in state.epoch_components]
 
         watchdog = (
             DivergenceWatchdog(
@@ -303,7 +337,9 @@ class Trainer:
             else None
         )
 
-        def checkpoint(epoch: int, next_batch: int, losses: list[float]) -> None:
+        def checkpoint(
+            epoch: int, next_batch: int, losses: list[float], comps: list[dict]
+        ) -> None:
             if cfg.checkpoint_path is None:
                 return
             save_training_state(
@@ -322,6 +358,7 @@ class Trainer:
                     stale=stale,
                     history=[asdict(h) for h in self.history],
                     epoch_losses=[float(x) for x in losses],
+                    epoch_components=[dict(c) for c in comps],
                     config={**asdict(self.config), "grad_shards": grad_shards},
                     spec=self.spec,
                 ),
@@ -333,6 +370,7 @@ class Trainer:
                 self.model.train()
                 train_loader.set_epoch(epoch)
                 losses = epoch_losses if epoch == start_epoch else []
+                comp_losses = epoch_components if epoch == start_epoch else []
                 skip = start_batch if epoch == start_epoch else 0
                 if engine is not None:
                     # Workers collate their own shard rows; the master never
@@ -343,15 +381,16 @@ class Trainer:
                 for batch_index, batch in batch_iter:
                     if batch_index < skip:
                         continue  # replaying a resumed epoch up to the cursor
-                    loss_value = self._train_batch(
+                    loss_value, components = self._train_batch(
                         batch, optimizer, watchdog,
                         epoch=epoch, batch_index=batch_index, executor=executor,
                         compiled=compiled,
                     )
                     global_step += 1
                     losses.append(loss_value)
+                    comp_losses.append(components)
                     if cfg.checkpoint_every and global_step % cfg.checkpoint_every == 0:
-                        checkpoint(epoch, batch_index + 1, losses)
+                        checkpoint(epoch, batch_index + 1, losses, comp_losses)
                     failpoint("trainer.after_batch", {"epoch": epoch, "batch": batch_index})
 
                 scheduler.step()
@@ -361,7 +400,13 @@ class Trainer:
                 else:
                     valid = self.evaluate(dataset.validation, batch_size=cfg.batch_size)
                 metric = valid[cfg.selection_metric]
-                self.history.append(EpochStats(epoch, float(np.mean(losses)), metric))
+                means = {}
+                if comp_losses:
+                    means = {
+                        name: float(np.mean([c.get(name, 0.0) for c in comp_losses]))
+                        for name in comp_losses[0]
+                    }
+                self.history.append(EpochStats(epoch, float(np.mean(losses)), metric, means))
                 if cfg.verbose:
                     print(
                         f"epoch {epoch}: loss={np.mean(losses):.4f} "
@@ -373,7 +418,7 @@ class Trainer:
                     stale = 0
                 else:
                     stale += 1
-                checkpoint(epoch + 1, 0, [])
+                checkpoint(epoch + 1, 0, [], [])
                 failpoint("trainer.after_epoch", {"epoch": epoch})
                 if stale >= self.config.patience:
                     break
@@ -393,43 +438,53 @@ class Trainer:
         batch_index: int,
         executor=None,
         compiled=None,
-    ) -> float:
+    ) -> tuple[float, dict]:
         """One optimization step, retried under the divergence watchdog.
 
-        With an ``executor`` (shard grid active) the forward/backward runs
-        through :meth:`~repro.parallel.SerialShardExecutor.compute`; the
-        retry counter feeds the per-shard dropout streams so a rolled-back
-        batch redraws fresh masks, like the classic path does by consuming
-        further along its persistent streams.
+        Returns ``(loss, per-component losses)``. With an ``executor``
+        (shard grid active) the forward/backward runs through
+        :meth:`~repro.parallel.SerialShardExecutor.compute`; the retry
+        counter feeds the per-shard dropout streams so a rolled-back batch
+        redraws fresh masks, like the classic path does by consuming
+        further along its persistent streams. The retry counter also feeds
+        the objective's :class:`~repro.objectives.StepContext`, so
+        objective randomness (augmented views) redraws alongside.
         """
         cfg = self.config
         retry = 0
         while True:
             optimizer.zero_grad()
+            ctx = StepContext(
+                seed=cfg.seed, epoch=epoch, batch_index=batch_index, shard=0, retry=retry
+            )
             if executor is None and compiled is not None:
                 # The engine guarantees replayed steps are bitwise the eager
                 # forward/backward (validated per shape key, transactional
                 # fallback otherwise), so this branch trains the exact
                 # classic trajectory.
-                loss = _LossProbe(compiled.step(batch))
+                loss = _LossProbe(compiled.step(batch, ctx=ctx))
                 failpoint("trainer.loss", loss)
                 loss_value = float(loss.item())
+                components = dict(compiled.last_components)
             elif executor is None:
-                logits = self.model(batch)
-                loss = cross_entropy(logits, batch.target_classes)
+                self.objective.begin_step(ctx)
+                parts = self.objective.compute(self.model, batch)
+                loss = parts.loss
                 failpoint("trainer.loss", loss)
                 loss_value = float(loss.item())
                 loss.backward()
+                components = parts.component_values()
             else:
                 loss = _LossProbe(executor.compute(epoch, batch_index, retry, batch=batch))
                 failpoint("trainer.loss", loss)
                 loss_value = float(loss.item())
+                components = dict(executor.last_components)
             grad_norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
             if watchdog is None or watchdog.healthy(loss_value, grad_norm):
                 optimizer.step()
                 if watchdog is not None:
                     watchdog.record_good()
-                return loss_value
+                return loss_value, components
             watchdog.recover(
                 where=f"epoch {epoch}, batch {batch_index}",
                 loss=loss_value,

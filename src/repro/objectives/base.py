@@ -1,0 +1,173 @@
+"""The composable training-objective seam shared by all four training paths.
+
+Before this package existed the training objective was the literal
+expression ``cross_entropy(model(batch), batch.target_classes)`` inlined
+into four places — the eager trainer, the compiled step engine, the shard
+executors, and the online mini-trainer — so adding any auxiliary loss
+meant copy-pasting it four times and keeping the copies bit-identical by
+hand. An :class:`Objective` owns that expression instead: every path asks
+it for ``(scalar loss, named component losses)`` and stays agnostic of
+*what* is being optimized.
+
+Contracts every objective must honor (docs/objectives.md):
+
+* **Purity per step.** ``compute`` must be a pure function of the model
+  parameters, the batch content, the module RNG streams it consumes, and
+  the :class:`StepContext` installed by ``begin_step``. Any extra
+  randomness must come from *stateless* generators keyed by the context
+  (see :func:`repro.data.augment.view_generator`) so eager, compiled,
+  serial-shard, and forked-worker executions of a step agree bitwise.
+* **Tape compatibility.** Batch-derived raw arrays fed into graph ops
+  must be routed through :func:`repro.compile.host_array` /
+  :func:`repro.compile.static_array` so a traced step replays against
+  refreshed buffers. An objective that cannot satisfy this simply fails
+  the tape audit and trains eagerly — never incorrectly.
+* **Shard decomposability.** With ``total`` set (the full batch's row
+  count), the fixed-order sum of per-shard losses must equal the
+  whole-batch loss, mirroring :func:`repro.nn.cross_entropy`'s ``total``
+  semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..autograd.tensor import Tensor
+from ..compile.tape import host_array
+from ..nn.loss import cross_entropy
+
+__all__ = [
+    "StepContext",
+    "ObjectiveParts",
+    "Objective",
+    "CrossEntropyObjective",
+    "CompositeObjective",
+]
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Coordinates of one optimization step, for stateless randomness.
+
+    Mirrors the seeding tuple of the shard dropout streams: everything an
+    objective needs to rebuild step-local randomness (augmented views)
+    identically in any process, including compiled replays that never go
+    through ``compute`` again.
+    """
+
+    seed: int = 0
+    epoch: int = 0
+    batch_index: int = 0
+    shard: int = 0
+    retry: int = 0
+
+
+@dataclass
+class ObjectiveParts:
+    """One step's loss tensor plus its named scalar component tensors.
+
+    ``components`` values are live graph tensors (often aliasing ``loss``
+    or its addends); callers read ``float(t.data)`` *after* the step so
+    compiled replays — which refresh tensor buffers in place — surface
+    fresh per-component values without recomputation.
+    """
+
+    loss: Tensor
+    components: dict[str, Tensor] = field(default_factory=dict)
+
+    def component_values(self) -> dict[str, float]:
+        return {name: float(t.data) for name, t in self.components.items()}
+
+
+class Objective:
+    """Produces a scalar training loss from ``(model, batch)``.
+
+    Subclasses override :meth:`compute`; ``component_names`` fixes the
+    order in which component losses are reported (the parallel engine
+    sizes its shared-memory component block from it, so it must be a
+    static property of the objective, not of any particular batch).
+    """
+
+    name: str = "objective"
+    component_names: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._ctx = StepContext()
+
+    # ------------------------------------------------------------------
+    def begin_step(self, ctx: StepContext | None) -> None:
+        """Install the step coordinates consumed by stateless randomness.
+
+        Called once per forward — including before compiled *replays*,
+        whose host slots re-run builders that read ``self._ctx``.
+        """
+        if ctx is not None:
+            self._ctx = ctx
+
+    def compute(self, model, batch, *, total: int | None = None) -> ObjectiveParts:
+        """Loss of ``batch`` under ``model``; see the module contract.
+
+        ``total`` carries the full batch's row count when ``batch`` is one
+        shard of it (``None`` on the whole-batch paths).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CrossEntropyObjective(Objective):
+    """The paper's objective (Eq. 20): softmax cross-entropy over items.
+
+    Graph-identical to the expression the training paths used to inline,
+    so refactored runs train bit-identical parameters. ``target_classes``
+    is routed through :func:`~repro.compile.host_array` because the
+    :class:`~repro.data.dataset.SessionBatch` property allocates a fresh
+    array per access — under a tape it becomes a registered, per-replay
+    refreshed buffer.
+    """
+
+    name = "ce"
+    component_names = ("ce",)
+
+    def compute(self, model, batch, *, total: int | None = None) -> ObjectiveParts:
+        logits = model(batch)
+        targets = host_array(lambda: batch.target_classes)
+        loss = cross_entropy(logits, targets, total=total)
+        return ObjectiveParts(loss, {"ce": loss})
+
+
+class CompositeObjective(Objective):
+    """Weighted sum of named sub-objectives.
+
+    ``terms`` is ``[(name, objective, weight), ...]``; the composite loss
+    is ``sum(weight_i * loss_i)`` accumulated in term order (fixed-order
+    floating-point, like everything else in the determinism contract).
+    Reported components are the *unweighted* per-term losses.
+    """
+
+    def __init__(self, terms) -> None:
+        super().__init__()
+        self.terms = [(str(n), obj, float(w)) for n, obj, w in terms]
+        if not self.terms:
+            raise ValueError("CompositeObjective needs at least one term")
+        names = [n for n, _, _ in self.terms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate component names in composite objective: {names}")
+        self.name = "+".join(names)
+        self.component_names = tuple(names)
+
+    def begin_step(self, ctx: StepContext | None) -> None:
+        super().begin_step(ctx)
+        for _, objective, _ in self.terms:
+            objective.begin_step(ctx)
+
+    def compute(self, model, batch, *, total: int | None = None) -> ObjectiveParts:
+        components: dict[str, Tensor] = {}
+        loss: Tensor | None = None
+        for name, objective, weight in self.terms:
+            part = objective.compute(model, batch, total=total)
+            components[name] = part.loss
+            term = part.loss if weight == 1.0 else part.loss * weight
+            loss = term if loss is None else loss + term
+        return ObjectiveParts(loss, components)

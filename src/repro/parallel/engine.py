@@ -58,7 +58,6 @@ import numpy as np
 
 from ..autograd import default_dtype, no_grad
 from ..data.dataset import CollateBuffers, DataLoader, SessionBatch, collate
-from ..nn.loss import cross_entropy
 from .sharding import (
     ParamLayout,
     collect_rng_modules,
@@ -89,7 +88,7 @@ class WorkerError(RuntimeError):
     """A data-parallel worker failed or died; tracebacks are on stderr."""
 
 
-def _make_compiled(model, enabled: bool):
+def _make_compiled(model, enabled: bool, objective=None):
     """A fresh :class:`~repro.compile.step.CompileEngine`, or ``None``.
 
     Imported lazily so the parallel engine has no hard dependency on the
@@ -99,7 +98,30 @@ def _make_compiled(model, enabled: bool):
         return None
     from ..compile.step import CompileEngine
 
-    return CompileEngine(model)
+    return CompileEngine(model, objective=objective)
+
+
+def _default_objective():
+    """The cross-entropy objective, imported lazily (same cycle-avoidance)."""
+    from ..objectives import CrossEntropyObjective
+
+    return CrossEntropyObjective()
+
+
+def _sum_components(rows: np.ndarray, names: tuple) -> dict:
+    """Fixed-order shard sums of the per-component loss rows.
+
+    Mirrors the fixed-order total-loss sum: accumulation order is shard
+    0..G-1 regardless of worker count, so the reported component losses
+    are bit-identical between the serial and forked executors.
+    """
+    out: dict[str, float] = {}
+    for j, name in enumerate(names):
+        acc = 0.0
+        for s in range(rows.shape[0]):
+            acc += float(rows[s, j])
+        out[name] = acc
+    return out
 
 
 class SerialShardExecutor:
@@ -112,20 +134,27 @@ class SerialShardExecutor:
     """
 
     def __init__(
-        self, model, *, grad_shards: int, seed: int, compile: bool = False
+        self, model, *, grad_shards: int, seed: int, compile: bool = False,
+        objective=None,
     ) -> None:
         if grad_shards < 1:
             raise ValueError("grad_shards must be >= 1")
         self.model = model
         self.grad_shards = grad_shards
         self.seed = seed
-        self._compiled = _make_compiled(model, compile)
+        self.objective = objective if objective is not None else _default_objective()
+        self.last_components: dict[str, float] = {}
+        self._component_names = tuple(self.objective.component_names)
+        self._compiled = _make_compiled(model, compile, self.objective)
         self._layout = ParamLayout(model.parameters())
         self._rng_modules = collect_rng_modules(model)
         total = self._layout.total
         self._grads = np.zeros((grad_shards, total), dtype=self._layout.dtype)
         self._acc = np.empty(total, dtype=self._layout.dtype)
         self._losses = np.zeros(grad_shards, dtype=np.float64)
+        self._components = np.zeros(
+            (grad_shards, max(1, len(self._component_names))), dtype=np.float64
+        )
 
     def compute(
         self, epoch: int, batch_index: int, retry: int = 0, batch: SessionBatch | None = None
@@ -136,6 +165,8 @@ class SerialShardExecutor:
         losses (each already divided by the full batch size), i.e. the
         whole-batch mean NLL computed through the canonical tree.
         """
+        from ..objectives import StepContext
+
         if batch is None:
             raise ValueError("SerialShardExecutor.compute needs the collated batch")
         total_rows = batch.batch_size
@@ -144,28 +175,39 @@ class SerialShardExecutor:
             if lo == hi:
                 self._grads[s].fill(0)
                 self._losses[s] = 0.0
+                self._components[s].fill(0)
                 continue
             shard = slice_batch(batch, lo, hi)
             for p in self._layout.parameters:
                 p.zero_grad()
+            ctx = StepContext(
+                seed=self.seed, epoch=epoch, batch_index=batch_index, shard=s, retry=retry
+            )
             generator = shard_generator(self.seed, epoch, batch_index, s, retry)
             with shard_rng(self._rng_modules, generator):
                 if self._compiled is not None:
                     # Trace/validate/replay is bitwise the eager step (the
                     # engine enforces it), so sharded compiled runs keep the
                     # parity contract with the multi-process engine.
-                    self._losses[s] = self._compiled.step(shard, total=total_rows)
+                    self._losses[s] = self._compiled.step(shard, total=total_rows, ctx=ctx)
+                    comp = self._compiled.last_components
+                    for j, name in enumerate(self._component_names):
+                        self._components[s, j] = comp.get(name, 0.0)
                 else:
-                    logits = self.model(shard)
-                    loss = cross_entropy(logits, shard.target_classes, total=total_rows)
-                    self._losses[s] = float(loss.item())
-                    loss.backward()
+                    self.objective.begin_step(ctx)
+                    parts = self.objective.compute(self.model, shard, total=total_rows)
+                    self._losses[s] = float(parts.loss.item())
+                    parts.loss.backward()
+                    values = parts.component_values()
+                    for j, name in enumerate(self._component_names):
+                        self._components[s, j] = values.get(name, 0.0)
             self._layout.write_grads(self._grads[s])
         reduce_shards(self._grads, self._acc)
         self._layout.assign_grads(self._acc)
         total_loss = 0.0
         for s in range(self.grad_shards):
             total_loss += float(self._losses[s])
+        self.last_components = _sum_components(self._components, self._component_names)
         return total_loss
 
     def shutdown(self) -> None:
@@ -198,6 +240,7 @@ class DataParallelEngine:
         num_items: int = 0,
         timeout: float = 600.0,
         compile: bool = False,
+        objective=None,
     ) -> None:
         if workers < 2:
             raise ValueError("DataParallelEngine needs workers >= 2; use SerialShardExecutor")
@@ -214,6 +257,11 @@ class DataParallelEngine:
         self.timeout = timeout
         self.num_items = num_items
         self.compile = compile
+        # Resolved before the fork so every worker inherits the identical
+        # objective instance (weights, augment knobs, component order).
+        self.objective = objective if objective is not None else _default_objective()
+        self.last_components: dict[str, float] = {}
+        self._component_names = tuple(self.objective.component_names)
         self._eval_splits = [(name, list(examples)) for name, examples in (eval_splits or {}).items()]
         self._split_index = {name: i for i, (name, _) in enumerate(self._eval_splits)}
         self._layout = ParamLayout(model.parameters())
@@ -232,6 +280,9 @@ class DataParallelEngine:
         self._params = self._arena.allocate("params", (total,), self._layout.dtype)
         self._grads = self._arena.allocate("grads", (self.grad_shards, total), self._layout.dtype)
         self._losses = self._arena.allocate("loss", (self.grad_shards,), np.float64)
+        self._components = self._arena.allocate(
+            "components", (self.grad_shards, max(1, len(self._component_names))), np.float64
+        )
         self._ctrl = self._arena.allocate("ctrl", (self._err_base + self.workers,), np.int64)
         max_eval = max((len(examples) for _, examples in self._eval_splits), default=0)
         self._scores = (
@@ -365,6 +416,7 @@ class DataParallelEngine:
         total_loss = 0.0
         for s in range(self.grad_shards):
             total_loss += float(self._losses[s])
+        self.last_components = _sum_components(self._components, self._component_names)
         return total_loss
 
     def predict(self, split: str, batch_size: int = 128) -> tuple[np.ndarray, np.ndarray]:
@@ -405,7 +457,7 @@ def _worker_main(engine: DataParallelEngine, worker_id: int) -> None:
     rng_modules = collect_rng_modules(engine.model)
     # Each worker owns its own tape cache: shapes repeat per worker just
     # like per process, and tapes hold process-local buffer references.
-    compiled = _make_compiled(engine.model, engine.compile)
+    compiled = _make_compiled(engine.model, engine.compile, engine.objective)
     buffers = CollateBuffers()
     shard_lo, shard_hi = shard_bounds(engine.grad_shards, engine.workers)[worker_id]
     order_cache: dict[int, np.ndarray] = {}
@@ -465,6 +517,8 @@ def _worker_train(
     retry: int,
 ) -> None:
     """Compute this worker's shard range of one batch into the shm rows."""
+    from ..objectives import StepContext
+
     loader = engine.loader
     order = order_cache.get(epoch)
     if order is None:
@@ -479,11 +533,13 @@ def _worker_train(
     model = engine.model
     model.train()
     layout = engine._layout
+    names = engine._component_names
     for s in range(shard_lo, shard_hi):
         lo, hi = bounds[s]
         if lo == hi:
             engine._grads[s].fill(0)
             engine._losses[s] = 0.0
+            engine._components[s].fill(0)
             continue
         # Collate only this shard's rows, padded to the full batch's
         # dimensions — bit-identical to slicing the whole collated batch.
@@ -495,15 +551,24 @@ def _worker_train(
         )
         for p in layout.parameters:
             p.zero_grad()
+        ctx = StepContext(
+            seed=engine.seed, epoch=epoch, batch_index=batch_index, shard=s, retry=retry
+        )
         generator = shard_generator(engine.seed, epoch, batch_index, s, retry)
         with shard_rng(rng_modules, generator):
             if compiled is not None:
-                engine._losses[s] = compiled.step(shard, total=total_rows)
+                engine._losses[s] = compiled.step(shard, total=total_rows, ctx=ctx)
+                comp = compiled.last_components
+                for j, name in enumerate(names):
+                    engine._components[s, j] = comp.get(name, 0.0)
             else:
-                logits = model(shard)
-                loss = cross_entropy(logits, shard.target_classes, total=total_rows)
-                engine._losses[s] = float(loss.item())
-                loss.backward()
+                engine.objective.begin_step(ctx)
+                parts = engine.objective.compute(model, shard, total=total_rows)
+                engine._losses[s] = float(parts.loss.item())
+                parts.loss.backward()
+                values = parts.component_values()
+                for j, name in enumerate(names):
+                    engine._components[s, j] = values.get(name, 0.0)
         layout.write_grads(engine._grads[s])
 
 

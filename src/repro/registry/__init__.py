@@ -14,7 +14,7 @@ boundary, and rebuilt bit-identically (``docs/registry.md``).
 >>> model = registry.build_module(spec)         # the bare nn.Module
 """
 
-from .models import FIXED_BETA_PREFIX, TABLE3_MODELS
+from .models import FIXED_BETA_PREFIX, FIXED_CL_PREFIX, TABLE3_MODELS
 from .registry import (
     NEURAL,
     NONPARAMETRIC,
@@ -42,6 +42,7 @@ __all__ = [
     "NONPARAMETRIC",
     "TABLE3_MODELS",
     "FIXED_BETA_PREFIX",
+    "FIXED_CL_PREFIX",
     "register_family",
     "register_model",
     "register_resolver",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from .registry import NEURAL, NONPARAMETRIC, REGISTRY, RegisteredModel
 from .spec import ModelSpec
 
-__all__ = ["TABLE3_MODELS", "FIXED_BETA_PREFIX"]
+__all__ = ["TABLE3_MODELS", "FIXED_BETA_PREFIX", "FIXED_CL_PREFIX"]
 
 # Table III row order: 8 macro baselines, 3 micro baselines, EMBSR last.
 TABLE3_MODELS = (
@@ -32,6 +32,7 @@ TABLE3_MODELS = (
 )
 
 FIXED_BETA_PREFIX = "EMBSR-beta="
+FIXED_CL_PREFIX = "EMBSR-SSL-cl="
 
 _MACRO_FIELDS = ("dim", "dropout", "seed")
 _MICRO_FIELDS = ("dim", "dropout", "seed")
@@ -233,7 +234,32 @@ def _register_builtins() -> None:
         )
     )
 
+    # Objective variants: the same architectures trained under composite
+    # objectives (docs/objectives.md) — no new module builders.
+    REGISTRY.register_model(
+        RegisteredModel(
+            "EMBSR-SSL",
+            "embsr",
+            NEURAL,
+            param_fields=_EMBSR_FIELDS,
+            fixed=dict(VARIANT_SWITCHES["EMBSR"]),
+            train={"objective": "ssl", "cl_weight": 0.1},
+            description="EMBSR + InfoNCE over augmented session views",
+        )
+    )
+    REGISTRY.register_model(
+        RegisteredModel(
+            "MKM-SR-OP",
+            "mkm-sr",
+            NEURAL,
+            param_fields=_MICRO_FIELDS,
+            train={"objective": "op-aux", "cl_weight": 0.2},
+            description="MKM-SR + next-operation auxiliary loss (original paper)",
+        )
+    )
+
     REGISTRY.register_resolver(_resolve_fixed_beta)
+    REGISTRY.register_resolver(_resolve_fixed_cl)
 
 
 def _resolve_fixed_beta(name: str) -> RegisteredModel | None:
@@ -255,6 +281,27 @@ def _resolve_fixed_beta(name: str) -> RegisteredModel | None:
         param_fields=_EMBSR_FIELDS,
         fixed=switches,
         description=f"EMBSR with constant fusion weight beta={beta} (Fig. 6)",
+    )
+
+
+def _resolve_fixed_cl(name: str) -> RegisteredModel | None:
+    """``EMBSR-SSL-cl=<x>``: the contrastive-weight ablation sweep."""
+    if not name.startswith(FIXED_CL_PREFIX):
+        return None
+    from ..core import VARIANT_SWITCHES
+
+    try:
+        cl_weight = float(name[len(FIXED_CL_PREFIX):])
+    except ValueError:
+        raise KeyError(f"bad SSL-weight model name {name!r}: expected EMBSR-SSL-cl=<float>")
+    return RegisteredModel(
+        name,
+        "embsr",
+        NEURAL,
+        param_fields=_EMBSR_FIELDS,
+        fixed=dict(VARIANT_SWITCHES["EMBSR"]),
+        train={"objective": "ssl", "cl_weight": cl_weight},
+        description=f"EMBSR-SSL with contrastive weight {cl_weight}",
     )
 
 

@@ -55,6 +55,11 @@ class RegisteredModel:
     kind: str  # NEURAL | NONPARAMETRIC
     param_fields: tuple[str, ...] = ()
     fixed: Mapping[str, Any] = field(default_factory=dict)
+    # Default portable training settings this model carries (e.g. EMBSR-SSL
+    # pins {"objective": "ssl", "cl_weight": 0.1}); spec_for merges caller
+    # overrides on top, so the same architecture may train under several
+    # objectives without separate module builders.
+    train: Mapping[str, Any] = field(default_factory=dict)
     description: str = ""
 
 
@@ -159,7 +164,7 @@ class ModelRegistry:
             num_items=num_items,
             num_ops=num_ops,
             params=params,
-            train=dict(train or {}),
+            train={**entry.train, **(train or {})},
             dtype=dtype,
         )
 

@@ -60,6 +60,9 @@ class TrainingState:
     stale: int
     history: list[dict] = field(default_factory=list)
     epoch_losses: list[float] = field(default_factory=list)
+    # Per-batch component-loss dicts of the in-flight epoch, parallel to
+    # ``epoch_losses`` (e.g. [{"ce": ..., "infonce": ...}, ...]).
+    epoch_components: list[dict] = field(default_factory=list)
     config: dict = field(default_factory=dict)
     # Architecture identity (a ModelSpec dict) of the model being trained,
     # when known — lets resume diff architectures instead of array shapes.
@@ -120,6 +123,7 @@ def save_training_state(path: str | pathlib.Path, state: TrainingState) -> pathl
         "stale": state.stale,
         "history": _json_safe(state.history),
         "epoch_losses": [float(x) for x in state.epoch_losses],
+        "epoch_components": _json_safe(state.epoch_components),
         "config": _json_safe(state.config),
         "spec": _json_safe(state.spec),
     }
@@ -162,6 +166,8 @@ def load_training_state(path: str | pathlib.Path) -> TrainingState:
         stale=int(meta["stale"]),
         history=_json_restore(meta["history"]),
         epoch_losses=[float(x) for x in meta["epoch_losses"]],
+        # Absent in pre-objective archives: restore as empty.
+        epoch_components=_json_restore(meta.get("epoch_components", [])),
         config=_json_restore(meta["config"]),
         spec=_json_restore(meta.get("spec")),
     )

@@ -1,0 +1,119 @@
+"""Invariants of the contrastive session-view augmentations."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.data.augment import AugmentConfig, augment_batch, augment_views, view_generator
+from repro.data.dataset import DataLoader, SessionBatch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 200, seed=7), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    return next(iter(DataLoader(dataset.train, batch_size=32, shuffle=True, seed=5)))
+
+
+def views(dataset, batch, **kw):
+    defaults = dict(num_ops=dataset.num_operations, seed=5, epoch=0, batch_index=0)
+    defaults.update(kw)
+    return augment_views(batch, **defaults)
+
+
+def row_items(batch, b):
+    length = int(batch.item_mask[b].sum())
+    return [int(batch.items[b, i]) for i in range(length)]
+
+
+class TestShapeAndContentInvariants:
+    def test_padded_shapes_are_preserved(self, dataset, batch):
+        for view in views(dataset, batch):
+            for field in ("items", "item_mask", "ops", "op_mask",
+                          "micro_items", "micro_ops", "micro_mask", "last_op"):
+                assert getattr(view, field).shape == getattr(batch, field).shape, field
+                assert getattr(view, field).dtype == getattr(batch, field).dtype, field
+
+    def test_item_multiset_per_row_is_preserved(self, dataset, batch):
+        for view in views(dataset, batch):
+            for b in range(batch.batch_size):
+                assert Counter(row_items(view, b)) == Counter(row_items(batch, b))
+
+    def test_targets_pass_through_untouched(self, dataset, batch):
+        for view in views(dataset, batch):
+            assert np.array_equal(view.targets, batch.targets)
+            assert view.targets is not batch.targets  # fresh array, no aliasing
+
+    def test_micro_mask_is_left_contiguous(self, dataset, batch):
+        for view in views(dataset, batch):
+            for b in range(batch.batch_size):
+                mask = view.micro_mask[b]
+                n = int(mask.sum())
+                assert mask[:n].all() and not mask[n:].any()
+                assert n >= 1  # dropout keeps at least the entry op per item
+
+    def test_last_op_matches_final_micro_op(self, dataset, batch):
+        for view in views(dataset, batch):
+            for b in range(batch.batch_size):
+                n = int(view.micro_mask[b].sum())
+                assert view.last_op[b] == view.micro_ops[b, n - 1]
+
+    def test_dropout_only_shrinks_micro_rows(self, dataset, batch):
+        for view in views(dataset, batch):
+            for b in range(batch.batch_size):
+                assert int(view.micro_mask[b].sum()) <= int(batch.micro_mask[b].sum())
+
+
+class TestDeterminism:
+    def test_same_stream_key_rebuilds_the_same_view(self, dataset, batch):
+        a, b2 = views(dataset, batch)[0], views(dataset, batch)[0]
+        for field in ("items", "ops", "micro_ops", "micro_mask", "last_op"):
+            assert np.array_equal(getattr(a, field), getattr(b2, field)), field
+
+    def test_the_two_views_differ(self, dataset, batch):
+        a, b2 = views(dataset, batch)
+        assert any(
+            not np.array_equal(getattr(a, f), getattr(b2, f))
+            for f in ("items", "ops", "micro_ops", "micro_mask")
+        )
+
+    def test_stream_key_components_all_matter(self, dataset, batch):
+        base = views(dataset, batch)[0]
+        for kw in ({"seed": 6}, {"epoch": 1}, {"batch_index": 1}, {"shard": 1}, {"retry": 1}):
+            other = views(dataset, batch, **kw)[0]
+            assert any(
+                not np.array_equal(getattr(base, f), getattr(other, f))
+                for f in ("items", "ops", "micro_ops", "micro_mask")
+            ), kw
+
+    def test_view_generator_is_pure(self):
+        a = view_generator(5, 0, 0).integers(1 << 30, size=8)
+        b = view_generator(5, 0, 0).integers(1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+
+class TestConfigKnobs:
+    def test_identity_config_reproduces_the_batch(self, dataset, batch):
+        """With every probability at zero the view is the batch, bit for bit."""
+        off = AugmentConfig(op_dropout=0.0, op_substitution=0.0, span_reorder=0.0)
+        rng = view_generator(5, 0, 0)
+        fields = augment_batch(batch, rng, dataset.num_operations, off)
+        view = SessionBatch(**fields)
+        for field in ("items", "item_mask", "ops", "op_mask",
+                      "micro_items", "micro_ops", "micro_mask", "last_op", "targets"):
+            assert np.array_equal(getattr(view, field), getattr(batch, field)), field
+
+    def test_substituted_ops_stay_in_vocabulary(self, dataset, batch):
+        hot = AugmentConfig(op_dropout=0.5, op_substitution=0.9, span_reorder=0.9)
+        rng = view_generator(5, 0, 0)
+        view = SessionBatch(**augment_batch(batch, rng, dataset.num_operations, hot))
+        valid = view.micro_ops[view.micro_mask > 0]
+        assert valid.min() >= 1 and valid.max() <= dataset.num_operations

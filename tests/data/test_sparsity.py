@@ -1,0 +1,75 @@
+"""The ``sparsity`` knob: low-signal drifter sessions for the SSL ablation."""
+
+import pytest
+
+from repro.data import generate_dataset, prepare_dataset
+from repro.data.synthetic import (
+    jd_appliances_config,
+    jd_computers_config,
+    trivago_config,
+)
+
+CONFIGS = [jd_appliances_config, jd_computers_config, trivago_config]
+
+
+def session_key(session):
+    return [(i.item, i.operation) for i in session.interactions]
+
+
+def all_single_op_fraction(sessions) -> float:
+    """Sessions whose every macro item carries exactly one micro-operation."""
+    hits = 0
+    for s in sessions:
+        items = [i.item for i in s.interactions]
+        macro = 1 + sum(1 for a, b in zip(items, items[1:]) if a != b)
+        if len(s.interactions) == macro:
+            hits += 1
+    return hits / len(sessions)
+
+
+class TestBackwardCompatibility:
+    @pytest.mark.parametrize("config_fn", CONFIGS)
+    def test_zero_sparsity_is_bit_identical_to_default(self, config_fn):
+        """sparsity=0.0 must consume exactly the pre-knob RNG draws, so
+        every existing dataset regenerates unchanged."""
+        before = generate_dataset(config_fn(), 150, seed=7)
+        after = generate_dataset(config_fn(sparsity=0.0), 150, seed=7)
+        assert [session_key(s) for s in before] == [session_key(s) for s in after]
+
+    def test_default_config_has_zero_sparsity(self):
+        assert jd_appliances_config().sparsity == 0.0
+
+
+class TestSparsityDistribution:
+    @pytest.mark.parametrize("config_fn", CONFIGS)
+    def test_sparsity_raises_single_op_session_fraction(self, config_fn):
+        dense = all_single_op_fraction(generate_dataset(config_fn(), 400, seed=3))
+        sparse = all_single_op_fraction(
+            generate_dataset(config_fn(sparsity=0.6), 400, seed=3)
+        )
+        # Drifters emit exactly one op per item, so the fraction must climb
+        # by roughly the injection rate (loose bound: non-drifters can also
+        # produce all-single-op sessions by chance).
+        assert sparse > dense + 0.3
+
+    def test_drifter_sessions_are_short(self):
+        cfg = jd_appliances_config(sparsity=1.0)
+        sessions = generate_dataset(cfg, 200, seed=3)
+        for s in sessions:
+            items = [i.item for i in s.interactions]
+            macro = 1 + sum(1 for a, b in zip(items, items[1:]) if a != b)
+            # min_macro_len + 1 input steps, plus the appended target.
+            assert macro <= cfg.min_macro_len + 2
+
+    def test_same_seed_same_sparsity_is_deterministic(self):
+        a = generate_dataset(jd_appliances_config(sparsity=0.5), 100, seed=11)
+        b = generate_dataset(jd_appliances_config(sparsity=0.5), 100, seed=11)
+        assert [session_key(s) for s in a] == [session_key(s) for s in b]
+
+    def test_sparse_dataset_still_prepares(self):
+        cfg = jd_appliances_config(sparsity=0.7)
+        dataset = prepare_dataset(
+            generate_dataset(cfg, 300, seed=3), cfg.operations, min_support=2, name="sparse"
+        )
+        assert len(dataset.train) > 0 and len(dataset.test) > 0
+        assert dataset.num_operations == len(cfg.operations)

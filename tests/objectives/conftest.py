@@ -1,0 +1,20 @@
+"""Shared fixtures for the composable-objectives suite."""
+
+import pytest
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+
+
+@pytest.fixture(scope="package")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 200, seed=7), cfg.operations, min_support=2, name="jd"
+    )
+
+
+@pytest.fixture(scope="package")
+def batch(dataset):
+    from repro.data.dataset import DataLoader
+
+    return next(iter(DataLoader(dataset.train, batch_size=32, shuffle=True, seed=5)))

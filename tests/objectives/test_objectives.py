@@ -1,0 +1,166 @@
+"""Unit behavior of the composable training objectives (docs/objectives.md)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import default_dtype
+from repro.nn import cross_entropy
+from repro.objectives import (
+    CompositeObjective,
+    CrossEntropyObjective,
+    InfoNCEObjective,
+    OperationPredictionObjective,
+    StepContext,
+    build_objective,
+)
+from repro.registry import REGISTRY
+
+
+def new_model(dataset, name="EMBSR", dim=12, seed=0):
+    spec = REGISTRY.spec_for(
+        name,
+        num_items=dataset.num_items,
+        num_ops=dataset.num_operations,
+        dim=dim,
+        dropout=0.0,
+        seed=seed,
+        dtype="float64",
+    )
+    model = REGISTRY.build_module(spec)
+    model.train()
+    return model
+
+
+class TestCrossEntropyObjective:
+    def test_matches_raw_cross_entropy(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            parts = CrossEntropyObjective().compute(model, batch)
+            expected = cross_entropy(model(batch), batch.target_classes)
+        assert float(parts.loss.item()) == pytest.approx(float(expected.item()))
+        assert set(parts.components) == {"ce"}
+        assert parts.component_values()["ce"] == float(parts.loss.item())
+
+    def test_total_divisor_scales_the_loss(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            whole = CrossEntropyObjective().compute(model, batch)
+            halved = CrossEntropyObjective().compute(model, batch, total=2 * batch.batch_size)
+        assert float(halved.loss.item()) == pytest.approx(float(whole.loss.item()) / 2)
+
+
+class TestCompositeObjective:
+    def test_weighted_sum_with_unweighted_components(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            a, b = CrossEntropyObjective(), CrossEntropyObjective()
+            composite = CompositeObjective([("one", a, 1.0), ("two", b, 0.25)])
+            parts = composite.compute(model, batch)
+            single = float(a.compute(model, batch).loss.item())
+        assert composite.name == "one+two"
+        assert composite.component_names == ("one", "two")
+        assert float(parts.loss.item()) == pytest.approx(1.25 * single)
+        # Components are the raw per-term losses, not the weighted ones.
+        assert parts.component_values()["two"] == pytest.approx(single)
+
+    def test_duplicate_or_empty_terms_rejected(self):
+        ce = CrossEntropyObjective()
+        with pytest.raises(ValueError):
+            CompositeObjective([])
+        with pytest.raises(ValueError):
+            CompositeObjective([("x", ce, 1.0), ("x", ce, 0.5)])
+
+    def test_begin_step_forwards_to_children(self):
+        child = CrossEntropyObjective()
+        composite = CompositeObjective([("ce", child, 1.0)])
+        ctx = StepContext(seed=9, epoch=2, batch_index=3)
+        composite.begin_step(ctx)
+        assert child._ctx == ctx
+
+
+class TestInfoNCEObjective:
+    def test_same_context_is_deterministic(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            obj = InfoNCEObjective(num_ops=dataset.num_operations)
+            ctx = StepContext(seed=5, epoch=0, batch_index=0)
+            obj.begin_step(ctx)
+            first = float(obj.compute(model, batch).loss.item())
+            obj.begin_step(ctx)
+            second = float(obj.compute(model, batch).loss.item())
+        assert first == second
+
+    def test_different_context_changes_the_views(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            obj = InfoNCEObjective(num_ops=dataset.num_operations)
+            obj.begin_step(StepContext(seed=5, epoch=0, batch_index=0))
+            first = float(obj.compute(model, batch).loss.item())
+            obj.begin_step(StepContext(seed=5, epoch=0, batch_index=1))
+            second = float(obj.compute(model, batch).loss.item())
+        assert first != second
+
+    def test_requires_encode_sessions(self, dataset, batch):
+        class NoEncoder:
+            pass
+
+        obj = InfoNCEObjective(num_ops=dataset.num_operations)
+        obj.begin_step(StepContext())
+        with pytest.raises(TypeError, match="encode_sessions"):
+            obj.compute(NoEncoder(), batch)
+
+    def test_loss_is_finite_and_backpropagates(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            obj = InfoNCEObjective(num_ops=dataset.num_operations)
+            obj.begin_step(StepContext(seed=5))
+            parts = obj.compute(model, batch)
+            assert np.isfinite(float(parts.loss.item()))
+            parts.loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads and any(np.abs(g).sum() > 0 for g in grads)
+
+
+class TestOperationPredictionObjective:
+    def test_mkm_sr_op_loss_is_finite(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset, name="MKM-SR")
+            obj = OperationPredictionObjective()
+            obj.begin_step(StepContext())
+            parts = obj.compute(model, batch)
+        assert np.isfinite(float(parts.loss.item()))
+        assert set(parts.components) == {"op"}
+
+    def test_requires_operation_logits(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)  # EMBSR has no operation head
+            obj = OperationPredictionObjective()
+            with pytest.raises(TypeError, match="operation_logits"):
+                obj.compute(model, batch)
+
+
+class TestBuildObjective:
+    def test_names(self):
+        assert build_objective("ce").name == "ce"
+        assert build_objective("infonce", num_ops=5).name == "infonce"
+        assert build_objective("ssl", num_ops=5).name == "ce+infonce"
+        assert build_objective("op-aux").name == "ce+op"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="ssl"):
+            build_objective("nope")
+
+    def test_ssl_weight_reaches_the_composite(self, dataset, batch):
+        with default_dtype("float64"):
+            model = new_model(dataset)
+            ctx = StepContext(seed=5, epoch=0, batch_index=0)
+            light, heavy = build_objective("ssl", cl_weight=0.0, num_ops=dataset.num_operations), \
+                build_objective("ssl", cl_weight=1.0, num_ops=dataset.num_operations)
+            light.begin_step(ctx)
+            heavy.begin_step(ctx)
+            lp = light.compute(model, batch)
+            hp = heavy.compute(model, batch)
+        # Same views (same ctx), so the difference is exactly the InfoNCE term.
+        assert float(hp.loss.item()) - float(lp.loss.item()) == pytest.approx(
+            hp.component_values()["infonce"], rel=1e-9
+        )

@@ -1,0 +1,95 @@
+"""Registry coverage of the objective-variant entries and resolvers."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, jd_appliances_config, prepare_dataset
+from repro.eval import ExperimentConfig, ExperimentRunner
+from repro.registry import FIXED_CL_PREFIX, REGISTRY, resolve
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = jd_appliances_config()
+    return prepare_dataset(
+        generate_dataset(cfg, 200, seed=7), cfg.operations, min_support=2, name="jd"
+    )
+
+
+class TestEntries:
+    def test_embsr_ssl_pins_the_ssl_objective(self):
+        entry = resolve("EMBSR-SSL")
+        assert entry.family == "embsr"
+        assert dict(entry.train) == {"objective": "ssl", "cl_weight": 0.1}
+
+    def test_mkm_sr_op_pins_the_op_aux_objective(self):
+        entry = resolve("MKM-SR-OP")
+        assert entry.family == "mkm-sr"
+        assert dict(entry.train) == {"objective": "op-aux", "cl_weight": 0.2}
+
+    def test_plain_models_carry_no_objective(self):
+        assert dict(resolve("EMBSR").train) == {}
+        assert dict(resolve("MKM-SR").train) == {}
+
+    def test_cl_sweep_resolver(self):
+        entry = resolve(f"{FIXED_CL_PREFIX}0.5")
+        assert dict(entry.train) == {"objective": "ssl", "cl_weight": 0.5}
+        assert f"{FIXED_CL_PREFIX}0.5" in REGISTRY
+
+    def test_cl_sweep_rejects_bad_floats(self):
+        with pytest.raises(KeyError, match="expected EMBSR-SSL-cl"):
+            resolve(f"{FIXED_CL_PREFIX}abc")
+
+
+class TestSpecMerging:
+    def test_entry_defaults_reach_the_spec(self, dataset):
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=12))
+        spec = runner.spec_for("EMBSR-SSL")
+        assert spec.train["objective"] == "ssl"
+        assert spec.train["cl_weight"] == 0.1
+
+    def test_explicit_config_overrides_the_entry(self, dataset):
+        runner = ExperimentRunner(
+            dataset, ExperimentConfig(dim=12, objective="ce", cl_weight=0.9)
+        )
+        spec = runner.spec_for("EMBSR-SSL")
+        assert spec.train["objective"] == "ce"
+        assert spec.train["cl_weight"] == 0.9
+
+    def test_auto_config_does_not_shadow_entry_defaults(self, dataset):
+        """objective=None in ExperimentConfig must not overwrite EMBSR-SSL's
+        registry defaults with plain ce."""
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=12))
+        assert runner.spec_for("EMBSR-SSL").train["objective"] == "ssl"
+        assert "objective" not in runner.spec_for("EMBSR").train
+
+    def test_sweep_names_produce_distinct_specs(self, dataset):
+        runner = ExperimentRunner(dataset, ExperimentConfig(dim=12))
+        weights = [
+            runner.spec_for(f"{FIXED_CL_PREFIX}{w}").train["cl_weight"]
+            for w in (0.05, 0.2)
+        ]
+        assert weights == [0.05, 0.2]
+
+
+class TestArtifactRoundTrip:
+    def test_ssl_artifact_rebuilds_and_scores(self, dataset, tmp_path):
+        """An EMBSR-SSL artifact carries its objective in the spec and
+        rebuilds a scoring-equivalent model in a fresh process's registry."""
+        from repro.eval.trainer import NeuralRecommender
+
+        config = ExperimentConfig(
+            dim=12, epochs=1, batch_size=32, seed=5, dtype="float64"
+        )
+        runner = ExperimentRunner(dataset, config)
+        recommender = runner.build("EMBSR-SSL")
+        recommender.fit(dataset)
+        path = tmp_path / "embsr_ssl.npz"
+        recommender.save(path)
+
+        loaded = NeuralRecommender.from_artifact(path)
+        assert loaded.name == "EMBSR-SSL"
+        assert loaded.spec.train["objective"] == "ssl"
+        scores, _ = runner.score_on_test(recommender)
+        loaded_scores, _ = runner.score_on_test(loaded)
+        assert np.array_equal(scores, loaded_scores)
