@@ -6,6 +6,9 @@ Usage (after ``python setup.py develop``):
 
     repro generate --config jd-appliances --sessions 2000 --out sessions.jsonl
     repro prepare  --config jd-appliances --input sessions.jsonl --out dataset.json
+    repro data pack dataset.json dataset.rpk
+    repro data pack sessions.jsonl dataset.rpk --config jd-appliances
+    repro data inspect dataset.rpk
     repro models
     repro train    --dataset dataset.json --model EMBSR --epochs 8 --artifact embsr.npz
     repro train    --dataset dataset.json --model EMBSR --resume embsr.npz.state.npz
@@ -110,6 +113,18 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="quantize padded batch dims to a bucket ladder so compiled "
         "shape keys repeat (changes padding, hence the numeric trajectory)",
+    )
+    p.add_argument(
+        "--packed",
+        action="store_true",
+        help="train from columnar packed storage with the zero-loop "
+        "vectorized collate; batches are bit-identical (docs/data.md)",
+    )
+    p.add_argument(
+        "--prefetch",
+        action="store_true",
+        help="collate the next batch on a background thread while the "
+        "current step runs (double-buffered; bit-identical)",
     )
 
 
@@ -352,11 +367,47 @@ def _add_index(sub: argparse._SubParsersAction) -> None:
     i.add_argument("artifact")
 
 
+def _add_data(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("data", help="packed columnar dataset tools (docs/data.md)")
+    action = p.add_subparsers(dest="data_command", required=True)
+
+    pk = action.add_parser(
+        "pack",
+        help="convert a prepared dataset (.json) or raw sessions (.jsonl) to the packed format",
+    )
+    pk.add_argument("input", help="prepared dataset .json, or raw sessions .jsonl")
+    pk.add_argument("out", help="output packed file (written atomically)")
+    pk.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="force raw-JSONL ingest (otherwise inferred from the .jsonl suffix); "
+        "streams the file twice in bounded memory",
+    )
+    pk.add_argument(
+        "--config",
+        choices=sorted(_CONFIGS),
+        default=None,
+        help="operation vocabulary + default min-support for raw JSONL ingest",
+    )
+    pk.add_argument("--min-support", type=int, default=None)
+    pk.add_argument("--seed", type=int, default=0)
+    pk.add_argument("--name", default=None, help="dataset name recorded in the header")
+    pk.add_argument(
+        "--no-fingerprint",
+        action="store_true",
+        help="skip the content digest (one full pass saved on huge corpora)",
+    )
+
+    ins = action.add_parser("inspect", help="print a packed file's header and sizes")
+    ins.add_argument("input")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     _add_generate(sub)
     _add_prepare(sub)
+    _add_data(sub)
     _add_models(sub)
     _add_train(sub)
     _add_evaluate(sub)
@@ -396,8 +447,17 @@ def _cmd_prepare(args) -> int:
     return 0
 
 
+def _load_dataset(path):
+    """Load ``path`` as packed (magic-sniffed) or prepared-JSON dataset."""
+    from .data.packed import is_packed_file, load_packed
+
+    if is_packed_file(path):
+        return load_packed(path)
+    return load_prepared_dataset(path)
+
+
 def _runner(args, epochs: int | None = None) -> ExperimentRunner:
-    dataset = load_prepared_dataset(args.dataset)
+    dataset = _load_dataset(args.dataset)
     config = ExperimentConfig(
         dim=args.dim,
         epochs=epochs if epochs is not None else getattr(args, "epochs", 10),
@@ -411,10 +471,72 @@ def _runner(args, epochs: int | None = None) -> ExperimentRunner:
         grad_shards=getattr(args, "grad_shards", 0),
         compile=getattr(args, "compile", False),
         bucket_lengths=getattr(args, "bucket_lengths", False),
+        packed=getattr(args, "packed", False),
+        prefetch=getattr(args, "prefetch", False),
         objective=getattr(args, "objective", None),
         cl_weight=getattr(args, "cl_weight", None),
     )
     return ExperimentRunner(dataset, config)
+
+
+def _cmd_data(args) -> int:
+    import pathlib
+
+    from .data.packed import (
+        load_packed,
+        pack_dataset,
+        pack_sessions_jsonl,
+        read_packed_header,
+    )
+
+    if args.data_command == "inspect":
+        try:
+            header = read_packed_header(args.input)
+        except (OSError, ValueError) as error:
+            print(f"cannot inspect {args.input}: {error}", file=sys.stderr)
+            return 1
+        size = pathlib.Path(args.input).stat().st_size
+        print(f"{args.input}: packed dataset format v{header['format_version']}")
+        print(f"  name         {header['name']}")
+        print(f"  fingerprint  {header['fingerprint'] or '(none)'}")
+        print(f"  items        {header['num_items']}")
+        print(f"  operations   {', '.join(header['operations'])}")
+        for split, counts in header["splits"].items():
+            print(
+                f"  {split:12s} {counts['sessions']} sessions, "
+                f"{counts['macro_steps']} macro steps, {counts['micro_ops']} micro ops"
+            )
+        print(f"  file bytes   {size}")
+        return 0
+
+    if args.jsonl or str(args.input).endswith(".jsonl"):
+        if args.config is None:
+            print("packing raw JSONL needs --config for the operation vocabulary", file=sys.stderr)
+            return 1
+        config_fn, default_support = _CONFIGS[args.config]
+        cfg = config_fn()
+        packed = pack_sessions_jsonl(
+            args.input,
+            cfg.operations,
+            name=args.name or args.config,
+            min_support=args.min_support or default_support,
+            seed=args.seed,
+            fingerprint=not args.no_fingerprint,
+        )
+    else:
+        packed = pack_dataset(load_prepared_dataset(args.input))
+        if args.name:
+            packed.name = args.name
+    path = packed.save(args.out)
+    sizes = {name: len(split) for name, split in packed.splits().items()}
+    print(
+        f"packed {packed.name}: {sizes['train']} train / {sizes['validation']} val / "
+        f"{sizes['test']} test, {packed.num_items} items "
+        f"({packed.nbytes()} array bytes) -> {path}"
+    )
+    # A load sanity-check is nearly free (memmap: header + page table only).
+    load_packed(path)
+    return 0
 
 
 def _cmd_models(args) -> int:
@@ -933,6 +1055,7 @@ def _serve_loop(args, gateway, model_name: str) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "prepare": _cmd_prepare,
+    "data": _cmd_data,
     "models": _cmd_models,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,

@@ -146,13 +146,23 @@ def padded_dims(
     """
     if not examples:
         raise ValueError("cannot collate an empty list of examples")
-    n_max = max(len(ex) for ex in examples)
-    k_max = max(len(ops) for ex in examples for ops in ex.op_sequences)
-    if max_ops_per_item is not None:
-        k_max = min(k_max, max_ops_per_item)
-    t_max = max(
-        sum(min(len(ops), k_max) for ops in ex.op_sequences) for ex in examples
-    )
+    # Single pass over every op sequence. ``t`` can clamp against the raw
+    # cap instead of the final k_max because every length is <= the global
+    # natural k, so min(len, min(k_nat, cap)) == min(len, cap).
+    cap = max_ops_per_item
+    n_max = k_nat = t_max = 0
+    for ex in examples:
+        if len(ex) > n_max:
+            n_max = len(ex)
+        t = 0
+        for ops in ex.op_sequences:
+            k = len(ops)
+            if k > k_nat:
+                k_nat = k
+            t += k if cap is None else min(k, cap)
+        if t > t_max:
+            t_max = t
+    k_max = k_nat if cap is None else min(k_nat, cap)
     return n_max, k_max, t_max
 
 
@@ -263,21 +273,28 @@ class DataLoader:
     shuffles before permuting, which reproduces exactly the orders the old
     single-mutating-stream loader emitted (epoch 0 included) while letting
     a resumed run replay any epoch's order via :meth:`set_epoch`.
+
+    ``examples`` may be a plain ``Sequence[MacroSession]`` or a
+    ``repro.data.packed.PackedSplit`` (detected by duck typing); with a
+    packed split every batch is built by the zero-loop vectorized collate
+    over CSR arrays, bit-identical to the object path.
     """
 
     def __init__(
         self,
-        examples: Sequence[MacroSession],
+        examples,
         batch_size: int = 64,
         shuffle: bool = False,
         seed: int = 0,
         max_ops_per_item: int | None = 6,
         reuse_buffers: bool = False,
         bucket_lengths: bool = False,
+        prefetch: bool = False,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        self.examples = list(examples)
+        self._packed = bool(getattr(examples, "__packed_split__", False))
+        self.examples = examples if self._packed else list(examples)
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.seed = seed
@@ -292,6 +309,13 @@ class DataLoader:
         # only valid until the next one (safe for consume-as-you-go loops
         # like Trainer.fit; NOT for `list(loader)`). See CollateBuffers.
         self._buffers = CollateBuffers() if reuse_buffers else None
+        # Opt-in: collate batch b+1 on a background thread while the
+        # training step runs on batch b. Uses two ping-ponged buffer pools,
+        # so prefetch implies the CollateBuffers aliasing contract whether
+        # or not reuse_buffers is set: a yielded batch is valid only until
+        # the next one is requested. Batch contents and order are
+        # bit-identical to the synchronous path.
+        self.prefetch = prefetch
 
     def __len__(self) -> int:
         return (len(self.examples) + self.batch_size - 1) // self.batch_size
@@ -320,9 +344,14 @@ class DataLoader:
         order = np.arange(len(self.examples))
         if self.shuffle:
             rng = np.random.default_rng(self.seed)
+            # Fast-forward: each past epoch consumed one length-n shuffle's
+            # worth of the stream. Replay them on the same array, restore
+            # the identity in place (sorting a permutation of 0..n-1), then
+            # draw this epoch's shuffle — one allocation total.
             for _ in range(epoch):
                 rng.shuffle(order)
-            order = np.arange(len(self.examples))
+            if epoch:
+                order.sort()
             rng.shuffle(order)
         return order
 
@@ -337,25 +366,120 @@ class DataLoader:
             dims = bucketed_dims(dims)
         return dims
 
-    def collate_indices(self, indices: Sequence[int]) -> SessionBatch:
+    def subset_dims(self, indices: Sequence[int]) -> tuple[int, int, int]:
+        """The ``(n, k, t)`` padding for the examples at ``indices``.
+
+        Index-based counterpart of :meth:`padded_dims_for`: works for both
+        object and packed storage, so shard workers never have to
+        materialize examples just to measure them.
+        """
+        if self._packed:
+            dims = self.examples.padded_dims(indices, self.max_ops_per_item)
+        else:
+            dims = padded_dims(
+                [self.examples[i] for i in indices], self.max_ops_per_item
+            )
+        if self.bucket_lengths:
+            dims = bucketed_dims(dims)
+        return dims
+
+    def collate_indices(
+        self,
+        indices: Sequence[int],
+        pad_to: tuple[int, int, int] | None = None,
+        buffers: CollateBuffers | None = None,
+    ) -> SessionBatch:
         """Collate the examples at ``indices`` (honoring buffer reuse).
 
         Random-access counterpart of iteration: together with
         :meth:`permutation` it lets any process materialize batch ``b`` of
         epoch ``e`` directly — the data-parallel workers build their
         batches this way without ever streaming through earlier ones.
+        ``pad_to``/``buffers`` override the loader's own padding and pool
+        (shard workers pad their rows to the full batch's dimensions into
+        a private pool).
         """
+        if buffers is None:
+            buffers = self._buffers
+        if pad_to is None and self.bucket_lengths:
+            pad_to = self.subset_dims(indices)
+        if self._packed:
+            return self.examples.collate(
+                indices,
+                max_ops_per_item=self.max_ops_per_item,
+                buffers=buffers,
+                pad_to=pad_to,
+            )
         chunk = [self.examples[i] for i in indices]
-        pad_to = self.padded_dims_for(chunk) if self.bucket_lengths else None
         return collate(
             chunk,
             max_ops_per_item=self.max_ops_per_item,
-            buffers=self._buffers,
+            buffers=buffers,
             pad_to=pad_to,
         )
 
     def __iter__(self) -> Iterator[SessionBatch]:
         order = self.permutation(self.epoch)
         self.epoch += 1
+        if self.prefetch:
+            yield from self._iter_prefetch(order)
+        else:
+            yield from self._iter_sync(order)
+
+    def _iter_sync(self, order: np.ndarray) -> Iterator[SessionBatch]:
         for start in range(0, len(order), self.batch_size):
             yield self.collate_indices(order[start : start + self.batch_size])
+
+    def _iter_prefetch(self, order: np.ndarray) -> Iterator[SessionBatch]:
+        """Double-buffered iteration: one producer thread, two buffer pools.
+
+        The producer collates batch ``b+1`` into a free pool while the
+        consumer's step runs on batch ``b``. A pool is recycled only when
+        the consumer asks for the *next* batch, so each yielded batch stays
+        valid exactly as long as the CollateBuffers contract promises.
+        """
+        import queue
+        import threading
+
+        pools = (CollateBuffers(), CollateBuffers())
+        free: queue.Queue = queue.Queue()
+        ready: queue.Queue = queue.Queue()
+        for pool in pools:
+            free.put(pool)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                for start in range(0, len(order), self.batch_size):
+                    pool = free.get()
+                    if stop.is_set():
+                        return
+                    batch = self.collate_indices(
+                        order[start : start + self.batch_size], buffers=pool
+                    )
+                    ready.put((batch, pool))
+                ready.put(None)
+            except BaseException as exc:  # surfaced on the consumer side
+                ready.put(exc)
+
+        thread = threading.Thread(
+            target=produce, name="dataloader-prefetch", daemon=True
+        )
+        thread.start()
+        held = None
+        try:
+            while True:
+                item = ready.get()
+                if item is None:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                batch, pool = item
+                if held is not None:
+                    free.put(held)  # consumer moved on; recycle its pool
+                held = pool
+                yield batch
+        finally:
+            stop.set()
+            free.put(pools[0])  # unblock a producer parked on free.get()
+            thread.join(timeout=5.0)

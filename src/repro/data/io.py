@@ -30,9 +30,11 @@ from .schema import Interaction, MacroSession, OperationVocab, Session
 __all__ = [
     "EventLogFormat",
     "load_event_log",
+    "iter_event_log",
     "load_trivago_log",
     "save_sessions_jsonl",
     "load_sessions_jsonl",
+    "iter_sessions_jsonl",
     "save_prepared_dataset",
     "load_prepared_dataset",
 ]
@@ -93,6 +95,48 @@ def load_event_log(
         interactions = [Interaction(item, vocab.id_of(op)) for _ts, item, op in events]
         sessions.append(Session(interactions, session_id=sid))
     return sessions, vocab
+
+
+def iter_event_log(
+    path: str | pathlib.Path,
+    fmt: EventLogFormat | None = None,
+    operations: OperationVocab | None = None,
+) -> Iterable[Session]:
+    """Stream a *session-contiguous* JD-style CSV one session at a time.
+
+    Unlike :func:`load_event_log` this never materializes the whole log: it
+    holds exactly one session's rows, so JSONL/CSV → packed ingest runs in
+    bounded memory on corpora of any size. It requires (a) an explicit
+    ``operations`` vocabulary (no global discovery pass) and (b) each
+    session's rows to be contiguous in the file with timestamps already
+    ordered — the layout ``save``-style exporters produce. Sessions are
+    yielded in file order with a running ``session_id``.
+    """
+    if operations is None:
+        raise ValueError("iter_event_log requires an explicit OperationVocab")
+    fmt = fmt or EventLogFormat()
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=fmt.delimiter)
+        sid = 0
+        current_key: str | None = None
+        events: list[Interaction] = []
+        for row in reader:
+            op_name = row[fmt.operation_column]
+            if op_name not in operations:
+                continue
+            key = row[fmt.session_column]
+            if current_key is not None and key != current_key:
+                if events:
+                    yield Session(events, session_id=sid)
+                    sid += 1
+                events = []
+            current_key = key
+            events.append(
+                Interaction(int(row[fmt.item_column]), operations.id_of(op_name))
+            )
+        if events:
+            yield Session(events, session_id=sid)
 
 
 # Item-referencing action types kept from the trivago dump (Sec. V-A1).
@@ -165,19 +209,28 @@ def save_sessions_jsonl(sessions: Iterable[Session], path: str | pathlib.Path) -
             )
 
 
-def load_sessions_jsonl(path: str | pathlib.Path) -> list[Session]:
-    """Inverse of :func:`save_sessions_jsonl`."""
-    sessions = []
+def iter_sessions_jsonl(path: str | pathlib.Path) -> Iterable[Session]:
+    """Stream :func:`save_sessions_jsonl` output one session at a time.
+
+    One JSON line is decoded per step, so downstream consumers (the packed
+    ingest in particular) hold O(1) sessions no matter the file size.
+    """
     with pathlib.Path(path).open() as handle:
         for line in handle:
+            line = line.strip()
+            if not line:
+                continue
             record = json.loads(line)
-            sessions.append(
-                Session(
-                    [Interaction(item, op) for item, op in record["events"]],
-                    session_id=record["session_id"],
-                )
+            yield Session(
+                [Interaction(item, op) for item, op in record["events"]],
+                session_id=record["session_id"],
             )
-    return sessions
+
+
+def load_sessions_jsonl(path: str | pathlib.Path) -> list[Session]:
+    """Inverse of :func:`save_sessions_jsonl` (eager; see
+    :func:`iter_sessions_jsonl` for the streaming form)."""
+    return list(iter_sessions_jsonl(path))
 
 
 def _macro_to_dict(example: MacroSession) -> dict:

@@ -31,8 +31,19 @@ MODEL_NAMES = list(TABLE3_MODELS)
 # ``compile`` joins them: trace/replay execution is bitwise the eager
 # step, so it is an execution detail like the worker count.
 # ``bucket_lengths`` stays portable — bucketed padding changes the math.
+# ``packed``/``prefetch`` are execution-only too: columnar collation is
+# bitwise the loop collate and prefetch only overlaps it with the step.
 _NON_PORTABLE_TRAIN_FIELDS = frozenset(
-    {"checkpoint_path", "checkpoint_every", "resume_from", "verbose", "workers", "compile"}
+    {
+        "checkpoint_path",
+        "checkpoint_every",
+        "resume_from",
+        "verbose",
+        "workers",
+        "compile",
+        "packed",
+        "prefetch",
+    }
 )
 
 
@@ -61,6 +72,10 @@ class ExperimentConfig:
     # Compiled training step (docs/performance.md, "Compiled step").
     compile: bool = False
     bucket_lengths: bool = False
+    # Packed data pipeline (docs/data.md): columnar storage + vectorized
+    # collate, and double-buffered background collation.
+    packed: bool = False
+    prefetch: bool = False
     # Training objective (docs/objectives.md). None = defer to the model's
     # registry entry (EMBSR-SSL pins "ssl"); set explicitly to override.
     objective: str | None = None
@@ -86,6 +101,8 @@ class ExperimentConfig:
             grad_shards=self.grad_shards,
             compile=self.compile,
             bucket_lengths=self.bucket_lengths,
+            packed=self.packed,
+            prefetch=self.prefetch,
             **overrides,
         )
 
@@ -163,6 +180,8 @@ class ExperimentRunner:
             resume_from=cfg.resume_from,
             workers=cfg.workers,
             compile=cfg.compile,
+            packed=cfg.packed,
+            prefetch=cfg.prefetch,
         )
         return REGISTRY.build(spec, train=runtime)
 

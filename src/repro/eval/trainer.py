@@ -97,6 +97,13 @@ class TrainConfig:
     cl_weight: float = 0.1     # weight of the auxiliary term in composites
     # -- parallelism knobs (docs/performance.md, "Parallelism") ------------
     workers: int = 1           # forked data-parallel workers (1 = in-process)
+    # -- data-pipeline knobs (docs/data.md) --------------------------------
+    # Both are pure execution strategy: packed storage collates bitwise the
+    # same batches and prefetch only overlaps their construction with the
+    # step, so neither is resume-critical and either may toggle freely
+    # between (or during) runs.
+    packed: bool = False       # columnar storage + zero-loop vectorized collate
+    prefetch: bool = False     # double-buffered background collation
     # -- compiled-step knobs (docs/performance.md, "Compiled step") --------
     compile: bool = False      # trace/validate/replay training steps (bitwise-safe)
     bucket_lengths: bool = False  # quantize padded dims so tape shape keys repeat
@@ -287,6 +294,12 @@ class Trainer:
 
     def _run(self, dataset: PreparedDataset, state: TrainingState | None) -> "Trainer":
         cfg = self.config
+        if cfg.packed:
+            # Columnar storage: every loader below batches through the
+            # vectorized collate, bit-identical to the object path.
+            from ..data.packed import pack_dataset
+
+            dataset = pack_dataset(dataset)
         optimizer = Adam(self.model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
         scheduler = StepLR(optimizer, step_size=cfg.lr_step, gamma=cfg.lr_gamma)
         train_loader = DataLoader(
@@ -297,6 +310,7 @@ class Trainer:
             max_ops_per_item=cfg.max_ops_per_item,
             reuse_buffers=True,  # batches are consumed before the next collate
             bucket_lengths=cfg.bucket_lengths,
+            prefetch=cfg.prefetch,
         )
         if self.objective is None:
             self.objective = build_objective(
@@ -569,10 +583,13 @@ class NeuralRecommender(Recommender):
     def _stash_dataset_info(self, dataset: PreparedDataset) -> None:
         from ..data.stats import dataset_fingerprint, popularity_ranking
 
+        # Packed datasets carry their fingerprint (computed at pack time,
+        # identical to the object-path digest); anything else is digested.
+        fingerprint = getattr(dataset, "fingerprint", "") or dataset_fingerprint(dataset)
         self._dataset_info = {
             "item_ids": dataset.vocab.ordered_raw_ids(),
             "name": dataset.name,
-            "fingerprint": dataset_fingerprint(dataset),
+            "fingerprint": fingerprint,
             "popularity": popularity_ranking(dataset, limit=_POPULARITY_LIMIT),
         }
 

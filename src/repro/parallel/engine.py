@@ -262,7 +262,13 @@ class DataParallelEngine:
         self.objective = objective if objective is not None else _default_objective()
         self.last_components: dict[str, float] = {}
         self._component_names = tuple(self.objective.component_names)
-        self._eval_splits = [(name, list(examples)) for name, examples in (eval_splits or {}).items()]
+        # Packed splits stay as CSR arrays (forked workers then share the
+        # file-backed/COW pages instead of each copying an object list);
+        # anything else is materialized once here, before the fork.
+        self._eval_splits = [
+            (name, examples if getattr(examples, "__packed_split__", False) else list(examples))
+            for name, examples in (eval_splits or {}).items()
+        ]
         self._split_index = {name: i for i, (name, _) in enumerate(self._eval_splits)}
         self._layout = ParamLayout(model.parameters())
         self._arena = SharedArena()
@@ -434,7 +440,10 @@ class DataParallelEngine:
         examples = self._eval_splits[index][1]
         self._command(_CMD_EVAL, index, batch_size)
         scores = self._scores[: len(examples)].copy()
-        targets = np.asarray([ex.target for ex in examples], dtype=np.int64) - 1
+        if getattr(examples, "__packed_split__", False):
+            targets = examples.targets - 1  # dense column; no object walk
+        else:
+            targets = np.asarray([ex.target for ex in examples], dtype=np.int64) - 1
         return scores, targets
 
 
@@ -526,10 +535,12 @@ def _worker_train(
         order = loader.permutation(epoch)
         order_cache[epoch] = order
     start = batch_index * loader.batch_size
-    chunk = [loader.examples[i] for i in order[start : start + loader.batch_size]]
-    total_rows = len(chunk)
+    # Index-based access: for packed storage this reads CSR arrays shared
+    # with the master (memmap/COW pages) — no example objects are walked.
+    idx = order[start : start + loader.batch_size]
+    total_rows = len(idx)
     bounds = shard_bounds(total_rows, engine.grad_shards)
-    dims = loader.padded_dims_for(chunk)
+    dims = loader.subset_dims(idx)
     model = engine.model
     model.train()
     layout = engine._layout
@@ -543,12 +554,7 @@ def _worker_train(
             continue
         # Collate only this shard's rows, padded to the full batch's
         # dimensions — bit-identical to slicing the whole collated batch.
-        shard = collate(
-            chunk[lo:hi],
-            max_ops_per_item=loader.max_ops_per_item,
-            buffers=buffers,
-            pad_to=dims,
-        )
+        shard = loader.collate_indices(idx[lo:hi], pad_to=dims, buffers=buffers)
         for p in layout.parameters:
             p.zero_grad()
         ctx = StepContext(
@@ -582,13 +588,22 @@ def _worker_eval(
 ) -> None:
     """Score this worker's round-robin share of a split's batches."""
     examples = engine._eval_splits[split][1]
+    packed = getattr(examples, "__packed_split__", False)
+    max_ops = engine.loader.max_ops_per_item
     model = engine.model
     model.eval()
     with no_grad():
         for batch_no, start in enumerate(range(0, len(examples), batch_size)):
             if batch_no % engine.workers != worker_id:
                 continue
-            chunk = examples[start : start + batch_size]
-            batch = collate(chunk, max_ops_per_item=engine.loader.max_ops_per_item, buffers=buffers)
+            end = min(start + batch_size, len(examples))
+            if packed:
+                batch = examples.collate(
+                    np.arange(start, end), max_ops_per_item=max_ops, buffers=buffers
+                )
+            else:
+                batch = collate(
+                    examples[start:end], max_ops_per_item=max_ops, buffers=buffers
+                )
             logits = model(batch)
-            engine._scores[start : start + len(chunk)] = logits.data
+            engine._scores[start:end] = logits.data

@@ -1,0 +1,165 @@
+"""Streaming JSONL/CSV → packed ingest: equality with the eager path.
+
+``pack_sessions_stream`` must reproduce ``prepare_dataset`` +
+``pack_dataset`` array-for-array under the same seed — same item-support
+filter, same vocabulary, same split permutation, same example drops — while
+only ever holding O(chunk) sessions as Python objects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_dataset,
+    iter_event_log,
+    iter_sessions_jsonl,
+    jd_appliances_config,
+    load_sessions_jsonl,
+    pack_dataset,
+    pack_sessions_jsonl,
+    pack_sessions_stream,
+    prepare_dataset,
+    save_sessions_jsonl,
+    trivago_config,
+)
+from repro.data.packed import _ChunkedInt64
+
+CSR_FIELDS = ("session_offsets", "macro_items", "op_offsets", "op_ids", "targets", "session_ids")
+
+
+def assert_packed_equal(a, b):
+    assert a.name == b.name
+    assert np.array_equal(a.item_ids, b.item_ids)
+    assert list(a.operations.names) == list(b.operations.names)
+    for split_name in ("train", "validation", "test"):
+        x, y = getattr(a, split_name), getattr(b, split_name)
+        for field in CSR_FIELDS:
+            assert np.array_equal(getattr(x, field), getattr(y, field)), (split_name, field)
+
+
+@pytest.mark.parametrize("config_fn", [jd_appliances_config, trivago_config])
+@pytest.mark.parametrize("min_support", [2, 5])
+def test_stream_ingest_equals_eager_pipeline(tmp_path, config_fn, min_support):
+    cfg = config_fn()
+    sessions = generate_dataset(cfg, 400, seed=21)
+    path = tmp_path / "sessions.jsonl"
+    save_sessions_jsonl(sessions, path)
+
+    eager = pack_dataset(
+        prepare_dataset(
+            sessions, cfg.operations, min_support=min_support, name=cfg.name, seed=3
+        )
+    )
+    streamed = pack_sessions_jsonl(
+        path, cfg.operations, min_support=min_support, name=cfg.name, seed=3
+    )
+    assert_packed_equal(eager, streamed)
+    assert streamed.fingerprint == eager.fingerprint
+
+
+def test_stream_ingest_fingerprint_skip(tmp_path):
+    cfg = jd_appliances_config()
+    sessions = generate_dataset(cfg, 100, seed=1)
+    path = tmp_path / "sessions.jsonl"
+    save_sessions_jsonl(sessions, path)
+    packed = pack_sessions_jsonl(path, cfg.operations, min_support=2, fingerprint=False)
+    assert packed.fingerprint == ""
+    assert len(packed.train) > 0
+
+
+def test_stream_ingest_rejects_bad_split():
+    cfg = jd_appliances_config()
+    with pytest.raises(ValueError, match="sum to 1"):
+        pack_sessions_stream(lambda: [], cfg.operations, split=(0.5, 0.1, 0.1))
+
+
+def test_iter_sessions_jsonl_matches_eager_loader(tmp_path):
+    cfg = jd_appliances_config()
+    sessions = generate_dataset(cfg, 50, seed=5)
+    path = tmp_path / "sessions.jsonl"
+    save_sessions_jsonl(sessions, path)
+    eager = load_sessions_jsonl(path)
+    streamed = list(iter_sessions_jsonl(path))
+    assert len(eager) == len(streamed) == 50
+    for a, b in zip(eager, streamed):
+        assert a.session_id == b.session_id
+        assert [(x.item, x.operation) for x in a.interactions] == [
+            (x.item, x.operation) for x in b.interactions
+        ]
+
+
+def test_iter_sessions_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "sessions.jsonl"
+    path.write_text(
+        '{"session_id": 0, "events": [[1, 0], [2, 1]]}\n'
+        "\n"
+        '{"session_id": 1, "events": [[3, 2]]}\n'
+    )
+    sessions = list(iter_sessions_jsonl(path))
+    assert [s.session_id for s in sessions] == [0, 1]
+
+
+def test_iter_event_log_streams_contiguous_sessions(tmp_path):
+    """On a session-contiguous, time-ordered CSV the streaming loader yields
+    the same sessions the eager grouped loader builds."""
+    from repro.data import load_event_log
+    from repro.data.schema import OperationVocab
+
+    vocab = OperationVocab(["click", "cart", "order"])
+    rows = ["session_id,item_id,operation,timestamp"]
+    rng = np.random.default_rng(0)
+    ts = 0
+    for key in ("s00", "s01", "s02", "s03"):  # sorted keys, contiguous blocks
+        for _ in range(int(rng.integers(1, 6))):
+            rows.append(f"{key},{int(rng.integers(1, 30))},{vocab.names[int(rng.integers(0, 3))]},{ts}")
+            ts += 1
+    path = tmp_path / "log.csv"
+    path.write_text("\n".join(rows) + "\n")
+
+    eager, _ = load_event_log(path, operations=vocab)
+    streamed = list(iter_event_log(path, operations=vocab))
+    assert len(eager) == len(streamed)
+    for a, b in zip(eager, streamed):
+        assert a.session_id == b.session_id
+        assert [(x.item, x.operation) for x in a.interactions] == [
+            (x.item, x.operation) for x in b.interactions
+        ]
+
+
+def test_iter_event_log_requires_vocab(tmp_path):
+    path = tmp_path / "log.csv"
+    path.write_text("session_id,item_id,operation,timestamp\n")
+    with pytest.raises(ValueError, match="OperationVocab"):
+        list(iter_event_log(path))
+
+
+def test_chunked_column_bounds_python_heap():
+    """The ingest's append column flushes to dense chunks at the threshold."""
+    col = _ChunkedInt64(chunk=16)
+    for i in range(100):
+        col.append(i)
+    assert len(col._pending) < 16  # everything else sits in dense chunks
+    assert np.array_equal(col.array(), np.arange(100))
+    col2 = _ChunkedInt64(chunk=8)
+    col2.extend(range(20))
+    col2.extend(range(20, 23))
+    assert np.array_equal(col2.array(), np.arange(23))
+    assert len(col2) == 23
+    empty = _ChunkedInt64()
+    assert empty.array().size == 0
+
+
+def test_stream_ingest_drops_short_sessions_like_prepare(tmp_path):
+    """Sessions that merge below 2 macro steps consume a permutation slot but
+    emit no example — exactly like ``prepare_dataset``'s ``_to_example``."""
+    cfg = jd_appliances_config()
+    # High min_support forces aggressive filtering, producing many merged
+    # sessions below the macro-length floor.
+    sessions = generate_dataset(cfg, 300, seed=8)
+    path = tmp_path / "sessions.jsonl"
+    save_sessions_jsonl(sessions, path)
+    eager = pack_dataset(
+        prepare_dataset(sessions, cfg.operations, min_support=8, name="jd", seed=0)
+    )
+    streamed = pack_sessions_jsonl(path, cfg.operations, min_support=8, name="jd", seed=0)
+    assert_packed_equal(eager, streamed)

@@ -1,0 +1,114 @@
+"""CLI surface of the packed data pipeline: ``repro data pack/inspect``,
+training from ``.rpk`` files, and the ``--packed/--prefetch`` train flags."""
+
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.packed import is_packed_file, load_packed, packed_fingerprint
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """generate -> prepare -> pack (both routes) once for the module."""
+    root = tmp_path_factory.mktemp("cli_data")
+    sessions = root / "sessions.jsonl"
+    dataset = root / "dataset.json"
+    packed = root / "dataset.rpk"
+    assert main([
+        "generate", "--config", "jd-appliances", "--sessions", "250",
+        "--seed", "5", "--out", str(sessions),
+    ]) == 0
+    assert main([
+        "prepare", "--config", "jd-appliances", "--input", str(sessions),
+        "--out", str(dataset), "--min-support", "2",
+    ]) == 0
+    assert main(["data", "pack", str(dataset), str(packed)]) == 0
+    return root, sessions, dataset, packed
+
+
+class TestParser:
+    def test_pack_args(self):
+        args = build_parser().parse_args(["data", "pack", "in.json", "out.rpk"])
+        assert args.data_command == "pack"
+        assert args.input == "in.json"
+        assert args.out == "out.rpk"
+        assert args.config is None
+        assert not args.jsonl
+
+    def test_inspect_args(self):
+        args = build_parser().parse_args(["data", "inspect", "x.rpk"])
+        assert args.data_command == "inspect"
+
+    def test_train_packed_flags(self):
+        base = ["train", "--dataset", "d.json", "--model", "EMBSR"]
+        args = build_parser().parse_args(base)
+        assert not args.packed and not args.prefetch
+        args = build_parser().parse_args(base + ["--packed", "--prefetch"])
+        assert args.packed and args.prefetch
+
+
+class TestPack:
+    def test_pack_produces_loadable_file(self, artifacts):
+        _, _, _, packed_path = artifacts
+        assert is_packed_file(packed_path)
+        packed = load_packed(packed_path)
+        assert len(packed.train) > 0
+        assert packed.fingerprint == packed_fingerprint(packed)
+
+    def test_pack_jsonl_route_matches_prepared_route(self, artifacts, capsys):
+        root, sessions, _, packed_path = artifacts
+        out2 = root / "from_jsonl.rpk"
+        assert main([
+            "data", "pack", str(sessions), str(out2),
+            "--config", "jd-appliances", "--min-support", "2",
+        ]) == 0
+        capsys.readouterr()
+        a = load_packed(packed_path)
+        b = load_packed(out2)
+        # Same raw sessions, same preprocessing parameters: the streaming
+        # JSONL route must produce the identical logical dataset.
+        assert a.fingerprint == b.fingerprint != ""
+
+    def test_pack_jsonl_without_config_fails(self, tmp_path, capsys):
+        src = tmp_path / "s.jsonl"
+        src.write_text("")
+        assert main(["data", "pack", str(src), str(tmp_path / "o.rpk")]) == 1
+        assert "--config" in capsys.readouterr().err
+
+    def test_inspect_reports_header(self, artifacts, capsys):
+        _, _, _, packed_path = artifacts
+        assert main(["data", "inspect", str(packed_path)]) == 0
+        out = capsys.readouterr().out
+        assert "format v1" in out
+        assert "train" in out and "validation" in out and "test" in out
+        assert "fingerprint" in out
+
+    def test_inspect_rejects_non_packed(self, artifacts, capsys):
+        _, _, dataset, _ = artifacts
+        assert main(["data", "inspect", str(dataset)]) == 1
+        assert "cannot inspect" in capsys.readouterr().err
+
+
+class TestTrain:
+    def test_train_from_rpk_file(self, artifacts, capsys):
+        """``--dataset x.rpk`` is sniffed and loaded as packed."""
+        _, _, _, packed_path = artifacts
+        assert main([
+            "train", "--dataset", str(packed_path), "--model", "SKNN",
+        ]) == 0
+        assert "SKNN" in capsys.readouterr().out
+
+    def test_train_packed_prefetch_matches_object_path(self, artifacts, capsys):
+        """--packed --prefetch changes wall-clock, never the metrics."""
+        _, _, dataset, _ = artifacts
+
+        def run(extra):
+            assert main([
+                "train", "--dataset", str(dataset), "--model", "STAMP",
+                "--epochs", "1", "--dim", "8", *extra,
+            ]) == 0
+            out = capsys.readouterr().out
+            return next(line for line in out.splitlines() if "test metrics" in line)
+
+        assert run([]) == run(["--packed", "--prefetch"])
